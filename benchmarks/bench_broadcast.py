@@ -1,0 +1,71 @@
+"""E8 — the conclusion's broadcast extension, measured.
+
+Reproduces the "asymptotically optimal broadcasting" claim as a table of
+round counts versus the ``max(diameter, log2 N)`` lower bound across a
+grid, and benchmarks the structured scheduler.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import HyperButterfly, broadcast_rounds
+from repro.core.broadcast import broadcast_lower_bound
+
+GRID = [(1, 3), (2, 3), (2, 4), (3, 4), (4, 4)]
+
+
+@pytest.fixture(scope="module")
+def broadcast_rows() -> str:
+    lines = ["(m,n)   nodes  lower  all-port  greedy-1port  structured  ratio"]
+    for m, n in GRID:
+        hb = HyperButterfly(m, n)
+        root = hb.identity_node()
+        lb = broadcast_lower_bound(hb)
+        allport = broadcast_rounds(hb, root, model="all-port")
+        greedy = broadcast_rounds(hb, root, model="single-port")
+        structured = broadcast_rounds(hb, root, model="structured")
+        lines.append(
+            f"({m},{n})  {hb.num_nodes:6d} {lb:6d} {allport:9d} "
+            f"{greedy:13d} {structured:11d}  {structured / lb:5.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_broadcast_table(benchmark, broadcast_rows):
+    emit("E8: broadcast rounds vs lower bound", broadcast_rows)
+    hb = HyperButterfly(2, 4)
+    root = hb.identity_node()
+
+    def structured():
+        return broadcast_rounds(hb, root, model="structured")
+
+    rounds = benchmark(structured)
+    assert rounds <= 2 * broadcast_lower_bound(hb)
+
+
+def test_asymptotic_optimality_across_grid(broadcast_rows):
+    """Constant-factor optimality holds at every grid point."""
+    for m, n in GRID:
+        hb = HyperButterfly(m, n)
+        root = hb.identity_node()
+        structured = broadcast_rounds(hb, root, model="structured")
+        assert structured <= 2 * broadcast_lower_bound(hb)
+
+
+def test_structured_scheduler_at_scale(benchmark, hb38):
+    """Schedule construction on the 16384-node flagship."""
+    from repro.core.broadcast import structured_broadcast_schedule
+
+    def build():
+        return len(structured_broadcast_schedule(hb38, hb38.identity_node()))
+
+    rounds = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert rounds <= 2 * broadcast_lower_bound(hb38)
+
+
+def test_all_port_flood_kernel(benchmark, hb24):
+    root = hb24.identity_node()
+    rounds = benchmark(lambda: broadcast_rounds(hb24, root, model="all-port"))
+    assert rounds == hb24.eccentricity(root)

@@ -1,0 +1,68 @@
+"""E3 — Theorem 2 counts/regularity across a parameter sweep.
+
+Regenerates the (nodes, edges, degree) columns over a grid of design
+points, asserting the closed forms of Theorem 2 against explicitly built
+graphs, and benchmarks implicit-topology construction versus full
+materialisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import HyperButterfly
+
+GRID = [(0, 3), (1, 3), (2, 3), (3, 3), (1, 4), (2, 4), (3, 4), (2, 5)]
+
+
+@pytest.fixture(scope="module")
+def sweep_rows() -> str:
+    lines = ["(m,n)    nodes    edges     degree  diameter(formula)"]
+    for m, n in GRID:
+        hb = HyperButterfly(m, n)
+        lines.append(
+            f"({m},{n})  {hb.num_nodes:8d} {hb.num_edges:8d} "
+            f"{hb.degree_formula:7d} {hb.diameter_formula():9d}"
+        )
+    return "\n".join(lines)
+
+
+def test_theorem2_sweep(benchmark, sweep_rows):
+    emit("E3: Theorem 2 — counts over the (m, n) grid", sweep_rows)
+
+    def verify_grid():
+        checked = 0
+        for m, n in GRID:
+            hb = HyperButterfly(m, n)
+            assert hb.num_nodes == n * 2 ** (m + n)
+            assert hb.num_edges == (m + 4) * n * 2 ** (m + n - 1)
+            checked += 1
+        return checked
+
+    assert benchmark(verify_grid) == len(GRID)
+
+
+def test_implicit_construction_is_constant_time(benchmark):
+    """Building HB(3,8) (16384 nodes) costs O(1): adjacency is computed."""
+    hb = benchmark(HyperButterfly, 3, 8)
+    assert hb.num_nodes == 16384
+
+
+def test_materialisation_cost(benchmark, hb24):
+    """Explicit networkx materialisation, for contrast (256 nodes)."""
+    graph = benchmark(hb24.to_networkx)
+    assert graph.number_of_edges() == hb24.num_edges
+
+
+def test_neighbor_computation_throughput(benchmark, hb38):
+    """Per-node adjacency of the 16k-node instance."""
+    nodes = [(h, (x, c)) for h in (0, 5) for x in (0, 3) for c in (0, 100)]
+
+    def all_neighbors():
+        total = 0
+        for v in nodes:
+            total += len(hb38.neighbors(v))
+        return total
+
+    assert benchmark(all_neighbors) == len(nodes) * 7

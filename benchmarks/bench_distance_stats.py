@@ -1,0 +1,53 @@
+"""E11 — exact distance profiles: HB vs HD at matched node budgets.
+
+Extends the Figure 1/2 diameter comparison to the full distance
+distribution (mean, median, p95) — the quantity sustained traffic actually
+sees.  The profile of the 16384-node HB(3,8) flagship costs one BFS
+(vertex transitivity); the HD profiles aggregate BFS from every node.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import HyperButterfly, HyperDeBruijn
+from repro.analysis.distance_stats import distance_profile, profile_table
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return [
+        distance_profile(HyperButterfly(2, 3)),
+        distance_profile(HyperDeBruijn(2, 3)),
+        distance_profile(HyperButterfly(2, 4)),
+        distance_profile(HyperDeBruijn(3, 5)),
+    ]
+
+
+def test_distance_profile_table(benchmark, profiles):
+    emit("E11: exact distance profiles (HB vs HD)", profile_table(profiles))
+    hb = HyperButterfly(2, 4)
+    profile = benchmark(lambda: distance_profile(hb))
+    assert profile.diameter == hb.diameter_formula()
+
+
+def test_hd_shorter_on_average_at_matched_budget(profiles):
+    """The Figure 1 trade-off on averages, at the matched 256-node point."""
+    hb_256, hd_256 = profiles[2], profiles[3]
+    assert hb_256.nodes == hd_256.nodes == 256
+    assert hd_256.mean < hb_256.mean
+    # and HB's p95 stays within its formula diameter
+    assert hb_256.percentile(0.95) <= hb_256.diameter
+
+
+def test_flagship_profile_single_bfs(benchmark, hb38):
+    profile = benchmark.pedantic(
+        lambda: distance_profile(hb38), rounds=1, iterations=1
+    )
+    emit(
+        "E11b: HB(3,8) flagship profile",
+        f"mean {profile.mean:.3f}, median {profile.percentile(0.5)}, "
+        f"p95 {profile.percentile(0.95)}, diameter {profile.diameter}",
+    )
+    assert profile.diameter == 15

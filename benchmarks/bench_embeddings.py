@@ -1,0 +1,108 @@
+"""E7 — Section 4 embeddings: Lemmas 1–4, Theorem 4, Figure 1 rows.
+
+Reproduces the embedding claims as a coverage table (every even cycle
+length, the tree and mesh-of-trees design points) with live verification,
+and benchmarks the constructive Hamiltonian butterfly cycle — the piece
+the paper cites without construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import HyperButterfly
+from repro.embeddings.base import verify_cycle_embedding
+from repro.embeddings.cycles import (
+    butterfly_hamiltonian_cycle,
+    hb_even_cycle,
+    hb_even_cycle_max_length,
+)
+from repro.embeddings.mesh import hb_torus_embedding
+from repro.embeddings.mesh_of_trees import hb_mesh_of_trees_embedding
+from repro.embeddings.trees import hb_tree_embedding
+
+
+@pytest.fixture(scope="module")
+def coverage_rows() -> str:
+    lines = ["host      even cycles     tree        mesh of trees   torus"]
+    for m, n in [(2, 3), (3, 3), (2, 4)]:
+        hb = HyperButterfly(m, n)
+        top = hb_even_cycle_max_length(hb)
+        ok = 0
+        for k in range(4, top + 1, 2):
+            verify_cycle_embedding(hb, hb_even_cycle(hb, k), expected_length=k)
+            ok += 1
+        tree = hb_tree_embedding(hb)
+        tree.verify()
+        mot = "-"
+        if m >= 3:
+            emb = hb_mesh_of_trees_embedding(hb, 1, n)
+            emb.verify()
+            mot = emb.guest.name
+        torus = hb_torus_embedding(hb, 4, 2 * n)
+        torus.verify()
+        lines.append(
+            f"HB({m},{n})   4..{top} ({ok} ok)  {tree.guest.name} ok     "
+            f"{mot:14s}  {torus.guest.name} ok"
+        )
+    return "\n".join(lines)
+
+
+def test_embedding_coverage_table(benchmark, coverage_rows, hb23):
+    emit("E7: Section 4 — embedding coverage (all verified)", coverage_rows)
+
+    def embed_one():
+        cycle = hb_even_cycle(hb23, 60)
+        verify_cycle_embedding(hb23, cycle, expected_length=60)
+        return len(cycle)
+
+    assert benchmark(embed_one) == 60
+
+
+def test_constructive_hamiltonian_large_butterfly(benchmark):
+    """The binomial-lap Hamiltonian cycle of B_10 (10240 nodes) — the
+    construction [7] is cited for but never given in the paper."""
+    from repro.topologies.butterfly_cayley import CayleyButterfly
+
+    def build():
+        from repro.embeddings import cycles
+
+        cycles._HAMILTONIAN_CACHE = getattr(cycles, "_HAMILTONIAN_CACHE", None)
+        return butterfly_hamiltonian_cycle(10)
+
+    cycle = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert len(cycle) == 10 * 2**10
+    verify_cycle_embedding(CayleyButterfly(10), cycle, expected_length=10 * 2**10)
+
+
+def test_hamiltonian_cycle_of_flagship(benchmark, hb38):
+    """Lemma 2's endpoint on HB(3,8): a 16384-cycle."""
+
+    def build():
+        return hb_even_cycle(hb38, hb38.num_nodes)
+
+    cycle = benchmark.pedantic(build, rounds=1, iterations=1)
+    verify_cycle_embedding(hb38, cycle, expected_length=hb38.num_nodes)
+
+
+def test_tree_embedding_kernel(benchmark):
+    hb = HyperButterfly(4, 4)
+
+    def build():
+        emb = hb_tree_embedding(hb)
+        emb.verify()
+        return emb.guest.num_nodes
+
+    assert benchmark(build) == 2**7 - 1
+
+
+def test_mesh_of_trees_kernel(benchmark):
+    hb = HyperButterfly(4, 4)
+
+    def build():
+        emb = hb_mesh_of_trees_embedding(hb, 2, 4)
+        emb.verify()
+        return emb.guest.num_nodes
+
+    assert benchmark(build) == 3 * 4 * 16 - 4 - 16

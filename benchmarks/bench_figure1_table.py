@@ -1,0 +1,55 @@
+"""E1 — regenerate the paper's **Figure 1** comparison table.
+
+Prints the parametric four-family table at a representative design point,
+then at a verified small design point where every cell is measured from an
+explicit graph built by this library, and benchmarks the verified-table
+generation (construction + exact metrics + exact connectivity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.compare import figure1_table, render_table
+
+
+@pytest.fixture(scope="module")
+def formula_tables() -> str:
+    parts = []
+    for (m, n) in [(2, 3), (3, 8)]:
+        parts.append(
+            render_table(
+                figure1_table(m, n), title=f"Figure 1 (formulas) at (m={m}, n={n})"
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def test_figure1_formula_table(benchmark, formula_tables):
+    emit("E1: Figure 1 — parametric comparison", formula_tables)
+    result = benchmark(figure1_table, 3, 8)
+    assert result["HB(3,8)"]["Fault-tolerance"].value == 7
+
+
+def test_figure1_verified_small(benchmark):
+    table = benchmark.pedantic(
+        lambda: figure1_table(1, 3, verify=True), rounds=3, iterations=1
+    )
+    emit(
+        "E1: Figure 1 — verified at (m=1, n=3): every cell measured",
+        render_table(table),
+    )
+    # the verified cells must confirm the paper's formulas
+    assert table["HB(1,3)"]["Fault-tolerance"].value == 5
+    assert table["HB(1,3)"]["Diameter"].value == 1 + 4
+    assert table["HD(1,3)"]["Regular"].value == "no"
+
+
+def test_figure1_verified_medium(benchmark):
+    """Verification at (2, 3): 96-node HB column, flow connectivity."""
+    table = benchmark.pedantic(
+        lambda: figure1_table(2, 3, verify=True), rounds=1, iterations=1
+    )
+    assert table["HB(2,3)"]["Fault-tolerance"].value == 6
+    assert table["HB(2,3)"]["Regular"].value == "yes"

@@ -1,0 +1,113 @@
+"""E4 — Section 3 optimal routing and Theorem 3 diameter.
+
+Reproduces the routing claims as a table (diameter formula vs exact BFS
+over the grid) and benchmarks the two butterfly backends head-to-head —
+the covering-walk router (O(1) memory) versus the BFS oracle (O(n·2^n)
+one-time table) — the trade-off called out in DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import HBRouter, HyperButterfly
+
+GRID = [(0, 3), (1, 3), (2, 3), (1, 4), (2, 4)]
+
+
+@pytest.fixture(scope="module")
+def diameter_rows() -> str:
+    lines = ["(m,n)   formula m+floor(3n/2)   exact (BFS)   agree"]
+    for m, n in GRID:
+        hb = HyperButterfly(m, n)
+        formula, exact = hb.diameter_formula(), hb.diameter()
+        lines.append(
+            f"({m},{n})  {formula:21d}   {exact:11d}   {formula == exact}"
+        )
+    return "\n".join(lines)
+
+
+def _random_pairs(hb, count, seed):
+    rng = random.Random(seed)
+    nodes = list(hb.nodes())
+    return [tuple(rng.sample(nodes, 2)) for _ in range(count)]
+
+
+def test_theorem3_diameter_table(benchmark, diameter_rows):
+    emit("E4: Theorem 3 — diameter, formula vs exact", diameter_rows)
+    hb = HyperButterfly(2, 4)
+    assert benchmark.pedantic(hb.diameter, rounds=1, iterations=1) == 8
+
+
+def test_routing_throughput_walk_backend(benchmark, hb24):
+    router = HBRouter(hb24, butterfly_backend="walk")
+    pairs = _random_pairs(hb24, 200, seed=1)
+
+    def route_all():
+        return sum(router.route(u, v).length for u, v in pairs)
+
+    total = benchmark(route_all)
+    assert total > 0
+
+
+def test_routing_throughput_oracle_backend(benchmark, hb24):
+    router = HBRouter(hb24, butterfly_backend="oracle")
+    hb24.butterfly.oracle  # pay the table cost outside the timer
+    pairs = _random_pairs(hb24, 200, seed=1)
+
+    def route_all():
+        return sum(router.route(u, v).length for u, v in pairs)
+
+    walk_total = sum(
+        HBRouter(hb24, butterfly_backend="walk").route(u, v).length
+        for u, v in pairs
+    )
+    assert benchmark(route_all) == walk_total  # both exactly optimal
+
+
+def test_oracle_table_build_cost(benchmark):
+    """The one-time O(n·2^n) BFS the walk router avoids (n = 8: 2048)."""
+    from repro.topologies.butterfly_cayley import CayleyButterfly
+
+    def build():
+        return CayleyButterfly(8).oracle.eccentricity_of_identity()
+
+    assert benchmark.pedantic(build, rounds=2, iterations=1) == 12
+
+
+def test_walk_router_at_oracle_free_scale(benchmark, hb38):
+    """Routing on the 16384-node Figure 2 instance, no precomputation."""
+    router = HBRouter(hb38, butterfly_backend="walk")
+    pairs = _random_pairs(hb38, 100, seed=2)
+
+    def route_all():
+        total = 0
+        for u, v in pairs:
+            result = router.route(u, v)
+            assert result.length <= hb38.diameter_formula()
+            total += result.length
+        return total
+
+    assert benchmark(route_all) > 0
+
+
+def test_routing_table_rom_sizes(benchmark, hb24):
+    """The VLSI angle: a shared full table vs the Remark-8 split table."""
+    from benchmarks.conftest import emit
+    from repro.routing.tables import build_full_table, build_split_table
+
+    full = build_full_table(hb24)
+    split = benchmark.pedantic(
+        lambda: build_split_table(hb24), rounds=3, iterations=1
+    )
+    emit(
+        "E4b: routing-table ROM sizes (vertex transitivity at work)",
+        f"{hb24.name}: naive per-node tables  {hb24.num_nodes * (hb24.num_nodes - 1)} entries\n"
+        f"          shared full table      {full.num_entries} entries\n"
+        f"          split (fly-only) table {split.num_entries} entries",
+    )
+    u, v = (0, (0, 0)), (3, (2, 0b1001))
+    assert len(full.route(u, v)) == len(split.route(u, v))

@@ -1,0 +1,79 @@
+"""E10 — scalability, partitionability and VLSI bisection (extensions).
+
+The paper's title promises a *scalable* architecture and its conclusion
+promises VLSI results.  This bench makes both measurable:
+
+* partition HB(m,n) into 2^j sub-machines and verify each is an induced
+  HB(m-j,n); grow HB(m,n) into HB(m+1,n) without relabelling;
+* bisection-width report (spectral lower bound vs canonical cube cut vs
+  local-search cut) for HB and the HD baseline;
+* single-port gossip rounds vs the log2 N lower bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import HyperButterfly, HyperDeBruijn
+from repro.analysis.bisection import bisection_report
+from repro.core.partition import expansion_embedding, partition_by_cube_bits
+from repro.simulation.gossip import gossip_lower_bound, single_port_gossip
+
+
+@pytest.fixture(scope="module")
+def bisection_rows() -> str:
+    lines = ["network   nodes  spectral-lower  best-found-cut  canonical-cut"]
+    for topo in (HyperButterfly(2, 3), HyperButterfly(1, 4), HyperDeBruijn(2, 4)):
+        report = bisection_report(topo, rounds=2)
+        canonical = report.canonical_cut if report.canonical_cut else "-"
+        lines.append(
+            f"{report.name:9s} {report.nodes:5d}  {report.spectral_lower:14.2f}  "
+            f"{report.best_cut_upper:14d}  {canonical!s:>13s}"
+        )
+    return "\n".join(lines)
+
+
+def test_bisection_table(benchmark, bisection_rows):
+    emit("E10: bisection width bounds (VLSI proxy)", bisection_rows)
+    hb = HyperButterfly(2, 3)
+    report = benchmark.pedantic(
+        lambda: bisection_report(hb, rounds=1), rounds=1, iterations=1
+    )
+    low, high = report.certified_interval
+    assert 0 < low <= high <= report.canonical_cut
+
+
+def test_partition_throughput(benchmark, hb23):
+    def split_and_verify():
+        blocks = partition_by_cube_bits(hb23, [0])
+        for block in blocks:
+            block.as_embedding().verify()
+        return len(blocks)
+
+    assert benchmark(split_and_verify) == 2
+
+
+def test_expansion_chain(benchmark):
+    def grow_twice():
+        hb = HyperButterfly(1, 3)
+        for _ in range(2):
+            emb = expansion_embedding(hb)
+            emb.verify()
+            hb = emb.host
+        return hb.m
+
+    assert benchmark.pedantic(grow_twice, rounds=2, iterations=1) == 3
+
+
+def test_gossip_rounds(benchmark, hb23):
+    rounds = benchmark.pedantic(
+        lambda: len(single_port_gossip(hb23)), rounds=2, iterations=1
+    )
+    lb = gossip_lower_bound(hb23)
+    emit(
+        "E10b: single-port gossip",
+        f"{hb23.name}: {rounds} rounds vs lower bound {lb} "
+        f"(ratio {rounds / lb:.2f})",
+    )
+    assert rounds <= 3 * lb

@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Each benchmark module regenerates one paper table/figure (experiment ids
+E1–E9; see DESIGN.md section 4).  The reproduced rows are printed to
+stdout — run with ``pytest benchmarks/ --benchmark-only -s`` to see them —
+and the timing kernels are measured by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced table with a recognisable banner."""
+    bar = "=" * 72
+    sys.stdout.write(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def hb23():
+    from repro import HyperButterfly
+
+    return HyperButterfly(2, 3)
+
+
+@pytest.fixture(scope="session")
+def hb24():
+    from repro import HyperButterfly
+
+    return HyperButterfly(2, 4)
+
+
+@pytest.fixture(scope="session")
+def hb38():
+    """The Figure 2 flagship instance (16384 nodes)."""
+    from repro import HyperButterfly
+
+    return HyperButterfly(3, 8)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Broadcast and leader election — the paper's announced extensions.
+
+The conclusion of the paper teases an "asymptotically optimal broadcasting
+algorithm" and the authors' companion paper studies leader election on
+hyper-butterfly graphs.  This example exercises our implementations:
+
+* broadcast round counts under the all-port, greedy single-port and
+  structured (hypercube doubling + butterfly phase) models, against the
+  ``max(diameter, log2 N)`` lower bound;
+* leader election message/round counts: extrema flooding (no initiator)
+  versus the tree-based scheme (message optimal, needs an initiator).
+
+Run:  python examples/broadcast_and_election.py
+"""
+
+from repro import HyperButterfly, broadcast_rounds
+from repro.core.broadcast import broadcast_lower_bound
+from repro.simulation import flood_max_election, tree_based_election
+
+
+def main() -> None:
+    for (m, n) in [(1, 3), (2, 3), (2, 4), (3, 4)]:
+        hb = HyperButterfly(m, n)
+        root = hb.identity_node()
+        lb = broadcast_lower_bound(hb)
+        allport = broadcast_rounds(hb, root, model="all-port")
+        single = broadcast_rounds(hb, root, model="single-port")
+        structured = broadcast_rounds(hb, root, model="structured")
+        print(f"{hb.name} ({hb.num_nodes} nodes): lower bound {lb}, "
+              f"all-port {allport}, single-port greedy {single}, "
+              f"structured {structured} "
+              f"(ratio {structured / lb:.2f}x)")
+
+    print("\nleader election on HB(2,4):")
+    hb = HyperButterfly(2, 4)
+    flood = flood_max_election(hb, seed=1)
+    tree = tree_based_election(hb, hb.identity_node(), seed=1)
+    assert flood.leader == tree.leader
+    n, e = hb.num_nodes, hb.num_edges
+    print(f"  flood-max : {flood.messages} messages, {flood.rounds} rounds "
+          f"(graph has {n} nodes / {e} edges)")
+    print(f"  tree-based: {tree.messages} messages, {tree.rounds} rounds "
+          f"(= 3(N-1) messages, needs an initiator)")
+    print(f"  both elect node {hb.format_node(flood.leader)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Section 4 embeddings, constructed and verified live.
+
+Demonstrates every embedding family the paper claims for ``HB(m, n)``:
+
+* all even cycles from 4 up to the full node count (Lemma 2) — including
+  a fully constructive Hamiltonian cycle of the butterfly factor, which
+  the paper only cites;
+* wrap-around meshes / tori (Lemma 1 setup);
+* the complete binary tree ``T(m+n-1)`` (Figure 1 row, via Lemma 3);
+* the mesh of trees ``MT(2^p, 2^q)`` (Theorem 4).
+
+Run:  python examples/embeddings_demo.py
+"""
+
+from repro import HyperButterfly
+from repro.embeddings import (
+    hb_even_cycle,
+    hb_even_cycle_max_length,
+    hb_mesh_of_trees_embedding,
+    hb_torus_embedding,
+    hb_tree_embedding,
+)
+from repro.embeddings.base import verify_cycle_embedding
+
+
+def main() -> None:
+    hb = HyperButterfly(m=3, n=3)
+    print(f"host: {hb.name} with {hb.num_nodes} nodes\n")
+
+    # Lemma 2: even cycles of every length 4 .. n * 2^(m+n)
+    top = hb_even_cycle_max_length(hb)
+    assert top == hb.num_nodes
+    checked = 0
+    for k in range(4, top + 1, 2):
+        verify_cycle_embedding(hb, hb_even_cycle(hb, k), expected_length=k)
+        checked += 1
+    print(f"Lemma 2: all {checked} even cycle lengths 4..{top} constructed "
+          f"and verified (the top one is a Hamiltonian cycle)")
+
+    # Lemma 1 setup: a wrap-around mesh (torus) as a subgraph
+    torus = hb_torus_embedding(hb, 4, 12)
+    torus.verify()
+    print(f"Torus:   {torus.guest.name} embedded "
+          f"({torus.guest.num_nodes} nodes, expansion {torus.expansion:.1f}x)")
+
+    # Figure 1 tree row: T(m+n-1)
+    tree = hb_tree_embedding(hb)
+    tree.verify()
+    print(f"Tree:    {tree.guest.name} embedded "
+          f"({tree.guest.num_nodes} nodes) — via T(n+1) in B_n (Lemma 3) "
+          f"plus a T(m-1) per butterfly leaf")
+
+    # Theorem 4: mesh of trees
+    mot = hb_mesh_of_trees_embedding(hb, p=1, q=3)
+    mot.verify()
+    print(f"MoT:     {mot.guest.name} embedded ({mot.guest.num_nodes} nodes) "
+          f"— Lemma 4 through the product of tree embeddings")
+
+    print("\nEvery embedding above passed exhaustive dilation-1 verification")
+    print("(injective vertex map, every guest edge a host edge).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Fault-tolerant routing under maximal faults (Theorem 5 + Remark 10).
+
+Injects growing random fault sets into ``HB(2, 4)`` and measures, for the
+paper's disjoint-path scheme versus adaptive BFS rerouting:
+
+* delivery success rate,
+* mean path-length overhead over the fault-free optimum.
+
+With fewer than ``m + 4 = 6`` faults, Corollary 1 guarantees the network
+stays connected and the disjoint-path scheme always delivers — watch the
+``connected`` column stay at 1.000 through 5 faults.
+
+Run:  python examples/fault_tolerant_routing.py
+"""
+
+from repro import HyperButterfly
+from repro.faults.experiments import fault_sweep
+
+
+def main() -> None:
+    hb = HyperButterfly(m=2, n=4)
+    guaranteed = hb.m + 3
+    print(f"{hb.name}: connectivity {hb.fault_tolerance_formula()} "
+          f"(Corollary 1) — guaranteed tolerance of {guaranteed} faults\n")
+
+    counts = list(range(0, guaranteed + 5))
+    results = fault_sweep(hb, counts, trials=4, pairs_per_trial=12, seed=11)
+
+    print("faults  connected  disjoint-scheme-ok  length-overhead")
+    for r in results:
+        marker = "  <- guarantee boundary" if r.faults == guaranteed else ""
+        print(f"{r.faults:6d}  {r.connected_fraction:9.3f}  "
+              f"{r.disjoint_success_rate:18.3f}  {r.mean_overhead:15.3f}{marker}")
+
+    print("\nReading: through the guarantee boundary every pair stays")
+    print("connected and the oblivious disjoint-path scheme never fails;")
+    print("beyond it random faults still rarely disconnect the network,")
+    print("and the overhead of the oblivious scheme over the adaptive")
+    print("shortest detour stays within a few percent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Low-level bit-vector helpers shared across the library.
+
+Words are plain Python ints interpreted as little-endian bit vectors: bit
+``i`` of word ``w`` is ``(w >> i) & 1``.  All topology labels in this
+library (hypercube words, butterfly complementation patterns) use this
+convention, which is stated once in DESIGN.md and enforced here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "bit",
+    "flip",
+    "popcount",
+    "mask",
+    "rotate_left",
+    "rotate_right",
+    "differing_bits",
+    "set_bits",
+    "word_to_bits",
+    "bits_to_word",
+    "gray_code",
+    "gray_cycle",
+    "format_word",
+]
+
+
+def bit(word: int, i: int) -> int:
+    """Return bit ``i`` of ``word`` (0 or 1)."""
+    return (word >> i) & 1
+
+
+def flip(word: int, i: int) -> int:
+    """Return ``word`` with bit ``i`` flipped."""
+    return word ^ (1 << i)
+
+
+def popcount(word: int) -> int:
+    """Number of set bits (Hamming weight) of ``word``."""
+    return word.bit_count()
+
+
+def mask(width: int) -> int:
+    """Bit mask with the low ``width`` bits set."""
+    return (1 << width) - 1
+
+
+def rotate_left(word: int, k: int, width: int) -> int:
+    """Cyclically rotate the low ``width`` bits of ``word`` left by ``k``.
+
+    "Left" moves each bit towards higher indices: bit ``j`` of the result is
+    bit ``(j - k) mod width`` of the input.  This matches the group action
+    ``rot(c, k)`` used by the butterfly group in DESIGN.md.
+    """
+    if width <= 0:
+        return 0
+    k %= width
+    m = mask(width)
+    word &= m
+    return ((word << k) | (word >> (width - k))) & m
+
+
+def rotate_right(word: int, k: int, width: int) -> int:
+    """Inverse of :func:`rotate_left`."""
+    return rotate_left(word, -k, width)
+
+
+def differing_bits(a: int, b: int) -> list[int]:
+    """Sorted list of bit positions where ``a`` and ``b`` differ."""
+    return set_bits(a ^ b)
+
+
+def set_bits(word: int) -> list[int]:
+    """Sorted list of set-bit positions of ``word``."""
+    out = []
+    i = 0
+    while word:
+        if word & 1:
+            out.append(i)
+        word >>= 1
+        i += 1
+    return out
+
+
+def word_to_bits(word: int, width: int) -> tuple[int, ...]:
+    """Expand ``word`` to a tuple of ``width`` bits, index 0 first."""
+    return tuple((word >> i) & 1 for i in range(width))
+
+
+def bits_to_word(bits) -> int:
+    """Inverse of :func:`word_to_bits` (accepts any iterable of 0/1)."""
+    w = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bit {i} is {b!r}, expected 0 or 1")
+        w |= b << i
+    return w
+
+
+def gray_code(i: int) -> int:
+    """The ``i``-th binary reflected Gray code."""
+    return i ^ (i >> 1)
+
+
+def gray_cycle(width: int) -> Iterator[int]:
+    """Yield the full Gray-code Hamiltonian cycle of the ``width``-cube.
+
+    Consecutive words (cyclically, including last back to first) differ in
+    exactly one bit, so the sequence traces a Hamiltonian cycle of
+    ``H_width`` for ``width >= 2``.
+    """
+    for i in range(1 << width):
+        yield gray_code(i)
+
+
+def format_word(word: int, width: int) -> str:
+    """Render ``word`` as a bit string, most significant bit first.
+
+    The paper writes hypercube labels ``x_{m-1} ... x_0``; this helper
+    produces exactly that textual ordering.
+    """
+    return format(word & mask(width), f"0{width}b") if width > 0 else ""

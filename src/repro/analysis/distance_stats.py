@@ -1,0 +1,85 @@
+"""Distance-profile analytics (experiment E11).
+
+Diameter is a worst-case number; sustained network performance tracks the
+*average* distance and the full distance distribution.  For the
+vertex-transitive families the identity-rooted oracle gives the exact
+distribution in one BFS; for the irregular hyper-deBruijn we aggregate
+BFS from every node (batched for large instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topologies.base import Topology
+
+__all__ = ["DistanceProfile", "distance_profile", "profile_table"]
+
+
+@dataclass(frozen=True)
+class DistanceProfile:
+    """Exact distance distribution of a topology."""
+
+    name: str
+    nodes: int
+    histogram: dict[int, float]  # distance -> fraction of ordered pairs
+    mean: float
+    diameter: int
+
+    def percentile(self, q: float) -> int:
+        """Smallest distance d with cumulative mass >= q (0 < q <= 1)."""
+        total = 0.0
+        for d in sorted(self.histogram):
+            total += self.histogram[d]
+            if total >= q - 1e-12:
+                return d
+        return self.diameter
+
+
+def _transitive_profile(topology: Topology) -> dict[int, int]:
+    """One BFS suffices when the graph is vertex transitive."""
+    anchor = next(iter(topology.nodes()))
+    counts: dict[int, int] = {}
+    for dist in topology.bfs_distances(anchor).values():
+        counts[dist] = counts.get(dist, 0) + 1
+    # scale single-source counts up to ordered-pair counts
+    return {d: c * topology.num_nodes for d, c in counts.items()}
+
+
+def _generic_profile(topology: Topology) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for v in topology.nodes():
+        for dist in topology.bfs_distances(v).values():
+            counts[dist] = counts.get(dist, 0) + 1
+    return counts
+
+
+def distance_profile(topology: Topology) -> DistanceProfile:
+    """Exact profile; distances include the 0 self-distance mass."""
+    transitive = (
+        hasattr(topology, "cayley")
+        or hasattr(topology, "group")
+        or type(topology).__name__ == "Hypercube"
+    )
+    counts = _transitive_profile(topology) if transitive else _generic_profile(topology)
+    total = sum(counts.values())
+    histogram = {d: c / total for d, c in sorted(counts.items())}
+    mean = sum(d * c for d, c in counts.items()) / total
+    return DistanceProfile(
+        name=topology.name,
+        nodes=topology.num_nodes,
+        histogram=histogram,
+        mean=mean,
+        diameter=max(counts),
+    )
+
+
+def profile_table(profiles: list[DistanceProfile]) -> str:
+    """Side-by-side summary rows for the E11 bench."""
+    lines = ["network    nodes   mean-dist  median  p95  diameter"]
+    for p in profiles:
+        lines.append(
+            f"{p.name:10s} {p.nodes:6d} {p.mean:10.3f} "
+            f"{p.percentile(0.5):7d} {p.percentile(0.95):4d} {p.diameter:9d}"
+        )
+    return "\n".join(lines)

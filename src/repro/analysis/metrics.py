@@ -1,0 +1,128 @@
+"""Exact graph metrics with scale-aware algorithm selection.
+
+Diameter:
+
+* vertex-transitive topologies (every Cayley graph here) need a **single
+  BFS** — the eccentricity of any one vertex is the diameter.  This is the
+  trick that makes the Figure 2 instance ``HB(3,8)`` (16384 nodes) exact.
+* irregular topologies (hyper-deBruijn) use networkx's bound-refining
+  iFUB-style ``diameter(usebounds=True)``.
+
+Average distance is exact on small instances and sampled (with a fixed
+seed) beyond a configurable node budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+import networkx as nx
+
+from repro.topologies.base import Topology
+
+__all__ = ["exact_diameter", "average_distance", "degree_profile"]
+
+
+def _is_vertex_transitive(topology: Topology) -> bool:
+    """Conservative check: all Cayley-graph-backed topologies qualify."""
+    return hasattr(topology, "cayley") or hasattr(topology, "group") or (
+        type(topology).__name__ == "Hypercube"
+    )
+
+
+def exact_diameter(topology: Topology, *, force_generic: bool = False) -> int:
+    """The exact diameter, using the cheapest valid algorithm.
+
+    ``force_generic=True`` bypasses the vertex-transitivity fast path (used
+    by tests to confirm both paths agree).
+    """
+    if not force_generic and _is_vertex_transitive(topology):
+        anchor = next(iter(topology.nodes()))
+        return topology.eccentricity(anchor)
+    try:
+        return _batched_bfs_diameter(topology)
+    except ImportError:
+        graph = topology.to_networkx()
+        return nx.diameter(graph, usebounds=True)
+
+
+def _batched_bfs_diameter(topology: Topology, *, batch: int = 128) -> int:
+    """All-eccentricities diameter via batched boolean BFS (numpy/scipy).
+
+    Runs BFS from every vertex, 128 sources at a time, as sparse-matrix ×
+    dense-boolean products — roughly two orders of magnitude faster than
+    per-source Python BFS on the 16k-node Figure 2 instances, and exact.
+    """
+    import numpy as np
+    from scipy import sparse
+
+    nodes = list(topology.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    total = len(nodes)
+    rows: list[int] = []
+    cols: list[int] = []
+    for u in nodes:
+        ui = index[u]
+        for v in topology.neighbors(u):
+            rows.append(ui)
+            cols.append(index[v])
+    adjacency = sparse.csr_matrix(
+        (np.ones(len(rows), dtype=np.uint8), (rows, cols)), shape=(total, total)
+    )
+    diameter = 0
+    for start in range(0, total, batch):
+        width = min(batch, total - start)
+        visited = np.zeros((total, width), dtype=bool)
+        visited[np.arange(start, start + width), np.arange(width)] = True
+        frontier = visited.copy()
+        depth = 0
+        eccentricity = np.zeros(width, dtype=np.int64)
+        while frontier.any():
+            reached = (adjacency @ frontier.astype(np.uint8)) > 0
+            frontier = reached & ~visited
+            visited |= frontier
+            depth += 1
+            eccentricity[frontier.any(axis=0)] = depth
+        if not visited.all():
+            from repro.errors import DisconnectedError
+
+            raise DisconnectedError(f"{topology.name} is disconnected")
+        diameter = max(diameter, int(eccentricity.max()))
+    return diameter
+
+
+def average_distance(
+    topology: Topology,
+    *,
+    exact_node_budget: int = 2000,
+    samples: int = 200,
+    seed: int = 0,
+) -> float:
+    """Mean pairwise distance: exact below the budget, else sampled pairs."""
+    total_nodes = topology.num_nodes
+    if total_nodes <= exact_node_budget:
+        total = 0
+        count = 0
+        for v in topology.nodes():
+            dist = topology.bfs_distances(v)
+            total += sum(dist.values())
+            count += len(dist) - 1  # exclude self
+        return total / count if count else 0.0
+    rng = random.Random(seed)
+    nodes = list(topology.nodes())
+    total = 0
+    for _ in range(samples):
+        u, v = rng.sample(nodes, 2)
+        dist = topology.bfs_distances(u)
+        total += dist[v]
+    return total / samples
+
+
+def degree_profile(topology: Topology) -> dict[int, int]:
+    """Histogram ``{degree: node count}`` — Figure 1's regularity evidence."""
+    profile: dict[int, int] = {}
+    for v in topology.nodes():
+        d = topology.degree(v)
+        profile[d] = profile.get(d, 0) + 1
+    return dict(sorted(profile.items()))

@@ -1,0 +1,185 @@
+"""Generic Cayley-graph construction and exact vertex-transitive routing.
+
+A Cayley graph ``Cay(G, S)`` has the group elements as vertices and an edge
+``{v, v·s}`` for every ``v ∈ G`` and generator ``s ∈ S``.  Because ``S`` is
+closed under inverse (enforced by :class:`repro.cayley.group.GeneratorSet`)
+the graph is undirected.
+
+The key service this module provides beyond construction is **exact
+routing**: in a Cayley graph, the map ``v ↦ u·v`` is an automorphism, so
+``dist(u, w) = dist(identity, u^{-1}·w)`` and a single BFS from the identity
+yields a complete distance oracle and shortest-path router for *all* vertex
+pairs.  The paper leans on exactly this (Remark 7) to reduce routing in
+``HB(m, n)`` to routing from the identity node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterator, Sequence
+
+import networkx as nx
+
+from repro.cayley.group import Group, GeneratorSet
+from repro.errors import InvalidLabelError
+
+__all__ = ["CayleyGraph", "DistanceOracle", "build_cayley_graph"]
+
+
+class DistanceOracle:
+    """BFS tree from the identity, reusable for all pairs via transitivity.
+
+    Stores, for every group element, its distance from the identity and the
+    index of the generator whose edge was used to *reach* it in the BFS.
+    Shortest paths are reconstructed backwards by applying inverse
+    generators.
+    """
+
+    def __init__(self, group: Group, gens: GeneratorSet) -> None:
+        self.group = group
+        self.gens = gens
+        self._dist: dict[Hashable, int] = {}
+        self._via: dict[Hashable, int] = {}
+        self._run_bfs()
+
+    def _run_bfs(self) -> None:
+        identity = self.group.identity()
+        self._dist[identity] = 0
+        queue: deque[Hashable] = deque([identity])
+        while queue:
+            v = queue.popleft()
+            dv = self._dist[v]
+            for i in range(len(self.gens)):
+                w = self.gens.apply(v, i)
+                if w not in self._dist:
+                    self._dist[w] = dv + 1
+                    self._via[w] = i
+                    queue.append(w)
+
+    def distance_from_identity(self, delta: Hashable) -> int:
+        try:
+            return self._dist[delta]
+        except KeyError:
+            raise InvalidLabelError(f"{delta!r} is not a group element") from None
+
+    def generator_word(self, delta: Hashable) -> list[int]:
+        """Generator indices multiplying the identity out to ``delta``.
+
+        The word has length ``dist(identity, delta)`` — it is a shortest
+        path, and applying the word to any vertex ``u`` traces the shortest
+        path from ``u`` to ``u·delta``.
+        """
+        word_rev: list[int] = []
+        v = delta
+        identity = self.group.identity()
+        while v != identity:
+            i = self._via[v] if v in self._via else None
+            if i is None:
+                raise InvalidLabelError(f"{delta!r} is not a group element")
+            word_rev.append(i)
+            # step back along the tree edge: v = parent · s_i
+            v = self.group.multiply(v, self.group.inverse(self.gens.generators[i]))
+        word_rev.reverse()
+        return word_rev
+
+    def distance(self, u: Hashable, v: Hashable) -> int:
+        """Exact distance between arbitrary vertices ``u`` and ``v``."""
+        return self.distance_from_identity(self.group.quotient(u, v))
+
+    def shortest_path(self, u: Hashable, v: Hashable) -> list[Hashable]:
+        """An exact shortest path from ``u`` to ``v`` (inclusive of both)."""
+        word = self.generator_word(self.group.quotient(u, v))
+        path = [u]
+        for i in word:
+            path.append(self.gens.apply(path[-1], i))
+        return path
+
+    def eccentricity_of_identity(self) -> int:
+        """Max distance from the identity — equals the graph diameter.
+
+        (Vertex transitivity makes every vertex's eccentricity equal.)
+        """
+        return max(self._dist.values())
+
+    def distance_distribution(self) -> dict[int, int]:
+        """Histogram ``{distance: count}`` over all vertices."""
+        hist: dict[int, int] = {}
+        for d in self._dist.values():
+            hist[d] = hist.get(d, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def average_distance(self) -> float:
+        """Mean distance from the identity over all vertices (incl. itself)."""
+        n = len(self._dist)
+        return sum(self._dist.values()) / n
+
+
+class CayleyGraph:
+    """A Cayley graph ``Cay(G, S)`` with lazy exact-routing support."""
+
+    def __init__(self, group: Group, gens: GeneratorSet) -> None:
+        if gens.group != group:
+            raise InvalidLabelError("generator set belongs to a different group")
+        self.group = group
+        self.gens = gens
+        self._oracle: DistanceOracle | None = None
+
+    # Basic graph interface ----------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.group.order()
+
+    @property
+    def degree(self) -> int:
+        return len(self.gens)
+
+    @property
+    def num_edges(self) -> int:
+        # regular of degree |S| whenever the generator action is fixed-point
+        # free and injective (Remark 3); true for every graph in this repo.
+        return self.num_nodes * self.degree // 2
+
+    def nodes(self) -> Iterator[Hashable]:
+        return self.group.elements()
+
+    def neighbors(self, v: Hashable) -> list[Hashable]:
+        return self.gens.neighbors(v)
+
+    def has_node(self, v: Hashable) -> bool:
+        return self.group.contains(v)
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return v in self.gens.neighbors(u)
+
+    def to_networkx(self) -> nx.Graph:
+        """Materialise as an undirected :class:`networkx.Graph`."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        for v in self.nodes():
+            for i, w in enumerate(self.gens.neighbors(v)):
+                graph.add_edge(v, w, generator=self.gens.name_of(i))
+        return graph
+
+    # Exact routing --------------------------------------------------------
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The identity-rooted BFS distance oracle (built on first use)."""
+        if self._oracle is None:
+            self._oracle = DistanceOracle(self.group, self.gens)
+        return self._oracle
+
+    def distance(self, u: Hashable, v: Hashable) -> int:
+        return self.oracle.distance(u, v)
+
+    def shortest_path(self, u: Hashable, v: Hashable) -> list[Hashable]:
+        return self.oracle.shortest_path(u, v)
+
+    def diameter(self) -> int:
+        return self.oracle.eccentricity_of_identity()
+
+
+def build_cayley_graph(group: Group, gens: GeneratorSet) -> nx.Graph:
+    """One-shot helper: materialise ``Cay(group, gens)`` as a networkx graph."""
+    return CayleyGraph(group, gens).to_networkx()

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro`` / ``hyperbutterfly``.
+
+Subcommands:
+
+* ``info M N``            — closed-form + exact properties of ``HB(M, N)``.
+* ``route M N SRC DST``   — shortest route between two formatted labels.
+* ``figure1 M N``         — regenerate the paper's Figure 1 at ``(M, N)``.
+* ``figure2``             — regenerate the paper's Figure 2 (large; minutes).
+* ``faults M N K``        — fault-sweep experiment with up to ``K`` faults.
+* ``broadcast M N``       — broadcast round counts under all three models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hyperbutterfly",
+        description="Hyper-Butterfly Network (Shi & Srimani, IPPS 1998) toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="properties of HB(m, n)")
+    p_info.add_argument("m", type=int)
+    p_info.add_argument("n", type=int)
+    p_info.add_argument(
+        "--exact", action="store_true", help="also compute the exact diameter"
+    )
+
+    p_route = sub.add_parser("route", help="shortest route between two labels")
+    p_route.add_argument("m", type=int)
+    p_route.add_argument("n", type=int)
+    p_route.add_argument("source", help="label like '(01;abc)'")
+    p_route.add_argument("target", help="label like '(10;Bca)'")
+
+    p_f1 = sub.add_parser("figure1", help="regenerate Figure 1 at (m, n)")
+    p_f1.add_argument("m", type=int)
+    p_f1.add_argument("n", type=int)
+    p_f1.add_argument("--verify", action="store_true")
+
+    p_f2 = sub.add_parser("figure2", help="regenerate Figure 2 (slow)")
+    p_f2.add_argument(
+        "--fast", action="store_true", help="formula diameters instead of exact"
+    )
+
+    p_faults = sub.add_parser("faults", help="fault sweep on HB(m, n)")
+    p_faults.add_argument("m", type=int)
+    p_faults.add_argument("n", type=int)
+    p_faults.add_argument("max_faults", type=int)
+    p_faults.add_argument("--trials", type=int, default=5)
+
+    p_bc = sub.add_parser("broadcast", help="broadcast rounds on HB(m, n)")
+    p_bc.add_argument("m", type=int)
+    p_bc.add_argument("n", type=int)
+    return parser
+
+
+def _cmd_info(args) -> int:
+    from repro import HyperButterfly
+
+    hb = HyperButterfly(args.m, args.n)
+    print(f"{hb.name}: the hyper-butterfly graph H_{args.m} x B_{args.n}")
+    print(f"  nodes            {hb.num_nodes}")
+    print(f"  edges            {hb.num_edges}")
+    print(f"  degree           {hb.degree_formula} (regular, Cayley)")
+    print(f"  diameter         {hb.diameter_formula()} (m + floor(3n/2))")
+    print(f"  fault tolerance  {hb.fault_tolerance_formula()} (maximal)")
+    if args.exact:
+        print(f"  exact diameter   {hb.diameter()} (BFS from identity)")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro import HBRouter, HyperButterfly, parse_hb_node
+
+    hb = HyperButterfly(args.m, args.n)
+    source = parse_hb_node(args.source, args.m, args.n)
+    target = parse_hb_node(args.target, args.m, args.n)
+    result = HBRouter(hb).route(source, target)
+    print(f"distance {result.length}")
+    for node, gen in zip(result.path, result.generators + [""]):
+        suffix = f"  --{gen}-->" if gen else ""
+        print(f"  {hb.format_node(node)}{suffix}")
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    from repro.analysis.compare import figure1_table, render_table
+
+    table = figure1_table(args.m, args.n, verify=args.verify)
+    print(render_table(table, title=f"Figure 1 at (m={args.m}, n={args.n})"))
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    from repro.analysis.compare import figure2_table, render_table
+
+    table = figure2_table(exact_diameters=not args.fast)
+    print(render_table(table, title="Figure 2: HB(3,8) vs HD(3,11) vs HD(6,8)"))
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro import HyperButterfly
+    from repro.faults.experiments import fault_sweep
+
+    hb = HyperButterfly(args.m, args.n)
+    results = fault_sweep(
+        hb, list(range(args.max_faults + 1)), trials=args.trials
+    )
+    print(f"fault sweep on {hb.name} (guaranteed tolerance {hb.m + 3} faults)")
+    print("faults  connected  disjoint-ok  overhead")
+    for r in results:
+        print(
+            f"{r.faults:6d}  {r.connected_fraction:9.3f}  "
+            f"{r.disjoint_success_rate:11.3f}  {r.mean_overhead:8.3f}"
+        )
+    return 0
+
+
+def _cmd_broadcast(args) -> int:
+    from repro import HyperButterfly, broadcast_rounds
+    from repro.core.broadcast import broadcast_lower_bound
+
+    hb = HyperButterfly(args.m, args.n)
+    root = hb.identity_node()
+    print(f"broadcast on {hb.name} from {hb.format_node(root)}")
+    print(f"  lower bound        {broadcast_lower_bound(hb)}")
+    print(f"  all-port flooding  {broadcast_rounds(hb, root, model='all-port')}")
+    print(f"  single-port greedy {broadcast_rounds(hb, root, model='single-port')}")
+    print(f"  structured scheme  {broadcast_rounds(hb, root, model='structured')}")
+    return 0
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "route": _cmd_route,
+    "figure1": _cmd_figure1,
+    "figure2": _cmd_figure2,
+    "faults": _cmd_faults,
+    "broadcast": _cmd_broadcast,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

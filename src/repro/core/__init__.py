@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the hyper-butterfly graph ``HB(m, n)``.
+
+Modules:
+
+* :mod:`repro.core.hyperbutterfly` — the graph itself (Definition 3,
+  Theorems 1–2).
+* :mod:`repro.core.labels` — two-part label helpers.
+* :mod:`repro.core.routing` — optimal point-to-point routing (Section 3).
+* :mod:`repro.core.disjoint_paths` — the ``m + 4`` node-disjoint paths of
+  Theorem 5.
+* :mod:`repro.core.fault_routing` — fault-tolerant routing (Remark 10).
+* :mod:`repro.core.broadcast` — the broadcast extension teased in the
+  paper's conclusion.
+"""
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.core.labels import format_hb_node, parse_hb_node
+from repro.core.routing import HBRouter, RouteResult
+from repro.core.disjoint_paths import disjoint_paths, verify_disjoint_paths
+from repro.core.fault_routing import FaultTolerantRouter
+from repro.core.broadcast import broadcast_tree, broadcast_rounds
+from repro.core.partition import (
+    SubHBPartition,
+    partition_by_cube_bits,
+    expansion_embedding,
+)
+
+__all__ = [
+    "HyperButterfly",
+    "format_hb_node",
+    "parse_hb_node",
+    "HBRouter",
+    "RouteResult",
+    "disjoint_paths",
+    "verify_disjoint_paths",
+    "FaultTolerantRouter",
+    "broadcast_tree",
+    "broadcast_rounds",
+    "SubHBPartition",
+    "partition_by_cube_bits",
+    "expansion_embedding",
+]

@@ -1,0 +1,202 @@
+"""Broadcasting on ``HB(m, n)`` — the extension teased in the conclusion.
+
+The paper's conclusion announces an "asymptotically optimal broadcasting
+algorithm" without detail; we provide the natural one and the machinery to
+evaluate it (bench E8):
+
+* **all-port model** (a node informs all neighbors each round): flooding
+  along the BFS tree is optimal; rounds = eccentricity of the source =
+  diameter (vertex transitivity).
+* **single-port model** (one neighbor per round): a two-phase structured
+  scheme — recursive doubling over the hypercube dimensions inside the
+  source's cube copy (``m`` rounds), then a greedy butterfly broadcast in
+  every butterfly copy in parallel — plus a fully greedy scheduler for
+  comparison.  Lower bound: ``max(diameter, ceil(log2 N))``; "asymptotically
+  optimal" means a constant factor of that.
+
+All functions are generic over :class:`repro.topologies.base.Topology`
+(so the same harness measures the hyper-deBruijn baseline), with
+HB-specific structure used only by :func:`structured_broadcast_schedule`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from repro.core.hyperbutterfly import HBNode, HyperButterfly
+from repro.errors import SimulationError
+from repro.topologies.base import Topology
+
+__all__ = [
+    "broadcast_tree",
+    "broadcast_rounds",
+    "greedy_single_port_schedule",
+    "structured_broadcast_schedule",
+    "broadcast_lower_bound",
+]
+
+
+def broadcast_tree(topology: Topology, root: Hashable) -> dict[Hashable, Hashable]:
+    """BFS broadcast tree: maps every non-root node to its parent.
+
+    In the all-port model, flooding down this tree is an optimal broadcast;
+    its depth (the root's eccentricity) is the round count.
+    """
+    topology.validate_node(root)
+    from collections import deque
+
+    parent: dict[Hashable, Hashable] = {}
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        x = queue.popleft()
+        for y in topology.neighbors(x):
+            if y not in seen:
+                seen.add(y)
+                parent[y] = x
+                queue.append(y)
+    if len(seen) != topology.num_nodes:
+        raise SimulationError(f"{topology.name} is not connected from {root!r}")
+    return parent
+
+
+def greedy_single_port_schedule(
+    topology: Topology, root: Hashable
+) -> list[list[tuple[Hashable, Hashable]]]:
+    """Greedy single-port broadcast: per-round ``(sender, receiver)`` lists.
+
+    Each round, every informed node sends to its first (deterministic
+    neighbor order) still-uninformed neighbor; a node is claimed by at most
+    one sender per round.  Simple, generic, and a reasonable baseline —
+    within a small constant of optimal on all the families studied here.
+    """
+    topology.validate_node(root)
+    informed = {root}
+    frontier_order = [root]
+    rounds: list[list[tuple[Hashable, Hashable]]] = []
+    total = topology.num_nodes
+    while len(informed) < total:
+        sends: list[tuple[Hashable, Hashable]] = []
+        claimed: set[Hashable] = set()
+        for sender in frontier_order:
+            for candidate in topology.neighbors(sender):
+                if candidate not in informed and candidate not in claimed:
+                    claimed.add(candidate)
+                    sends.append((sender, candidate))
+                    break
+        if not sends:
+            raise SimulationError(
+                f"single-port broadcast stalled on {topology.name} (disconnected?)"
+            )
+        for _, receiver in sends:
+            informed.add(receiver)
+            frontier_order.append(receiver)
+        rounds.append(sends)
+    return rounds
+
+
+def structured_broadcast_schedule(
+    hb: HyperButterfly, root: HBNode
+) -> list[list[tuple[HBNode, HBNode]]]:
+    """Two-phase single-port broadcast exploiting the product structure.
+
+    Phase 1 (``m`` rounds): recursive doubling over hypercube dimension
+    ``i`` in round ``i`` — after the phase, all nodes of the cube copy
+    ``(H_m, b_root)`` are informed.
+
+    Phase 2: every butterfly copy ``(x, B_n)`` runs the greedy single-port
+    butterfly broadcast from ``(x, b_root)`` in parallel, all copies using
+    the same schedule (so the phase adds exactly the butterfly's greedy
+    broadcast time, independent of ``m``).
+
+    Total rounds = ``m + T_greedy(B_n)`` = ``m + O(n)``, against the lower
+    bound ``max(m + ⌊3n/2⌋, ⌈log2(n·2^{m+n})⌉)`` — asymptotically optimal.
+    """
+    hb.validate_node(root)
+    h_root, b_root = root
+    rounds: list[list[tuple[HBNode, HBNode]]] = []
+
+    # Phase 1: hypercube recursive doubling within the copy (H_m, b_root)
+    informed_words = [h_root]
+    for i in range(hb.m):
+        sends = []
+        for x in list(informed_words):
+            y = x ^ (1 << i)
+            sends.append(((x, b_root), (y, b_root)))
+            informed_words.append(y)
+        rounds.append(sends)
+
+    # Phase 2: identical greedy butterfly schedule in every cube word's copy
+    fly_schedule = greedy_single_port_schedule(hb.butterfly, b_root)
+    for fly_round in fly_schedule:
+        sends = []
+        for sender_b, receiver_b in fly_round:
+            for x in informed_words:
+                sends.append(((x, sender_b), (x, receiver_b)))
+        rounds.append(sends)
+    return rounds
+
+
+def verify_schedule(
+    topology: Topology,
+    root: Hashable,
+    rounds: list[list[tuple[Hashable, Hashable]]],
+) -> None:
+    """Raise :class:`SimulationError` unless the schedule is a legal
+    single-port broadcast that informs every node."""
+    informed = {root}
+    for r, sends in enumerate(rounds):
+        senders_used: set[Hashable] = set()
+        newly: set[Hashable] = set()
+        for sender, receiver in sends:
+            if sender not in informed:
+                raise SimulationError(f"round {r}: sender {sender!r} uninformed")
+            if sender in senders_used:
+                raise SimulationError(f"round {r}: sender {sender!r} used twice")
+            if receiver in informed or receiver in newly:
+                raise SimulationError(f"round {r}: receiver {receiver!r} duplicated")
+            if not topology.has_edge(sender, receiver):
+                raise SimulationError(f"round {r}: {sender!r}->{receiver!r} not an edge")
+            senders_used.add(sender)
+            newly.add(receiver)
+        informed |= newly
+    if len(informed) != topology.num_nodes:
+        raise SimulationError(
+            f"schedule informs {len(informed)} of {topology.num_nodes} nodes"
+        )
+
+
+def broadcast_rounds(
+    topology: Topology,
+    root: Hashable,
+    *,
+    model: str = "all-port",
+) -> int:
+    """Number of rounds to broadcast from ``root`` under ``model``.
+
+    ``model="all-port"`` floods (rounds = eccentricity of the root);
+    ``model="single-port"`` uses the greedy scheduler;
+    ``model="structured"`` uses the two-phase HB scheme (HB instances only).
+    """
+    if model == "all-port":
+        return topology.eccentricity(root)
+    if model == "single-port":
+        return len(greedy_single_port_schedule(topology, root))
+    if model == "structured":
+        if not isinstance(topology, HyperButterfly):
+            raise SimulationError("structured broadcast is defined on HB only")
+        return len(structured_broadcast_schedule(topology, root))
+    raise SimulationError(f"unknown broadcast model {model!r}")
+
+
+def broadcast_lower_bound(topology: Topology, *, diameter: int | None = None) -> int:
+    """``max(diameter, ceil(log2 N))`` — valid for any single-port broadcast."""
+    if diameter is None:
+        diameter_fn = getattr(topology, "diameter_formula", None)
+        if diameter_fn is None:
+            raise SimulationError(
+                "pass diameter= explicitly for topologies without a formula"
+            )
+        diameter = diameter_fn()
+    return max(diameter, math.ceil(math.log2(topology.num_nodes)))

@@ -1,0 +1,38 @@
+"""Wrap-around mesh (torus) embeddings in ``HB(m, n)`` (Figure 1 row,
+Lemma 1 setup).
+
+``M(n1, n2) = C(n1) × C(n2)`` embeds into ``HB = H_m × B_n`` as the product
+of a hypercube cycle and a butterfly cycle — the observation the paper uses
+right before Lemma 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.embeddings.base import Embedding
+from repro.embeddings.cycles import butterfly_cycle, hypercube_cycle
+from repro.errors import EmbeddingError
+from repro.topologies.mesh import Torus
+
+__all__ = ["hb_torus_embedding"]
+
+
+def hb_torus_embedding(hb: HyperButterfly, n1: int, n2: int) -> Embedding:
+    """Embed the torus ``M(n1, n2)`` into ``HB(m, n)``.
+
+    ``n1`` must be an even hypercube-cycle length (``4 <= n1 <= 2^m``);
+    ``n2`` must be a constructible butterfly-cycle length (see
+    :func:`repro.embeddings.cycles.butterfly_cycle_lengths`).  The embedding
+    maps torus node ``(i, j)`` to ``(cube_cycle[i], fly_cycle[j])``.
+    """
+    cube_cycle = hypercube_cycle(hb.m, n1)  # raises for invalid n1
+    fly_cycle = butterfly_cycle(hb.n, n2)  # raises for unreachable n2
+    if len(fly_cycle) < 3:
+        raise EmbeddingError("butterfly cycle too short for a torus side")
+    guest = Torus(n1, n2)
+    mapping = {
+        (i, j): (cube_cycle[i], fly_cycle[j])
+        for i in range(n1)
+        for j in range(n2)
+    }
+    return Embedding(guest=guest, host=hb, mapping=mapping)

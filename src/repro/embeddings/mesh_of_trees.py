@@ -1,0 +1,66 @@
+"""Mesh-of-trees embedding (Lemma 4 + Theorem 4).
+
+Theorem 4: ``MT(2^p, 2^q) ⊆ HB(m, n)`` for ``1 <= p <= m-2`` and
+``1 <= q <= n``.  The proof route, implemented literally:
+
+* Lemma 4: ``MT(2^p, 2^q) ⊆ T(p+1) × T(q+1)`` — map grid leaf ``(i, j)`` to
+  ``(leaf_i, leaf_j)``, row-tree internals to ``(leaf_i, internal)`` and
+  column-tree internals to ``(internal, leaf_j)``; row- and column-tree
+  images are disjoint because their first coordinates are leaves versus
+  internals of ``T(p+1)``.
+* ``T(p+1) ⊆ H_m`` (truncation of the Figure 1 hypercube tree row;
+  ``p+1 <= m-1``) and ``T(q+1) ⊆ B_n`` (Lemma 3 truncated; ``q+1 <= n+1``).
+* the product of subgraph embeddings is a subgraph embedding of the
+  product graph ``H_m × B_n = HB(m, n)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.embeddings.base import Embedding
+from repro.embeddings.trees import (
+    _truncate_tree_mapping,
+    butterfly_tree_embedding,
+    hypercube_tree_embedding,
+)
+from repro.errors import EmbeddingError
+from repro.topologies.mesh_of_trees import MeshOfTrees
+
+__all__ = ["hb_mesh_of_trees_embedding"]
+
+
+def hb_mesh_of_trees_embedding(hb: HyperButterfly, p: int, q: int) -> Embedding:
+    """Embed ``MT(2^p, 2^q)`` into ``HB(m, n)`` (Theorem 4)."""
+    m, n = hb.m, hb.n
+    if not 1 <= p <= m - 2:
+        raise EmbeddingError(f"Theorem 4 requires 1 <= p <= m-2 = {m - 2}, got p={p}")
+    if not 1 <= q <= n:
+        raise EmbeddingError(f"Theorem 4 requires 1 <= q <= n = {n}, got q={q}")
+
+    # T(p+1) in H_m: truncate the T(m-1) embedding (p+1 <= m-1 levels)
+    cube_full = hypercube_tree_embedding(m)
+    cube_map = _truncate_tree_mapping(cube_full.mapping, p + 1)
+    # T(q+1) in B_n: truncate the Lemma 3 embedding (q+1 <= n+1 levels)
+    fly_full = butterfly_tree_embedding(n)
+    fly_map = _truncate_tree_mapping(fly_full.mapping, q + 1)
+
+    rows, cols = 1 << p, 1 << q
+    guest = MeshOfTrees(rows, cols)
+
+    def cube_leaf(i: int) -> int:
+        return cube_map[(1 << p) + i]
+
+    def fly_leaf(j: int) -> tuple[int, int]:
+        return fly_map[(1 << q) + j]
+
+    mapping: dict[tuple, tuple] = {}
+    for i in range(rows):
+        for j in range(cols):
+            mapping[("leaf", i, j)] = (cube_leaf(i), fly_leaf(j))
+    for i in range(rows):
+        for v in range(1, cols):
+            mapping[("row", i, v)] = (cube_leaf(i), fly_map[v])
+    for j in range(cols):
+        for v in range(1, rows):
+            mapping[("col", j, v)] = (cube_map[v], fly_leaf(j))
+    return Embedding(guest=guest, host=hb, mapping=mapping)

@@ -1,0 +1,183 @@
+"""Complete-binary-tree embeddings (Lemma 3 and the Figure 1 tree row).
+
+* :func:`butterfly_tree_embedding` — ``T(n+1) ⊆ B_n`` (Lemma 3),
+  fully constructive: the natural level-descending tree (straight/cross
+  children) with a one-node patch where the leftmost depth-``n`` leaf would
+  wrap onto the root.
+* :func:`hypercube_tree_embedding` — ``T(m-1) ⊆ H_m`` rooted at word 0.
+  The paper states the Figure 1 row without construction; we use a cached
+  deterministic backtracking search (instances are tiny: ``T(m-1)`` has
+  ``2^{m-1}-1`` nodes inside ``2^m``), verified on every use.
+* :func:`hb_tree_embedding` — ``T(m+n-1) ⊆ HB(m, n)``: Lemma 3's tree in
+  the cube-word-0 butterfly copy, then each butterfly leaf grows a
+  ``T(m-1)`` inside its own (disjoint!) hypercube copy — the composition
+  that yields exactly the paper's ``T(m+n-1)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.embeddings.base import Embedding
+from repro.errors import EmbeddingError
+from repro.topologies.butterfly_cayley import CayleyButterfly, classic_to_cayley
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.tree import CompleteBinaryTree
+
+__all__ = [
+    "butterfly_tree_embedding",
+    "hypercube_tree_embedding",
+    "hb_tree_embedding",
+]
+
+
+# --------------------------------------------------------------------------
+# Lemma 3: T(n+1) in B_n
+# --------------------------------------------------------------------------
+
+
+def butterfly_tree_embedding(n: int) -> Embedding:
+    """``T(n+1)`` as a subgraph of ``B_n`` (Lemma 3), constructive.
+
+    Root at classic node ``(0^n, 0)``.  A node at tree depth ``d < n`` sits
+    at level ``d`` with word bits above ``d`` all zero; its left child is
+    the forward-straight neighbor and its right child the forward-cross
+    neighbor (flipping bit ``d``).  Depth-``n`` leaves wrap to level 0 and
+    realise all ``2^n`` words — except that the all-straight leaf would *be*
+    the root, so that one leaf is patched to the backward-cross neighbor
+    ``(e_{n-2}, n-2)`` of its parent, which no other tree node occupies.
+    """
+    if n < 3:
+        raise EmbeddingError(f"Lemma 3 needs n >= 3, got {n}")
+    guest = CompleteBinaryTree(n + 1)
+    host = CayleyButterfly(n)
+    mapping_classic: dict[int, tuple[int, int]] = {1: (0, 0)}
+    for v in range(2, 1 << (n + 1)):
+        parent_word, parent_level = mapping_classic[v // 2]
+        depth = v.bit_length() - 1
+        is_right = v & 1
+        if depth == n and v == (1 << n):
+            # the patched leaf: backward-cross neighbor of (0^n, n-1)
+            mapping_classic[v] = (1 << (n - 2), n - 2)
+            continue
+        up = (parent_level + 1) % n
+        word = parent_word ^ (1 << parent_level) if is_right else parent_word
+        mapping_classic[v] = (word, up)
+    mapping = {v: classic_to_cayley(c) for v, c in mapping_classic.items()}
+    return Embedding(guest=guest, host=host, mapping=mapping)
+
+
+# --------------------------------------------------------------------------
+# T(m-1) in H_m (Figure 1 hypercube row), search-based with cache
+# --------------------------------------------------------------------------
+
+_CUBE_TREE_CACHE: dict[int, dict[int, int] | None] = {}
+
+
+def _search_cube_tree(m: int, k: int) -> dict[int, int] | None:
+    """Backtracking search for ``T(k) ⊆ H_m`` rooted at word 0.
+
+    Assigns heap nodes in DFS order; each node takes an unused neighbor of
+    its parent's image.  Deterministic (neighbor order fixed), so the cached
+    embedding is reproducible.
+    """
+    cube = Hypercube(m)
+    order = sorted(range(1, 1 << k))  # heap order = BFS order; DFS also fine
+    mapping: dict[int, int] = {1: 0}
+    used = {0}
+
+    def assign(idx: int) -> bool:
+        if idx == len(order):
+            return True
+        v = order[idx]
+        if v == 1:
+            return assign(idx + 1)
+        parent_host = mapping[v // 2]
+        for candidate in cube.neighbors(parent_host):
+            if candidate in used:
+                continue
+            mapping[v] = candidate
+            used.add(candidate)
+            if assign(idx + 1):
+                return True
+            used.discard(candidate)
+            del mapping[v]
+        return False
+
+    return mapping if assign(0) else None
+
+
+def hypercube_tree_embedding(m: int, *, height: int | None = None) -> Embedding:
+    """``T(height) ⊆ H_m`` rooted at word 0 (default ``height = m - 1``).
+
+    Heights above ``m - 1`` are impossible for ``m >= 2`` (``T(m)`` is a
+    classical non-subgraph of ``H_m``); the paper's Figure 1 row uses
+    exactly ``m - 1``.
+    """
+    k = m - 1 if height is None else height
+    if k < 1:
+        raise EmbeddingError(f"tree height must be >= 1, got {k}")
+    if (1 << k) - 1 > (1 << m):
+        raise EmbeddingError(f"T({k}) has more nodes than H_{m}")
+    cache_key = (m, k)
+    cached = _CUBE_TREE_CACHE.get(cache_key)
+    if cached is None and cache_key not in _CUBE_TREE_CACHE:
+        cached = _search_cube_tree(m, k)
+        _CUBE_TREE_CACHE[cache_key] = cached
+    if cached is None:
+        raise EmbeddingError(f"no embedding of T({k}) into H_{m} found")
+    return Embedding(
+        guest=CompleteBinaryTree(k), host=Hypercube(m), mapping=dict(cached)
+    )
+
+
+# --------------------------------------------------------------------------
+# T(m+n-1) in HB(m, n) (Figure 1 hyper-butterfly row)
+# --------------------------------------------------------------------------
+
+
+def _truncate_tree_mapping(mapping: dict[int, object], levels: int) -> dict[int, object]:
+    """Restrict a complete-binary-tree mapping to its top ``levels`` levels."""
+    return {v: host for v, host in mapping.items() if v < (1 << levels)}
+
+
+def hb_tree_embedding(hb: HyperButterfly) -> Embedding:
+    """``T(m+n-1) ⊆ HB(m, n)`` — the paper's Figure 1 tree row.
+
+    Composition: Lemma 3 places ``T(n+1)`` in the butterfly copy of cube
+    word 0; the ``2^n`` butterfly leaves lie in pairwise distinct butterfly
+    labels, so their hypercube copies ``(H_m, b_leaf)`` are disjoint
+    (Remark 5) and each leaf can root a ``T(m-1)`` inside its own copy.
+    Heights compose as ``(n+1) + (m-1) - 1 = m + n - 1``.  For ``m <= 1``
+    the Lemma 3 tree truncated to ``m+n-1`` levels already suffices.
+    """
+    m, n = hb.m, hb.n
+    total_levels = m + n - 1
+    fly_tree = butterfly_tree_embedding(n)
+
+    if m <= 1:
+        mapping = {
+            v: (0, b)
+            for v, b in _truncate_tree_mapping(fly_tree.mapping, total_levels).items()
+        }
+        return Embedding(
+            guest=CompleteBinaryTree(total_levels), host=hb, mapping=mapping
+        )
+
+    cube_tree = hypercube_tree_embedding(m)  # T(m-1) rooted at word 0
+    mapping: dict[int, tuple] = {}
+    for v, b in fly_tree.mapping.items():
+        mapping[v] = (0, b)
+
+    # each butterfly leaf v (depth n, heap 2^n .. 2^{n+1}-1) roots a T(m-1)
+    # inside the copy (H_m, b_leaf); guest heap indices of that subtree are
+    # v * 2^d + offset for subtree heap w at depth d.
+    for leaf in range(1 << n, 1 << (n + 1)):
+        b_leaf = fly_tree.mapping[leaf]
+        for w, host_word in cube_tree.mapping.items():
+            if w == 1:
+                continue  # subtree root is the leaf itself (host word 0)
+            depth = w.bit_length() - 1
+            offset = w - (1 << depth)
+            guest_index = (leaf << depth) + offset
+            mapping[guest_index] = (host_word, b_leaf)
+    return Embedding(guest=CompleteBinaryTree(total_levels), host=hb, mapping=mapping)

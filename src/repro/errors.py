@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch library failures with a
+single ``except`` clause while still letting genuine programming errors
+(``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidLabelError",
+    "RoutingError",
+    "DisconnectedError",
+    "EmbeddingError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A topology or algorithm parameter is outside its legal range.
+
+    Examples: a butterfly dimension ``n < 3`` (Remark 3 of the paper requires
+    ``n >= 3`` for the generator set to be free of fixed points), or a
+    negative hypercube dimension.
+    """
+
+
+class InvalidLabelError(ReproError, ValueError):
+    """A node label does not belong to the topology it was used with."""
+
+
+class RoutingError(ReproError):
+    """A routing request could not be satisfied.
+
+    Raised, for example, when fault-tolerant routing is asked to route
+    between nodes that a fault set has actually disconnected, or when more
+    disjoint paths are requested than the graph's connectivity supports.
+    """
+
+
+class DisconnectedError(RoutingError):
+    """The (possibly faulted) network is disconnected between the endpoints."""
+
+
+class EmbeddingError(ReproError):
+    """A guest graph cannot be embedded with the requested parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""

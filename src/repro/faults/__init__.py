@@ -1,0 +1,27 @@
+"""Fault models and connectivity analysis (paper Section 5).
+
+* :mod:`repro.faults.model` — fault sets and random fault injection.
+* :mod:`repro.faults.connectivity` — exact vertex connectivity (max-flow),
+  connectivity under faults, and maximal-fault-tolerance certificates.
+* :mod:`repro.faults.experiments` — fault-sweep experiment driver (E6).
+"""
+
+from repro.faults.model import FaultSet, random_node_faults
+from repro.faults.connectivity import (
+    vertex_connectivity,
+    is_maximally_fault_tolerant,
+    connectivity_certificate,
+    connected_under_faults,
+)
+from repro.faults.experiments import FaultSweepResult, fault_sweep
+
+__all__ = [
+    "FaultSet",
+    "random_node_faults",
+    "vertex_connectivity",
+    "is_maximally_fault_tolerant",
+    "connectivity_certificate",
+    "connected_under_faults",
+    "FaultSweepResult",
+    "fault_sweep",
+]

@@ -1,0 +1,90 @@
+"""Node-fault sets and random fault injection.
+
+The paper measures fault tolerance by vertex connectivity: a network with
+connectivity ``κ`` stays connected under any set of fewer than ``κ`` node
+faults.  :class:`FaultSet` is a small immutable wrapper that validates
+fault labels against a topology and supports the common set algebra.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["FaultSet", "random_node_faults"]
+
+
+class FaultSet:
+    """An immutable set of faulty nodes of a given topology."""
+
+    def __init__(self, topology: Topology, nodes: Iterable[Hashable] = ()) -> None:
+        self.topology = topology
+        frozen = frozenset(nodes)
+        for v in frozen:
+            topology.validate_node(v)
+        self._nodes = frozen
+
+    @property
+    def nodes(self) -> frozenset:
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._nodes)
+
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._nodes
+
+    def __or__(self, other: "FaultSet | Iterable[Hashable]") -> "FaultSet":
+        extra = other.nodes if isinstance(other, FaultSet) else other
+        return FaultSet(self.topology, self._nodes | frozenset(extra))
+
+    def without(self, nodes: Iterable[Hashable]) -> "FaultSet":
+        """A copy with ``nodes`` healed."""
+        return FaultSet(self.topology, self._nodes - frozenset(nodes))
+
+    def healthy_neighbors(self, v: Hashable) -> list[Hashable]:
+        """Non-faulty neighbors of ``v`` (``v`` itself may be faulty)."""
+        return [w for w in self.topology.neighbors(v) if w not in self._nodes]
+
+    def __repr__(self) -> str:
+        return f"FaultSet({self.topology.name}, {len(self._nodes)} faults)"
+
+
+def random_node_faults(
+    topology: Topology,
+    count: int,
+    *,
+    rng: random.Random | None = None,
+    exclude: Iterable[Hashable] = (),
+) -> FaultSet:
+    """``count`` distinct random faulty nodes, never touching ``exclude``.
+
+    Sampling is done by reservoir over the node iterator so the whole node
+    set is never materialised (topologies here can be large).
+    """
+    rng = rng or random.Random()
+    excluded = set(exclude)
+    available = topology.num_nodes - len(excluded)
+    if count < 0 or count > available:
+        raise InvalidParameterError(
+            f"cannot place {count} faults among {available} eligible nodes"
+        )
+    reservoir: list[Hashable] = []
+    seen = 0
+    for v in topology.nodes():
+        if v in excluded:
+            continue
+        seen += 1
+        if len(reservoir) < count:
+            reservoir.append(v)
+        else:
+            j = rng.randrange(seen)
+            if j < count:
+                reservoir[j] = v
+    return FaultSet(topology, reservoir)

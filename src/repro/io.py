@@ -1,0 +1,108 @@
+"""JSON serialisation for artefacts produced by this library.
+
+Research workflows want routes, disjoint-path families and embeddings as
+files — to diff runs, feed plotters, or hand to a layout tool.  Node
+labels of every topology here are nested tuples of ints, which JSON
+round-trips as nested lists; these helpers re-canonicalise on load and
+validate against a topology when one is supplied.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.embeddings.base import Embedding
+from repro.errors import InvalidLabelError
+from repro.topologies.base import Topology
+
+__all__ = [
+    "node_to_jsonable",
+    "node_from_jsonable",
+    "dump_paths",
+    "load_paths",
+    "dump_embedding",
+    "load_embedding_mapping",
+]
+
+
+def node_to_jsonable(node: Any) -> Any:
+    """Tuples → lists, recursively (ints pass through)."""
+    if isinstance(node, tuple):
+        return [node_to_jsonable(x) for x in node]
+    if isinstance(node, (int, str)):
+        return node
+    raise InvalidLabelError(f"cannot serialise node component {node!r}")
+
+
+def node_from_jsonable(data: Any) -> Any:
+    """Lists → tuples, recursively — the inverse of :func:`node_to_jsonable`."""
+    if isinstance(data, list):
+        return tuple(node_from_jsonable(x) for x in data)
+    if isinstance(data, (int, str)):
+        return data
+    raise InvalidLabelError(f"cannot deserialise node component {data!r}")
+
+
+def dump_paths(
+    paths: list[list[Any]],
+    path: str | Path,
+    *,
+    meta: dict | None = None,
+) -> None:
+    """Write a list of node paths (e.g. a Theorem 5 family) to JSON."""
+    payload = {
+        "meta": meta or {},
+        "paths": [[node_to_jsonable(v) for v in p] for p in paths],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_paths(
+    path: str | Path, *, topology: Topology | None = None
+) -> tuple[list[list[Any]], dict]:
+    """Read paths back; validates each node when ``topology`` is given."""
+    payload = json.loads(Path(path).read_text())
+    paths = [
+        [node_from_jsonable(v) for v in p] for p in payload["paths"]
+    ]
+    if topology is not None:
+        for p in paths:
+            for v in p:
+                topology.validate_node(v)
+    return paths, payload.get("meta", {})
+
+
+def dump_embedding(embedding: Embedding, path: str | Path) -> None:
+    """Write an embedding's mapping (guest node → host node) to JSON."""
+    payload = {
+        "guest": embedding.guest.name,
+        "host": embedding.host.name,
+        "mapping": [
+            [node_to_jsonable(g), node_to_jsonable(h)]
+            for g, h in embedding.mapping.items()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_embedding_mapping(
+    path: str | Path,
+    *,
+    guest: Topology | None = None,
+    host: Topology | None = None,
+) -> dict:
+    """Read an embedding mapping back (optionally re-verified).
+
+    When both ``guest`` and ``host`` are supplied the reconstructed
+    embedding is fully re-verified before the mapping is returned.
+    """
+    payload = json.loads(Path(path).read_text())
+    mapping = {
+        node_from_jsonable(g): node_from_jsonable(h)
+        for g, h in payload["mapping"]
+    }
+    if guest is not None and host is not None:
+        Embedding(guest=guest, host=host, mapping=mapping).verify()
+    return mapping

@@ -1,0 +1,56 @@
+"""Routing algorithms for the factor networks and shared path utilities.
+
+* :mod:`repro.routing.base` — path validation and metrics.
+* :mod:`repro.routing.hypercube` — e-cube shortest routing and the classic
+  ``m`` vertex-disjoint paths construction for ``H_m`` [5].
+* :mod:`repro.routing.butterfly` — two exact routers for the wrapped
+  butterfly: an ``O(n^2)`` combinatorial *covering-walk* router and the
+  BFS-oracle router, plus 4 vertex-disjoint paths (Menger/max-flow).
+
+The hyper-butterfly-level routing that composes these lives in
+:mod:`repro.core.routing` / :mod:`repro.core.disjoint_paths`.
+"""
+
+from repro.routing.base import (
+    Path,
+    validate_path,
+    path_length,
+    paths_vertex_disjoint,
+    paths_internally_disjoint,
+)
+from repro.routing.hypercube import (
+    hypercube_route,
+    hypercube_distance,
+    hypercube_disjoint_paths,
+)
+from repro.routing.tables import (
+    RoutingTable,
+    build_full_table,
+    build_split_table,
+)
+from repro.routing.butterfly import (
+    butterfly_distance,
+    butterfly_route,
+    butterfly_route_walk,
+    butterfly_disjoint_paths,
+    covering_walk,
+)
+
+__all__ = [
+    "Path",
+    "validate_path",
+    "path_length",
+    "paths_vertex_disjoint",
+    "paths_internally_disjoint",
+    "hypercube_route",
+    "hypercube_distance",
+    "hypercube_disjoint_paths",
+    "butterfly_distance",
+    "butterfly_route",
+    "butterfly_route_walk",
+    "butterfly_disjoint_paths",
+    "covering_walk",
+    "RoutingTable",
+    "build_full_table",
+    "build_split_table",
+]

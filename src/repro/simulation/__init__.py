@@ -1,0 +1,60 @@
+"""Discrete-event message-passing network simulator.
+
+The paper argues its claims analytically; this substrate exercises them
+dynamically (DESIGN.md substitution table): store-and-forward packet
+delivery over any :class:`repro.topologies.base.Topology`, pluggable
+routing protocols, synthetic traffic workloads, broadcast, and the leader
+election of the companion paper, with latency/throughput statistics.
+"""
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.network import NetworkSimulator, Packet
+from repro.simulation.protocols import (
+    RoutingProtocol,
+    PrecomputedPathProtocol,
+    HBObliviousProtocol,
+    HDObliviousProtocol,
+    BFSProtocol,
+)
+from repro.simulation.traffic import (
+    uniform_random_traffic,
+    permutation_traffic,
+    hotspot_traffic,
+    bit_reversal_traffic,
+    translation_traffic,
+)
+from repro.simulation.gossip import (
+    single_port_gossip,
+    all_port_gossip_rounds,
+    gossip_lower_bound,
+)
+from repro.simulation.stats import LatencyStats
+from repro.simulation.leader_election import (
+    flood_max_election,
+    tree_based_election,
+    ElectionResult,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "NetworkSimulator",
+    "Packet",
+    "RoutingProtocol",
+    "PrecomputedPathProtocol",
+    "HBObliviousProtocol",
+    "HDObliviousProtocol",
+    "BFSProtocol",
+    "uniform_random_traffic",
+    "permutation_traffic",
+    "hotspot_traffic",
+    "bit_reversal_traffic",
+    "translation_traffic",
+    "single_port_gossip",
+    "all_port_gossip_rounds",
+    "gossip_lower_bound",
+    "LatencyStats",
+    "flood_max_election",
+    "tree_based_election",
+    "ElectionResult",
+]

@@ -1,0 +1,147 @@
+"""Leader election — the companion-paper extension (DESIGN.md).
+
+Shi & Srimani's companion paper studies leader election on hyper-butterfly
+graphs; we provide two message-counted, round-synchronous algorithms on any
+topology so the structured/unstructured trade-off can be measured:
+
+* :func:`flood_max_election` — extrema flooding with no distinguished
+  node: every node repeatedly forwards the largest identifier it has seen;
+  terminates after eccentricity-many rounds.  Message cost ``O(|E|·D)``
+  worst case but usually far less (only *changed* values are re-sent).
+* :func:`tree_based_election` — when an initiator exists: BFS-tree
+  construction, convergecast of the maximum, broadcast of the result —
+  ``3(N-1)`` messages, ``~3·ecc`` rounds; the message-optimal counterpart.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.core.broadcast import broadcast_tree
+from repro.errors import SimulationError
+from repro.topologies.base import Topology
+
+__all__ = ["ElectionResult", "flood_max_election", "tree_based_election"]
+
+
+@dataclass(frozen=True)
+class ElectionResult:
+    """Outcome of a leader election run."""
+
+    leader: Hashable
+    leader_id: int
+    rounds: int
+    messages: int
+    algorithm: str
+
+
+def _identifiers(
+    topology: Topology, ids: Mapping[Hashable, int] | None, seed: int
+) -> dict[Hashable, int]:
+    if ids is not None:
+        values = list(ids.values())
+        if len(set(values)) != len(values):
+            raise SimulationError("node identifiers must be distinct")
+        return dict(ids)
+    rng = random.Random(seed)
+    nodes = list(topology.nodes())
+    values = list(range(len(nodes)))
+    rng.shuffle(values)
+    return dict(zip(nodes, values))
+
+
+def flood_max_election(
+    topology: Topology,
+    *,
+    ids: Mapping[Hashable, int] | None = None,
+    seed: int = 0,
+) -> ElectionResult:
+    """Extrema flooding: all nodes start; max identifier wins."""
+    identifier = _identifiers(topology, ids, seed)
+    best = dict(identifier)
+    rounds = 0
+    messages = 0
+    changed = set(topology.nodes())
+    while changed:
+        rounds += 1
+        inbox: dict[Hashable, int] = {}
+        for v in changed:
+            for w in topology.neighbors(v):
+                messages += 1
+                if best[v] > inbox.get(w, -1):
+                    inbox[w] = best[v]
+        changed = set()
+        for w, value in inbox.items():
+            if value > best[w]:
+                best[w] = value
+                changed.add(w)
+    leader_id = max(identifier.values())
+    leader = next(v for v, i in identifier.items() if i == leader_id)
+    if any(b != leader_id for b in best.values()):
+        raise SimulationError("flooding terminated without agreement (bug)")
+    return ElectionResult(
+        leader=leader,
+        leader_id=leader_id,
+        rounds=rounds,
+        messages=messages,
+        algorithm="flood-max",
+    )
+
+
+def tree_based_election(
+    topology: Topology,
+    initiator: Hashable,
+    *,
+    ids: Mapping[Hashable, int] | None = None,
+    seed: int = 0,
+) -> ElectionResult:
+    """Initiator-driven election: build a BFS tree, convergecast the max,
+    broadcast the winner.  ``3(N-1)`` messages total."""
+    topology.validate_node(initiator)
+    identifier = _identifiers(topology, ids, seed)
+    parent = broadcast_tree(topology, initiator)  # N-1 tree-build messages
+
+    # convergecast: process nodes deepest-first via an explicit child index
+    children: dict[Hashable, list[Hashable]] = {}
+    for child, p in parent.items():
+        children.setdefault(p, []).append(child)
+    stack = [initiator]
+    post: list[Hashable] = []
+    while stack:
+        v = stack.pop()
+        post.append(v)
+        stack.extend(children.get(v, []))
+    best: dict[Hashable, int] = {}
+    for v in reversed(post):  # leaves first
+        best[v] = max(
+            [identifier[v]] + [best[c] for c in children.get(v, [])]
+        )
+    leader_id = best[initiator]
+    leader = next(v for v, i in identifier.items() if i == leader_id)
+
+    n = topology.num_nodes
+    messages = 3 * (n - 1)  # build + convergecast + result broadcast
+    eccentricity = max(
+        _tree_depths(initiator, children).values(), default=0
+    )
+    rounds = 3 * eccentricity
+    return ElectionResult(
+        leader=leader,
+        leader_id=leader_id,
+        rounds=rounds,
+        messages=messages,
+        algorithm="tree-based",
+    )
+
+
+def _tree_depths(root: Hashable, children: dict) -> dict[Hashable, int]:
+    depths = {root: 0}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for c in children.get(v, []):
+            depths[c] = depths[v] + 1
+            stack.append(c)
+    return depths

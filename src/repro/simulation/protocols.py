@@ -1,0 +1,168 @@
+"""Routing protocols plugged into the network simulator.
+
+* :class:`PrecomputedPathProtocol` — source routing along any path function.
+* :class:`HBObliviousProtocol` — the paper's Section 3 scheme, hop by hop:
+  correct hypercube bits first (e-cube), then follow the exact butterfly
+  covering-walk route.
+* :class:`HDObliviousProtocol` — the hyper-deBruijn baseline: e-cube on the
+  cube part, classic shift-in routing on the de Bruijn part (with longest
+  suffix/prefix overlap shortcutting), as in [1].
+* :class:`BFSProtocol` — shortest-path-under-faults reference (adaptive).
+
+Protocols are deliberately *stateless across hops* where the underlying
+scheme is oblivious, so the simulator measures the algorithm the paper
+describes rather than a cached table.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Hashable, Protocol
+
+from repro._bits import mask, set_bits
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.routing.base import loop_erase
+from repro.routing.butterfly import butterfly_route_walk
+from repro.topologies.base import Topology
+from repro.topologies.hyperdebruijn import HyperDeBruijn
+
+__all__ = [
+    "RoutingProtocol",
+    "PrecomputedPathProtocol",
+    "HBObliviousProtocol",
+    "HDObliviousProtocol",
+    "BFSProtocol",
+]
+
+
+class RoutingProtocol(Protocol):
+    """Anything that can pick the next hop for a packet at a node."""
+
+    def next_hop(self, packet, node: Hashable) -> Hashable | None:
+        """The neighbor to forward to, or ``None`` to drop."""
+
+
+class PrecomputedPathProtocol:
+    """Source routing: a path is computed at injection and followed."""
+
+    def __init__(self, path_fn) -> None:
+        self._path_fn = path_fn
+        self._progress: dict[int, list] = {}
+
+    def next_hop(self, packet, node: Hashable) -> Hashable | None:
+        remaining = self._progress.get(packet.ident)
+        if remaining is None:
+            path = self._path_fn(packet.source, packet.target)
+            if path is None:
+                return None
+            remaining = list(path)
+            self._progress[packet.ident] = remaining
+        # drop everything up to (and including) the current node
+        while remaining and remaining[0] != node:
+            remaining.pop(0)
+        if len(remaining) < 2:
+            return None
+        remaining.pop(0)
+        return remaining[0]
+
+
+class HBObliviousProtocol:
+    """Paper Section 3: e-cube on the hypercube part, then the butterfly."""
+
+    def __init__(self, hb: HyperButterfly) -> None:
+        self.hb = hb
+
+    def next_hop(self, packet, node) -> Hashable | None:
+        h, b = node
+        h2, b2 = packet.target
+        if h != h2:
+            lowest = set_bits(h ^ h2)[0]
+            return (h ^ (1 << lowest), b)
+        if b != b2:
+            step = self._butterfly_step(b, b2)
+            return (h, step)
+        return None
+
+    def _butterfly_step(self, b, b2):
+        return _cached_butterfly_route(self.hb.n, b, b2)[1]
+
+
+@lru_cache(maxsize=65536)
+def _cached_butterfly_route(n: int, b, b2) -> tuple:
+    return tuple(butterfly_route_walk(n, b, b2))
+
+
+class HDObliviousProtocol:
+    """Hyper-deBruijn baseline: e-cube then de Bruijn shift-in routing.
+
+    The de Bruijn leg left-shifts the current word, inserting target bits
+    most-significant first, after skipping the longest overlap between a
+    suffix of the current word and a prefix of the target — the standard
+    ``<= n``-hop scheme of [1] (not always shortest, like the original).
+    """
+
+    def __init__(self, hd: HyperDeBruijn) -> None:
+        self.hd = hd
+
+    def next_hop(self, packet, node) -> Hashable | None:
+        h, d = node
+        h2, d2 = packet.target
+        if h != h2:
+            lowest = set_bits(h ^ h2)[0]
+            return (h ^ (1 << lowest), d)
+        if d != d2:
+            path = _cached_debruijn_route(self.hd.n, d, d2)
+            try:
+                idx = path.index(d)
+            except ValueError:
+                return None  # should not happen: route starts at d
+            if idx + 1 >= len(path):
+                return None
+            return (h, path[idx + 1])
+        return None
+
+
+@lru_cache(maxsize=65536)
+def _cached_debruijn_route(n: int, d: int, d2: int) -> tuple:
+    """Shift-in route ``d -> d2`` in the undirected simple de Bruijn graph."""
+    m = mask(n)
+    # longest k such that the low k bits of d equal the high k bits of d2
+    # (after k more left-shifts the inserted prefix of d2 lines up)
+    best = 0
+    for k in range(n, 0, -1):
+        if (d & mask(k)) == (d2 >> (n - k)):
+            best = k
+            break
+    path = [d]
+    current = d
+    for i in range(n - best):
+        insert_bit = (d2 >> (n - best - 1 - i)) & 1
+        current = ((current << 1) & m) | insert_bit
+        path.append(current)
+    deduped = [path[0]]
+    for w in path[1:]:
+        if w != deduped[-1]:  # skip self-loop words (00..0 / 11..1)
+            deduped.append(w)
+    return tuple(loop_erase(deduped))
+
+
+class BFSProtocol:
+    """Adaptive shortest-path routing around a fault set (reference)."""
+
+    def __init__(self, topology: Topology, faults=()) -> None:
+        self.topology = topology
+        self.faults = frozenset(faults)
+        self._cache: dict[tuple, tuple | None] = {}
+
+    def next_hop(self, packet, node) -> Hashable | None:
+        key = (node, packet.target)
+        path = self._cache.get(key)
+        if key not in self._cache:
+            raw = self.topology.bfs_shortest_path(
+                node, packet.target, blocked=self.faults
+            )
+            path = tuple(raw) if raw else None
+            self._cache[key] = path
+        if path is None or len(path) < 2:
+            return None
+        return path[1]

@@ -1,0 +1,49 @@
+"""Delivery statistics for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["LatencyStats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Aggregate latency/delivery numbers for a set of packets."""
+
+    injected: int
+    delivered: int
+    dropped: int
+    mean_latency: float
+    max_latency: float
+    mean_hops: float
+    makespan: float  # last delivery time
+
+    @classmethod
+    def from_packets(cls, packets: Sequence) -> "LatencyStats":
+        delivered = [p for p in packets if p.delivered_at is not None]
+        dropped = sum(1 for p in packets if p.dropped)
+        latencies = [p.latency for p in delivered]
+        hops = [p.hops for p in delivered]
+        return cls(
+            injected=len(packets),
+            delivered=len(delivered),
+            dropped=dropped,
+            mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+            max_latency=max(latencies) if latencies else 0.0,
+            mean_hops=sum(hops) / len(hops) if hops else 0.0,
+            makespan=max((p.delivered_at for p in delivered), default=0.0),
+        )
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.injected if self.injected else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.delivered}/{self.injected} delivered "
+            f"(drop {self.dropped}), mean latency {self.mean_latency:.2f}, "
+            f"max {self.max_latency:.2f}, mean hops {self.mean_hops:.2f}, "
+            f"makespan {self.makespan:.2f}"
+        )

@@ -1,0 +1,134 @@
+"""Synthetic traffic workloads for the simulator (experiment E9).
+
+Besides the generic loads (uniform, random permutation, hotspot), this
+module provides the structured adversarial permutations classic for
+butterfly-family networks, adapted to the two-part HB label space:
+
+* **bit reversal** — reverse the concatenated (cube word, CI) address,
+  keeping the level; the canonical worst case for level-structured
+  networks;
+* **translation** — every node sends to ``v·δ`` for a fixed group element
+  ``δ`` (the Cayley-graph analogue of tornado traffic: perfectly uniform
+  link demand by vertex transitivity).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro._bits import mask
+from repro.core.hyperbutterfly import HBNode, HyperButterfly
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = [
+    "uniform_random_traffic",
+    "permutation_traffic",
+    "hotspot_traffic",
+    "bit_reversal_traffic",
+    "translation_traffic",
+]
+
+
+def uniform_random_traffic(
+    topology: Topology, count: int, *, seed: int = 0
+) -> list[tuple[Hashable, Hashable]]:
+    """``count`` independent (source, target) pairs, uniform over distinct
+    node pairs — the canonical interconnection-network benchmark load."""
+    if count < 0:
+        raise InvalidParameterError("count must be >= 0")
+    rng = random.Random(seed)
+    nodes = list(topology.nodes())
+    if len(nodes) < 2:
+        raise InvalidParameterError("need at least two nodes")
+    return [tuple(rng.sample(nodes, 2)) for _ in range(count)]
+
+
+def permutation_traffic(
+    topology: Topology, *, seed: int = 0
+) -> list[tuple[Hashable, Hashable]]:
+    """A random permutation workload: every node sends to a distinct node
+    (fixed-point-free), stressing global bandwidth uniformly."""
+    rng = random.Random(seed)
+    nodes = list(topology.nodes())
+    targets = nodes[:]
+    while True:
+        rng.shuffle(targets)
+        if all(s != t for s, t in zip(nodes, targets)):
+            break
+    return list(zip(nodes, targets))
+
+
+def hotspot_traffic(
+    topology: Topology,
+    count: int,
+    *,
+    hotspot: Hashable | None = None,
+    hot_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[tuple[Hashable, Hashable]]:
+    """Uniform traffic where a fraction targets one hot node (contention)."""
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise InvalidParameterError("hot_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    nodes = list(topology.nodes())
+    if hotspot is None:
+        hotspot = nodes[0]
+    else:
+        topology.validate_node(hotspot)
+    pairs = []
+    for _ in range(count):
+        source = rng.choice(nodes)
+        if rng.random() < hot_fraction and source != hotspot:
+            pairs.append((source, hotspot))
+        else:
+            target = rng.choice(nodes)
+            while target == source:
+                target = rng.choice(nodes)
+            pairs.append((source, target))
+    return pairs
+
+
+def _reverse_bits(word: int, width: int) -> int:
+    out = 0
+    for i in range(width):
+        out |= ((word >> i) & 1) << (width - 1 - i)
+    return out
+
+
+def bit_reversal_traffic(hb: HyperButterfly) -> list[tuple[HBNode, HBNode]]:
+    """Bit-reversal permutation on the ``m + n``-bit (cube, CI) address.
+
+    Node ``(h, (x, c))`` sends to ``(h', (x, c'))`` where ``h'∥c'`` is the
+    bitwise reversal of ``h∥c`` (levels preserved).  An involution, so the
+    workload is a valid permutation; fixed points (palindromic addresses)
+    are dropped.
+    """
+    width = hb.m + hb.n
+    pairs = []
+    for h, (x, c) in hb.nodes():
+        address = (h << hb.n) | c
+        flipped = _reverse_bits(address, width)
+        target = (flipped >> hb.n, (x, flipped & mask(hb.n)))
+        if target != (h, (x, c)):
+            pairs.append(((h, (x, c)), target))
+    return pairs
+
+
+def translation_traffic(
+    hb: HyperButterfly, delta: HBNode | None = None
+) -> list[tuple[HBNode, HBNode]]:
+    """Every node sends to its right-translate ``v·δ`` (tornado-style).
+
+    ``δ`` defaults to a "half-way" element: antipodal cube word and a
+    half-rotation of the butterfly (distance close to the diameter for
+    every sender, by vertex transitivity).  ``δ`` must not be the group
+    identity.
+    """
+    if delta is None:
+        delta = ((1 << hb.m) - 1, (hb.n // 2, 0))
+    hb.validate_node(delta)
+    if delta == hb.group.identity():
+        raise InvalidParameterError("translation by the identity is a no-op")
+    return [(v, hb.group.multiply(v, delta)) for v in hb.nodes()]

@@ -1,0 +1,176 @@
+"""Common interface for every topology in the library.
+
+A :class:`Topology` is an implicitly represented undirected graph: nodes are
+hashable labels and adjacency is computed from the label, never stored.
+This keeps construction ``O(1)`` and lets algorithms work on instances far
+larger than what an explicit adjacency structure would allow, while
+``to_networkx()`` materialises an explicit graph when exact global analysis
+(max-flow connectivity, iFUB diameter, isomorphism checks) is needed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import InvalidLabelError
+
+__all__ = ["Topology"]
+
+
+class Topology(ABC):
+    """Implicit undirected graph with computed adjacency."""
+
+    #: short human-readable family name, e.g. ``"H_4"`` or ``"HB(2,3)"``
+    name: str = "topology"
+
+    # Core interface -------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Number of vertices."""
+
+    @abstractmethod
+    def nodes(self) -> Iterator[Hashable]:
+        """Iterate over all vertex labels."""
+
+    @abstractmethod
+    def neighbors(self, v: Hashable) -> list[Hashable]:
+        """Adjacent vertices of ``v`` (no duplicates, no self-loops)."""
+
+    @abstractmethod
+    def has_node(self, v: Hashable) -> bool:
+        """Whether ``v`` is a valid vertex label of this topology."""
+
+    # Derived helpers --------------------------------------------------------
+
+    def validate_node(self, v: Hashable) -> None:
+        """Raise :class:`InvalidLabelError` unless ``v`` is a vertex."""
+        if not self.has_node(v):
+            raise InvalidLabelError(f"{v!r} is not a node of {self.name}")
+
+    def degree(self, v: Hashable) -> int:
+        """Degree of vertex ``v``."""
+        return len(self.neighbors(v))
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return v in self.neighbors(u)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        """Iterate each undirected edge exactly once."""
+        seen: set[Hashable] = set()
+        for u in self.nodes():
+            seen.add(u)
+            for v in self.neighbors(u):
+                if v not in seen:
+                    yield (u, v)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (computed by degree sum; override when closed-form)."""
+        return sum(self.degree(v) for v in self.nodes()) // 2
+
+    def degree_stats(self) -> tuple[int, int]:
+        """``(min degree, max degree)`` over all vertices."""
+        degrees = [self.degree(v) for v in self.nodes()]
+        return (min(degrees), max(degrees))
+
+    def is_regular(self) -> bool:
+        """Whether all vertices have equal degree."""
+        lo, hi = self.degree_stats()
+        return lo == hi
+
+    def to_networkx(self) -> nx.Graph:
+        """Materialise as an explicit :class:`networkx.Graph`."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        for u in self.nodes():
+            for v in self.neighbors(u):
+                graph.add_edge(u, v)
+        return graph
+
+    def subgraph_networkx(self, vertices: Iterable[Hashable]) -> nx.Graph:
+        """Explicit induced subgraph on ``vertices`` (validated)."""
+        keep = set(vertices)
+        for v in keep:
+            self.validate_node(v)
+        graph = nx.Graph()
+        graph.add_nodes_from(keep)
+        for u in keep:
+            for v in self.neighbors(u):
+                if v in keep:
+                    graph.add_edge(u, v)
+        return graph
+
+    # BFS utilities shared by routing/analysis -------------------------------
+
+    def bfs_distances(
+        self, source: Hashable, *, blocked: frozenset | set | None = None
+    ) -> dict[Hashable, int]:
+        """Unweighted distances from ``source`` (skipping ``blocked`` nodes)."""
+        self.validate_node(source)
+        blocked = blocked or frozenset()
+        if source in blocked:
+            raise InvalidLabelError("source node is blocked")
+        from collections import deque
+
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for w in self.neighbors(u):
+                if w not in dist and w not in blocked:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return dist
+
+    def bfs_shortest_path(
+        self,
+        source: Hashable,
+        target: Hashable,
+        *,
+        blocked: frozenset | set | None = None,
+    ) -> list[Hashable] | None:
+        """A shortest path ``source → target`` avoiding ``blocked``; ``None``
+        if unreachable.  Bidirectional-free plain BFS: simple and adequate for
+        the instance sizes used in verification."""
+        self.validate_node(source)
+        self.validate_node(target)
+        blocked = blocked or frozenset()
+        if source in blocked or target in blocked:
+            return None
+        if source == target:
+            return [source]
+        from collections import deque
+
+        parent: dict[Hashable, Hashable] = {source: source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for w in self.neighbors(u):
+                if w in parent or w in blocked:
+                    continue
+                parent[w] = u
+                if w == target:
+                    path = [w]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(w)
+        return None
+
+    def eccentricity(self, v: Hashable) -> int:
+        """Eccentricity of ``v`` (max BFS distance; graph must be connected)."""
+        dist = self.bfs_distances(v)
+        if len(dist) != self.num_nodes:
+            from repro.errors import DisconnectedError
+
+            raise DisconnectedError(f"{self.name} is not connected from {v!r}")
+        return max(dist.values())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}: {self.num_nodes} nodes>"

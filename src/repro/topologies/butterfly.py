@@ -1,0 +1,111 @@
+"""The wrapped butterfly ``B_n`` in its classic ``⟨word, level⟩`` form.
+
+Vertices are pairs ``(w, ℓ)`` with ``w`` an ``n``-bit word and
+``ℓ ∈ {0, …, n-1}`` a level.  Following the paper's definition [3] (with the
+bit-index convention fixed in DESIGN.md), ``(w, ℓ)`` and ``(w', ℓ')`` are
+adjacent iff ``ℓ' = ℓ + 1 (mod n)`` and either ``w' = w`` (a *straight*
+edge) or ``w' = w ⊕ 2^ℓ`` (a *cross* edge — the crossed bit is indexed by
+the source level).
+
+Key properties (Remark 1): ``n·2^n`` vertices, ``n·2^{n+1}`` edges, regular
+of degree 4, diameter ``⌊3n/2⌋``, vertex connectivity 4.
+
+Under this convention the identity map ``(PI, CI) → (level, word)`` is an
+isomorphism onto :class:`repro.topologies.butterfly_cayley.CayleyButterfly`
+— see that module (paper Remark 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro._bits import format_word
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["WrappedButterfly"]
+
+
+class WrappedButterfly(Topology):
+    """The wrapped butterfly ``B_n``, vertices ``(word, level)``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise InvalidParameterError(
+                f"wrapped butterfly requires n >= 3 for simple 4-regularity, got {n}"
+            )
+        self.n = n
+        self.name = f"B_{n}"
+
+    # Topology interface ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.n << self.n
+
+    @property
+    def num_edges(self) -> int:
+        # 4-regular: closed form n * 2^(n+1)
+        return self.n << (self.n + 1)
+
+    def nodes(self) -> Iterator[tuple[int, int]]:
+        for w in range(1 << self.n):
+            for level in range(self.n):
+                yield (w, level)
+
+    def has_node(self, v) -> bool:
+        return (
+            isinstance(v, tuple)
+            and len(v) == 2
+            and isinstance(v[0], int)
+            and isinstance(v[1], int)
+            and 0 <= v[0] < (1 << self.n)
+            and 0 <= v[1] < self.n
+        )
+
+    def neighbors(self, v: tuple[int, int]) -> list[tuple[int, int]]:
+        self.validate_node(v)
+        w, level = v
+        up = (level + 1) % self.n
+        down = (level - 1) % self.n
+        return [
+            (w, up),                           # forward straight
+            (w ^ (1 << level), up),            # forward cross (bit = src level)
+            (w, down),                         # backward straight
+            (w ^ (1 << down), down),           # backward cross (bit = dst level)
+        ]
+
+    # Structured accessors used by routers and embeddings ---------------------
+
+    def forward_straight(self, v: tuple[int, int]) -> tuple[int, int]:
+        w, level = v
+        return (w, (level + 1) % self.n)
+
+    def forward_cross(self, v: tuple[int, int]) -> tuple[int, int]:
+        w, level = v
+        return (w ^ (1 << level), (level + 1) % self.n)
+
+    def backward_straight(self, v: tuple[int, int]) -> tuple[int, int]:
+        w, level = v
+        return (w, (level - 1) % self.n)
+
+    def backward_cross(self, v: tuple[int, int]) -> tuple[int, int]:
+        w, level = v
+        down = (level - 1) % self.n
+        return (w ^ (1 << down), down)
+
+    def level_nodes(self, level: int) -> Iterator[tuple[int, int]]:
+        """All ``2^n`` vertices of a given level."""
+        if not 0 <= level < self.n:
+            raise InvalidParameterError(f"level must be in [0, {self.n}), got {level}")
+        for w in range(1 << self.n):
+            yield (w, level)
+
+    def format_node(self, v: tuple[int, int]) -> str:
+        self.validate_node(v)
+        w, level = v
+        return f"<{format_word(w, self.n)};{level}>"
+
+    def diameter_formula(self) -> int:
+        """``⌊3n/2⌋`` (Remark 1) — cross-checked against exact BFS in tests."""
+        return (3 * self.n) // 2

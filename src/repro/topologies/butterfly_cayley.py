@@ -1,0 +1,195 @@
+"""The wrapped butterfly ``B_n`` as a Cayley graph (paper Section 2.1, [4]).
+
+This is the representation the paper actually builds on: each vertex is a
+cyclic permutation of ``n`` symbols in lexicographic order, each symbol
+possibly complemented, and the four generators ``g, f, g^{-1}, f^{-1}``
+rotate the label (complementing the wrapped symbol for ``f``-type moves).
+
+We encode a vertex as the pair ``(PI, CI)``:
+
+* ``PI ∈ Z_n`` — the *permutation index* (Definition 1): the number of left
+  shifts from the identity permutation ``t_0 t_1 … t_{n-1}``.
+* ``CI`` — the *complementation index* (Definition 2): bit ``k`` is set iff
+  symbol ``t_k`` appears complemented.
+
+With this encoding the generators act exactly as in
+:class:`repro.cayley.group.ButterflyGroup`, and the **identity map**
+``(PI, CI) ↦ (level=PI, word=CI)`` is an isomorphism onto the classic
+``⟨word, level⟩`` butterfly of :mod:`repro.topologies.butterfly`
+(paper Remark 2); :func:`cayley_to_classic` / :func:`classic_to_cayley`
+expose it and the tests verify edge preservation exhaustively.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterator
+
+from repro._bits import bit
+from repro.cayley.graph import CayleyGraph, DistanceOracle
+from repro.cayley.group import ButterflyGroup, GeneratorSet
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = [
+    "CayleyButterfly",
+    "cayley_to_classic",
+    "classic_to_cayley",
+    "butterfly_generator_set",
+]
+
+
+def butterfly_generator_set(group: ButterflyGroup) -> GeneratorSet:
+    """The paper's generator set ``{g, f, g^{-1}, f^{-1}}`` for ``B_n``."""
+    return GeneratorSet(
+        group=group,
+        generators=tuple(group.butterfly_generators()),
+        names=("g", "f", "g^-1", "f^-1"),
+    )
+
+
+class CayleyButterfly(Topology):
+    """``B_n`` with ``(PI, CI)`` vertex labels and Cayley-graph services."""
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise InvalidParameterError(
+                f"butterfly dimension must be >= 3 (Remark 3), got {n}"
+            )
+        self.n = n
+        self.name = f"B_{n}(Cayley)"
+        self.group = ButterflyGroup(n)
+        self.gens = butterfly_generator_set(self.group)
+        self.cayley = CayleyGraph(self.group, self.gens)
+
+    # Topology interface ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.n << self.n
+
+    @property
+    def num_edges(self) -> int:
+        return self.n << (self.n + 1)
+
+    def nodes(self) -> Iterator[tuple[int, int]]:
+        return self.group.elements()
+
+    def has_node(self, v) -> bool:
+        return self.group.contains(v)
+
+    def neighbors(self, v: tuple[int, int]) -> list[tuple[int, int]]:
+        self.validate_node(v)
+        return self.gens.neighbors(v)
+
+    # Paper vocabulary --------------------------------------------------------
+
+    @staticmethod
+    def permutation_index(v: tuple[int, int]) -> int:
+        """``PI(v)`` of Definition 1."""
+        return v[0]
+
+    @staticmethod
+    def complementation_index(v: tuple[int, int]) -> int:
+        """``CI(v)`` of Definition 2 (as an integer bit vector over symbols)."""
+        return v[1]
+
+    def identity_node(self) -> tuple[int, int]:
+        """The identity node ``I`` (uncomplemented ``t_0 t_1 … t_{n-1}``)."""
+        return self.group.identity()
+
+    def symbol_sequence(self, v: tuple[int, int]) -> list[tuple[int, bool]]:
+        """The label as a list of ``(symbol index, complemented?)`` pairs.
+
+        Position ``i`` of a node with ``PI = x`` carries symbol
+        ``t_{(x + i) mod n}``; its complement flag is the corresponding
+        ``CI`` bit.
+        """
+        self.validate_node(v)
+        x, c = v
+        return [((x + i) % self.n, bool(bit(c, (x + i) % self.n))) for i in range(self.n)]
+
+    def format_node(self, v: tuple[int, int]) -> str:
+        """Render like the paper's examples: ``bcA`` means ``b c a̅``.
+
+        Symbols are lowercase letters in lexicographic order; a complemented
+        symbol is rendered uppercase (the paper uses an overbar).
+        """
+        if self.n > len(string.ascii_lowercase):
+            x, c = v
+            return f"(PI={x},CI={c:0{self.n}b})"
+        out = []
+        for sym, complemented in self.symbol_sequence(v):
+            ch = string.ascii_lowercase[sym]
+            out.append(ch.upper() if complemented else ch)
+        return "".join(out)
+
+    def node_from_string(self, label: str) -> tuple[int, int]:
+        """Parse :meth:`format_node` output back into ``(PI, CI)``."""
+        if len(label) != self.n:
+            raise InvalidParameterError(
+                f"label {label!r} has length {len(label)}, expected {self.n}"
+            )
+        symbols = [string.ascii_lowercase.index(ch.lower()) for ch in label]
+        x = symbols[0]
+        # validate that the label is a cyclic shift of the identity order
+        for i, sym in enumerate(symbols):
+            if sym != (x + i) % self.n:
+                raise InvalidParameterError(
+                    f"label {label!r} is not a cyclic permutation in lexicographic order"
+                )
+        ci = 0
+        for ch, sym in zip(label, symbols):
+            if ch.isupper():
+                ci |= 1 << sym
+        return (x, ci)
+
+    # Generator applications ----------------------------------------------
+
+    def apply_g(self, v):
+        return self.group.multiply(v, self.group.g())
+
+    def apply_f(self, v):
+        return self.group.multiply(v, self.group.f())
+
+    def apply_g_inv(self, v):
+        return self.group.multiply(v, self.group.g_inv())
+
+    def apply_f_inv(self, v):
+        return self.group.multiply(v, self.group.f_inv())
+
+    # Exact routing services ---------------------------------------------
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        return self.cayley.oracle
+
+    def distance(self, u, v) -> int:
+        return self.cayley.distance(u, v)
+
+    def shortest_path(self, u, v) -> list[tuple[int, int]]:
+        return self.cayley.shortest_path(u, v)
+
+    def diameter(self) -> int:
+        return self.cayley.diameter()
+
+    def diameter_formula(self) -> int:
+        """``⌊3n/2⌋`` (Remark 1)."""
+        return (3 * self.n) // 2
+
+
+def cayley_to_classic(v: tuple[int, int]) -> tuple[int, int]:
+    """Isomorphism ``(PI, CI) → (word, level)`` (Remark 2).
+
+    Under the conventions of DESIGN.md the map is simply
+    ``word = CI, level = PI``; the function exists to make call sites
+    self-documenting and to pin the direction of the swap.
+    """
+    x, c = v
+    return (c, x)
+
+
+def classic_to_cayley(v: tuple[int, int]) -> tuple[int, int]:
+    """Inverse of :func:`cayley_to_classic`: ``(word, level) → (PI, CI)``."""
+    w, level = v
+    return (level, w)

@@ -1,0 +1,47 @@
+"""The cycle ``C(k)`` (paper Section 4) — the simplest guest graph."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["Cycle"]
+
+
+class Cycle(Topology):
+    """The cycle ``C(k)`` on vertices ``0 … k-1``, ``i ~ (i+1) mod k``."""
+
+    def __init__(self, k: int) -> None:
+        if k < 3:
+            raise InvalidParameterError(f"a simple cycle needs k >= 3, got {k}")
+        self.k = k
+        self.name = f"C({k})"
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k
+
+    @property
+    def num_edges(self) -> int:
+        return self.k
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.k))
+
+    def has_node(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < self.k
+
+    def neighbors(self, v: int) -> list[int]:
+        self.validate_node(v)
+        return [(v + 1) % self.k, (v - 1) % self.k]
+
+    def distance(self, u: int, v: int) -> int:
+        self.validate_node(u)
+        self.validate_node(v)
+        d = abs(u - v)
+        return min(d, self.k - d)
+
+    def diameter(self) -> int:
+        return self.k // 2

@@ -1,0 +1,71 @@
+"""The binary de Bruijn graph ``D_n`` — substrate of the baseline family [1].
+
+The directed de Bruijn graph on ``2^n`` vertices has an arc
+``w → (2w + b) mod 2^n`` for ``b ∈ {0, 1}`` (shift in a new low/high bit —
+we use the standard "shift left" form).  The *undirected simple* version
+used by interconnection networks keeps one edge per adjacent pair and drops
+self-loops; this makes ``D_n`` **irregular**: generic vertices have degree
+4, but ``00…0`` and ``11…1`` lose their self-loop (degree 2) and
+alternating words merge a shift-in/shift-out pair (degree 3).  That
+irregularity — inherited by the hyper-deBruijn graphs — is precisely the
+shortcoming the hyper-butterfly paper sets out to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro._bits import format_word, mask
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["DeBruijn"]
+
+
+class DeBruijn(Topology):
+    """Undirected simple binary de Bruijn graph on ``2^n`` vertices."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise InvalidParameterError(f"de Bruijn dimension must be >= 1, got {n}")
+        self.n = n
+        self.name = f"D_{n}"
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.n
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(1 << self.n))
+
+    def has_node(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < (1 << self.n)
+
+    def neighbors(self, v: int) -> list[int]:
+        self.validate_node(v)
+        m = mask(self.n)
+        out = []
+        seen = {v}  # excludes self-loops
+        # shift-left successors: drop the top bit, shift in b at the bottom
+        base_left = (v << 1) & m
+        for b in (0, 1):
+            w = base_left | b
+            if w not in seen:
+                seen.add(w)
+                out.append(w)
+        # shift-right successors: drop the bottom bit, shift in b at the top
+        base_right = v >> 1
+        for b in (0, 1):
+            w = base_right | (b << (self.n - 1))
+            if w not in seen:
+                seen.add(w)
+                out.append(w)
+        return out
+
+    def format_node(self, v: int) -> str:
+        self.validate_node(v)
+        return format_word(v, self.n)
+
+    def diameter_formula(self) -> int:
+        """``n`` — shifting in the target word bit by bit."""
+        return self.n

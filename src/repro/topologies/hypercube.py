@@ -1,0 +1,74 @@
+"""The binary hypercube ``H_m`` (paper Section 2.1).
+
+Vertices are the ``2^m`` integers ``0 .. 2^m - 1`` read as ``m``-bit words;
+``{u, v}`` is an edge iff the Hamming distance of ``u`` and ``v`` is 1.
+Known facts restated by the paper and surfaced as methods here:
+
+* ``m · 2^{m-1}`` edges, regular of degree ``m``;
+* diameter ``m``;
+* vertex connectivity ``m`` (maximally fault tolerant) [5];
+* even cycles of every length ``4 .. 2^m`` as subgraphs (Remark 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro._bits import flip, format_word, popcount
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    """The hypercube ``H_m`` with integer-word vertex labels."""
+
+    def __init__(self, m: int) -> None:
+        if m < 0:
+            raise InvalidParameterError(f"hypercube dimension must be >= 0, got {m}")
+        self.m = m
+        self.name = f"H_{m}"
+
+    # Topology interface ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.m
+
+    @property
+    def num_edges(self) -> int:
+        # closed form m * 2^(m-1)
+        return self.m << (self.m - 1) if self.m > 0 else 0
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(1 << self.m))
+
+    def neighbors(self, v: int) -> list[int]:
+        self.validate_node(v)
+        return [flip(v, i) for i in range(self.m)]
+
+    def has_node(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < (1 << self.m)
+
+    # Hypercube-specific services --------------------------------------------
+
+    def distance(self, u: int, v: int) -> int:
+        """Hamming distance — exactly the graph distance in ``H_m``."""
+        self.validate_node(u)
+        self.validate_node(v)
+        return popcount(u ^ v)
+
+    def diameter(self) -> int:
+        """``m`` — attained by antipodal pairs."""
+        return self.m
+
+    def format_node(self, v: int) -> str:
+        """Render in the paper's ``x_{m-1} ... x_0`` order."""
+        self.validate_node(v)
+        return format_word(v, self.m)
+
+    def antipode(self, v: int) -> int:
+        """The unique vertex at distance ``m`` from ``v``."""
+        self.validate_node(v)
+        return v ^ ((1 << self.m) - 1)

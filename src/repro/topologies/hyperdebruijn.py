@@ -1,0 +1,66 @@
+"""The hyper-deBruijn graph ``HD(m, n)`` of Ganesan & Pradhan [1].
+
+``HD(m, n) = H_m × D_n`` — the baseline the paper compares against in
+Figures 1 and 2.  Built on the generic product so that its claimed
+shortcomings can be measured rather than asserted:
+
+* it is **not regular** (degrees range between ``m + 2`` and ``m + 4``);
+* its fault tolerance (vertex connectivity) is ``m + 2``, below the degree
+  of the vast majority of its vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.topologies.debruijn import DeBruijn
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.product import CartesianProduct
+
+__all__ = ["HyperDeBruijn"]
+
+
+class HyperDeBruijn(CartesianProduct):
+    """``HD(m, n)`` with labels ``(hypercube word, de Bruijn word)``."""
+
+    def __init__(self, m: int, n: int) -> None:
+        if m < 0:
+            raise InvalidParameterError(f"hypercube order must be >= 0, got {m}")
+        if n < 1:
+            raise InvalidParameterError(f"de Bruijn order must be >= 1, got {n}")
+        self.m = m
+        self.n = n
+        super().__init__(Hypercube(m), DeBruijn(n), name=f"HD({m},{n})")
+
+    @property
+    def hypercube(self) -> Hypercube:
+        return self.left
+
+    @property
+    def debruijn(self) -> DeBruijn:
+        return self.right
+
+    def nodes(self) -> Iterator[tuple[int, int]]:
+        return super().nodes()
+
+    def max_degree(self) -> int:
+        """``m + 4`` — generic vertices."""
+        return self.m + 4
+
+    def min_degree(self) -> int:
+        """``m + 2`` — vertices whose de Bruijn part is ``0…0`` or ``1…1``."""
+        return self.m + 2
+
+    def diameter_formula(self) -> int:
+        """``m + n`` (Figure 1)."""
+        return self.m + self.n
+
+    def fault_tolerance_formula(self) -> int:
+        """``m + 2`` (Figure 1) — limited by the minimum degree."""
+        return self.m + 2
+
+    def format_node(self, v: tuple[int, int]) -> str:
+        self.validate_node(v)
+        h, d = v
+        return f"({self.hypercube.format_node(h)};{self.debruijn.format_node(d)})"

@@ -1,0 +1,127 @@
+"""The mesh of trees ``MT(2^p, 2^q)`` (paper Lemma 4 / Theorem 4 guest).
+
+``MT(a, b)`` (with ``a = 2^p``, ``b = 2^q``) consists of an ``a × b`` grid
+of *leaf* processors, a complete binary *row tree* over the ``b`` leaves of
+each row, and a complete binary *column tree* over the ``a`` leaves of each
+column.  Row/column tree internal vertices are distinct, so
+
+``|V| = a·b + a·(b - 1) + b·(a - 1) = 3ab - a - b``.
+
+Vertex labels:
+
+* ``("leaf", i, j)`` — grid leaf at row ``i``, column ``j``;
+* ``("row", i, v)`` — internal vertex ``v`` (heap index ``1 … b-1``) of the
+  row-``i`` tree; its would-be heap children in ``[b, 2b)`` are the leaves
+  ``("leaf", i, child - b)``;
+* ``("col", j, v)`` — symmetric for column trees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["MeshOfTrees"]
+
+
+class MeshOfTrees(Topology):
+    """``MT(rows, cols)`` with power-of-two side lengths."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 2 or rows & (rows - 1):
+            raise InvalidParameterError(f"rows must be a power of two >= 2, got {rows}")
+        if cols < 2 or cols & (cols - 1):
+            raise InvalidParameterError(f"cols must be a power of two >= 2, got {cols}")
+        self.rows = rows
+        self.cols = cols
+        self.name = f"MT({rows},{cols})"
+
+    @property
+    def num_nodes(self) -> int:
+        return 3 * self.rows * self.cols - self.rows - self.cols
+
+    @property
+    def num_edges(self) -> int:
+        # each tree with L leaves contributes 2(L-1) edges
+        return self.rows * 2 * (self.cols - 1) + self.cols * 2 * (self.rows - 1)
+
+    def nodes(self) -> Iterator[tuple]:
+        for i in range(self.rows):
+            for j in range(self.cols):
+                yield ("leaf", i, j)
+        for i in range(self.rows):
+            for v in range(1, self.cols):
+                yield ("row", i, v)
+        for j in range(self.cols):
+            for v in range(1, self.rows):
+                yield ("col", j, v)
+
+    def has_node(self, v) -> bool:
+        if not (isinstance(v, tuple) and len(v) == 3):
+            return False
+        kind, a, b = v
+        if not (isinstance(a, int) and isinstance(b, int)):
+            return False
+        if kind == "leaf":
+            return 0 <= a < self.rows and 0 <= b < self.cols
+        if kind == "row":
+            return 0 <= a < self.rows and 1 <= b < self.cols
+        if kind == "col":
+            return 0 <= a < self.cols and 1 <= b < self.rows
+        return False
+
+    def _tree_children(self, v: int, leaf_count: int) -> list[tuple[bool, int]]:
+        """Heap children of internal index ``v``: ``(is_leaf, index)`` pairs."""
+        out = []
+        for c in (2 * v, 2 * v + 1):
+            if c < leaf_count:
+                out.append((False, c))
+            else:
+                out.append((True, c - leaf_count))
+        return out
+
+    def neighbors(self, v) -> list[tuple]:
+        self.validate_node(v)
+        kind, a, b = v
+        out: list[tuple] = []
+        if kind == "leaf":
+            i, j = a, b
+            # parent in row tree i: heap parent of leaf index (cols + j)
+            out.append(("row", i, (self.cols + j) // 2))
+            # parent in column tree j
+            out.append(("col", j, (self.rows + i) // 2))
+            return out
+        if kind == "row":
+            i, v_idx = a, b
+            if v_idx > 1:
+                out.append(("row", i, v_idx // 2))
+            for is_leaf, c in self._tree_children(v_idx, self.cols):
+                out.append(("leaf", i, c) if is_leaf else ("row", i, c))
+            return out
+        # kind == "col"
+        j, v_idx = a, b
+        if v_idx > 1:
+            out.append(("col", j, v_idx // 2))
+        for is_leaf, c in self._tree_children(v_idx, self.rows):
+            out.append(("leaf", c, j) if is_leaf else ("col", j, c))
+        return out
+
+    def leaf(self, i: int, j: int) -> tuple:
+        """The grid leaf label at row ``i``, column ``j`` (validated)."""
+        label = ("leaf", i, j)
+        self.validate_node(label)
+        return label
+
+    def row_root(self, i: int) -> tuple:
+        """Root of row tree ``i``."""
+        label = ("row", i, 1)
+        self.validate_node(label)
+        return label
+
+    def col_root(self, j: int) -> tuple:
+        """Root of column tree ``j``."""
+        label = ("col", j, 1)
+        self.validate_node(label)
+        return label

@@ -1,0 +1,92 @@
+"""Quotient maps between the compared families.
+
+The wrapped butterfly is a classical *cyclic cover* of the de Bruijn
+graph: rotating a node's word by its level collapses the ``n`` levels onto
+one de Bruijn vertex while sending butterfly edges onto de Bruijn shift
+edges.  Concretely, with the conventions of this library,
+
+``φ(w, ℓ) = rotate_left(w, -ℓ)``   (classic coordinates)
+
+is a surjective graph homomorphism ``B_n → D_n`` whose fibers are the
+``n`` levels (self-loops of ``D_n`` absorb the straight edges at the two
+constant words).  Applying ``φ`` to the butterfly part of ``HB(m, n)``
+yields a homomorphism onto the hyper-deBruijn graph ``HD(m, n)`` — the
+structural reason the two families in Figures 1–2 share so many
+parameters while differing in regularity: ``HB`` un-collapses ``HD``'s
+degree-deficient vertices across ``n`` levels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro._bits import rotate_left
+from repro.errors import InvalidParameterError
+from repro.topologies.butterfly_cayley import CayleyButterfly, cayley_to_classic
+from repro.topologies.debruijn import DeBruijn
+
+if TYPE_CHECKING:  # avoid the topologies <-> core import cycle at runtime
+    from repro.core.hyperbutterfly import HBNode, HyperButterfly
+
+__all__ = [
+    "butterfly_to_debruijn",
+    "debruijn_fiber",
+    "hb_to_hyperdebruijn",
+    "verify_quotient_homomorphism",
+]
+
+
+def butterfly_to_debruijn(n: int, node: tuple[int, int]) -> int:
+    """The covering map ``B_n → D_n`` in Cayley ``(PI, CI)`` coordinates.
+
+    The image is the word read off from the node's own rotated frame:
+    classic ``(word, level) ↦ rotate_left(word, -level)``.
+    """
+    butterfly = CayleyButterfly(n)
+    butterfly.validate_node(node)
+    word, level = cayley_to_classic(node)
+    return rotate_left(word, -level, n)
+
+
+def debruijn_fiber(n: int, word: int) -> list[tuple[int, int]]:
+    """All ``n`` butterfly nodes mapping to a de Bruijn ``word``.
+
+    The fiber of ``word`` is ``{(rotate_left(word, ℓ), ℓ) : 0 <= ℓ < n}``
+    in classic coordinates, returned here in Cayley ``(PI, CI)`` form.
+    """
+    if not 0 <= word < (1 << n):
+        raise InvalidParameterError(f"{word} is not an {n}-bit word")
+    fiber = []
+    for level in range(n):
+        classic_word = rotate_left(word, level, n)
+        fiber.append((level, classic_word))  # (PI, CI) = (level, word)
+    return fiber
+
+
+def hb_to_hyperdebruijn(hb: HyperButterfly, node: HBNode) -> tuple[int, int]:
+    """The induced homomorphism ``HB(m, n) → HD(m, n)``.
+
+    Identity on the hypercube part, the covering map on the butterfly part.
+    """
+    hb.validate_node(node)
+    h, b = node
+    return (h, butterfly_to_debruijn(hb.n, b))
+
+
+def verify_quotient_homomorphism(n: int) -> bool:
+    """Exhaustively check that every ``B_n`` edge maps to a ``D_n`` edge or
+    a collapsed self-loop (the homomorphism property)."""
+    butterfly = CayleyButterfly(n)
+    debruijn = DeBruijn(n)
+    for u in butterfly.nodes():
+        image_u = butterfly_to_debruijn(n, u)
+        for v in butterfly.neighbors(u):
+            image_v = butterfly_to_debruijn(n, v)
+            if image_u == image_v:
+                # collapsed onto a de Bruijn self-loop (constant words only)
+                if image_u not in (0, (1 << n) - 1):
+                    return False
+                continue
+            if image_v not in debruijn.neighbors(image_u):
+                return False
+    return True

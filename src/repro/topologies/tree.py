@@ -1,0 +1,84 @@
+"""The complete binary tree ``T(k)`` (paper Figure 1 / Lemma 3 guest).
+
+``T(k)`` has ``k`` levels and ``2^k - 1`` vertices, matching the paper's
+usage (e.g. ``T(n+1)`` is a subgraph of ``B_n``, Lemma 3).  Vertices are
+heap indices ``1 … 2^k - 1``: node ``v`` has children ``2v`` and ``2v + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["CompleteBinaryTree"]
+
+
+class CompleteBinaryTree(Topology):
+    """``T(k)``: complete binary tree with ``2^k - 1`` heap-indexed nodes."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError(f"tree must have k >= 1 levels, got {k}")
+        self.k = k
+        self.name = f"T({k})"
+
+    @property
+    def num_nodes(self) -> int:
+        return (1 << self.k) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_nodes - 1
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(1, 1 << self.k))
+
+    def has_node(self, v) -> bool:
+        return isinstance(v, int) and 1 <= v < (1 << self.k)
+
+    def neighbors(self, v: int) -> list[int]:
+        self.validate_node(v)
+        out = []
+        if v > 1:
+            out.append(v // 2)
+        if 2 * v < (1 << self.k):
+            out.append(2 * v)
+            out.append(2 * v + 1)
+        return out
+
+    # Tree structure accessors -------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return 1
+
+    def parent(self, v: int) -> int | None:
+        self.validate_node(v)
+        return v // 2 if v > 1 else None
+
+    def children(self, v: int) -> list[int]:
+        self.validate_node(v)
+        if self.is_leaf(v):
+            return []
+        return [2 * v, 2 * v + 1]
+
+    def is_leaf(self, v: int) -> bool:
+        self.validate_node(v)
+        return 2 * v >= (1 << self.k)
+
+    def depth(self, v: int) -> int:
+        """Depth of ``v`` (root has depth 0, leaves depth ``k - 1``)."""
+        self.validate_node(v)
+        return v.bit_length() - 1
+
+    def leaves(self) -> Iterator[int]:
+        """Leaves left to right: heap indices ``2^{k-1} … 2^k - 1``."""
+        return iter(range(1 << (self.k - 1), 1 << self.k))
+
+    def leaf_index(self, v: int) -> int:
+        """Position of leaf ``v`` among the leaves, left to right."""
+        if not self.is_leaf(v):
+            raise InvalidParameterError(f"{v} is not a leaf of {self.name}")
+        return v - (1 << (self.k - 1))

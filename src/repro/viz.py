@@ -1,0 +1,155 @@
+"""Graphviz DOT export for small instances and highlighted structures.
+
+Interconnection-network papers live on figures; this module renders any
+library topology as DOT text (no graphviz dependency required — the output
+is plain text a user pipes into ``dot``), with optional highlighting of
+
+* a path (e.g. an optimal route),
+* a family of disjoint paths (each gets its own color),
+* an embedding image (guest nodes emphasised inside the host).
+
+Edge classes of ``HB(m, n)`` (hypercube vs butterfly, Remark 4) are styled
+differently so the product structure is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+
+__all__ = ["to_dot", "path_family_to_dot", "embedding_to_dot"]
+
+_PALETTE = [
+    "#d62728", "#1f77b4", "#2ca02c", "#9467bd",
+    "#ff7f0e", "#8c564b", "#e377c2", "#17becf",
+]
+
+_MAX_NODES = 4096
+
+
+def _label(topology: Topology, v: Hashable) -> str:
+    formatter = getattr(topology, "format_node", None)
+    return formatter(v) if formatter else str(v)
+
+
+def _node_id(v: Hashable) -> str:
+    return '"' + repr(v).replace('"', "'") + '"'
+
+
+def _check_size(topology: Topology) -> None:
+    if topology.num_nodes > _MAX_NODES:
+        raise InvalidParameterError(
+            f"{topology.name} has {topology.num_nodes} nodes; DOT export is "
+            f"capped at {_MAX_NODES} (render a partition block instead)"
+        )
+
+
+def _edge_style(topology: Topology, u: Hashable, v: Hashable) -> str:
+    if isinstance(topology, HyperButterfly):
+        kind = topology.edge_kind(u, v)
+        if kind == "hypercube":
+            return ' [style=dashed, color="#555555"]'
+        return ' [color="#999999"]'
+    return ""
+
+
+def to_dot(
+    topology: Topology,
+    *,
+    highlight_nodes: Sequence[Hashable] = (),
+    name: str | None = None,
+) -> str:
+    """Render the whole topology as an undirected DOT graph."""
+    _check_size(topology)
+    highlighted = set(highlight_nodes)
+    for v in highlighted:
+        topology.validate_node(v)
+    lines = [f'graph "{name or topology.name}" {{']
+    lines.append("  node [shape=ellipse, fontsize=10];")
+    for v in topology.nodes():
+        attrs = f'label="{_label(topology, v)}"'
+        if v in highlighted:
+            attrs += ', style=filled, fillcolor="#ffd54d"'
+        lines.append(f"  {_node_id(v)} [{attrs}];")
+    for u, v in topology.edges():
+        lines.append(f"  {_node_id(u)} -- {_node_id(v)}{_edge_style(topology, u, v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def path_family_to_dot(
+    topology: Topology,
+    paths: Sequence[Sequence[Hashable]],
+    *,
+    name: str | None = None,
+) -> str:
+    """Render the topology with each path drawn in its own color.
+
+    Built for Theorem 5 families: endpoints are filled, each family member
+    gets a palette color and a heavier pen.
+    """
+    _check_size(topology)
+    if not paths:
+        raise InvalidParameterError("need at least one path to highlight")
+    colored: dict[tuple, str] = {}
+    for idx, path in enumerate(paths):
+        color = _PALETTE[idx % len(_PALETTE)]
+        for a, b in zip(path, path[1:]):
+            key = (a, b) if repr(a) <= repr(b) else (b, a)
+            colored[key] = color
+    endpoints = {paths[0][0], paths[0][-1]}
+    lines = [f'graph "{name or topology.name}" {{']
+    lines.append("  node [shape=ellipse, fontsize=10];")
+    for v in topology.nodes():
+        attrs = f'label="{_label(topology, v)}"'
+        if v in endpoints:
+            attrs += ', style=filled, fillcolor="#90caf9"'
+        lines.append(f"  {_node_id(v)} [{attrs}];")
+    for u, v in topology.edges():
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        if key in colored:
+            lines.append(
+                f'  {_node_id(u)} -- {_node_id(v)} '
+                f'[color="{colored[key]}", penwidth=2.5];'
+            )
+        else:
+            lines.append(
+                f'  {_node_id(u)} -- {_node_id(v)} [color="#dddddd"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def embedding_to_dot(embedding, *, name: str | None = None) -> str:
+    """Render a host graph with an embedding's image emphasised.
+
+    Image nodes are filled; image edges (images of guest edges) are bold.
+    """
+    host = embedding.host
+    _check_size(host)
+    image_nodes = set(embedding.mapping.values())
+    image_edges = set()
+    for a, b in embedding.guest.edges():
+        ha, hb_ = embedding.mapping[a], embedding.mapping[b]
+        key = (ha, hb_) if repr(ha) <= repr(hb_) else (hb_, ha)
+        image_edges.add(key)
+    lines = [f'graph "{name or f"{embedding.guest.name} in {host.name}"}" {{']
+    lines.append("  node [shape=ellipse, fontsize=10];")
+    for v in host.nodes():
+        attrs = f'label="{_label(host, v)}"'
+        if v in image_nodes:
+            attrs += ', style=filled, fillcolor="#a5d6a7"'
+        lines.append(f"  {_node_id(v)} [{attrs}];")
+    for u, v in host.edges():
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        if key in image_edges:
+            lines.append(
+                f'  {_node_id(u)} -- {_node_id(v)} [color="#2e7d32", penwidth=2.5];'
+            )
+        else:
+            lines.append(f'  {_node_id(u)} -- {_node_id(v)} [color="#dddddd"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Bisection-width analysis tests (VLSI extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bisection import (
+    bisection_report,
+    cube_cut_width,
+    kernighan_lin_upper_bound,
+    spectral_lower_bound,
+)
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import InvalidParameterError
+from repro.topologies.cycle import Cycle
+from repro.topologies.hypercube import Hypercube
+
+
+class TestCubeCut:
+    @pytest.mark.parametrize(("m", "n"), [(1, 3), (2, 3), (3, 4)])
+    def test_cut_counts_one_edge_per_node_pair(self, m, n):
+        hb = HyperButterfly(m, n)
+        assert cube_cut_width(hb) == hb.num_nodes // 2 == n * 2 ** (m + n - 1)
+
+    def test_cut_matches_explicit_count(self, hb23):
+        """Count crossing edges explicitly on HB(2,3)."""
+        dim = hb23.m - 1
+        crossing = 0
+        for u in hb23.nodes():
+            if (u[0] >> dim) & 1 == 0:
+                partner = (u[0] ^ (1 << dim), u[1])
+                assert hb23.has_edge(u, partner)
+                crossing += 1
+        assert crossing == cube_cut_width(hb23)
+
+    def test_requires_cube_factor(self):
+        with pytest.raises(InvalidParameterError):
+            cube_cut_width(HyperButterfly(0, 3))
+
+    def test_dimension_validation(self, hb23):
+        with pytest.raises(InvalidParameterError):
+            cube_cut_width(hb23, dimension=5)
+
+
+class TestSpectralBound:
+    def test_cycle_has_tiny_bound(self):
+        # lambda_2 of C_k is 2(1 - cos(2π/k)) -> bound << 2 = true bisection
+        bound = spectral_lower_bound(Cycle(16))
+        assert 0 < bound <= 2.0
+
+    def test_hypercube_bound_is_exact(self):
+        """lambda_2(H_m) = 2, so the bound equals the true bisection 2^{m-1}."""
+        for m in (3, 4):
+            h = Hypercube(m)
+            assert spectral_lower_bound(h) == pytest.approx(2 ** (m - 1), rel=1e-6)
+
+    def test_bound_below_canonical_cut_for_hb(self, hb23):
+        assert spectral_lower_bound(hb23) <= cube_cut_width(hb23) + 1e-9
+
+
+class TestKernighanLin:
+    def test_upper_at_least_spectral_lower(self, hb13):
+        upper = kernighan_lin_upper_bound(hb13, rounds=2)
+        lower = spectral_lower_bound(hb13)
+        assert upper >= lower - 1e-9
+
+    def test_hypercube_cut_found(self):
+        h = Hypercube(4)
+        # KL should find a cut no worse than twice the optimal 8
+        assert kernighan_lin_upper_bound(h, rounds=4) <= 16
+
+
+class TestReport:
+    def test_hb_report_interval(self, hb23):
+        report = bisection_report(hb23, rounds=2)
+        low, high = report.certified_interval
+        assert 0 < low <= high
+        assert report.canonical_cut == 48
+        assert high <= report.canonical_cut
+
+    def test_non_hb_report_has_no_canonical(self):
+        report = bisection_report(Hypercube(4), rounds=2)
+        assert report.canonical_cut is None
+
+    def test_rejects_odd_node_count(self):
+        with pytest.raises(InvalidParameterError):
+            bisection_report(Cycle(5))

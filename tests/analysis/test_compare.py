@@ -1,0 +1,78 @@
+"""Figure 1 / Figure 2 table builder tests (fast variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import Cell, figure1_table, figure2_table, render_table
+from repro.errors import InvalidParameterError
+
+
+class TestCell:
+    def test_markers(self):
+        assert str(Cell(5, "exact")) == "5"
+        assert str(Cell(5, "formula")) == "5*"
+        assert str(Cell("yes", "cited")) == "yes†"
+
+
+class TestFigure1:
+    def test_formula_mode_columns(self):
+        table = figure1_table(2, 3)
+        assert set(table) == {"H_5", "B_5", "HD(2,3)", "HB(2,3)"}
+        assert table["HB(2,3)"]["Nodes"].value == 96
+        assert table["HB(2,3)"]["Fault-tolerance"].value == 6
+        assert table["HD(2,3)"]["Regular"].value == "no"
+
+    def test_verified_mode_exactifies_small_columns(self):
+        table = figure1_table(1, 3, verify=True)
+        for family in table:
+            assert table[family]["Nodes"].source == "exact"
+        # exact connectivity confirms the formula value
+        assert table["HB(1,3)"]["Fault-tolerance"].value == 5
+        assert table["HD(1,3)"]["Fault-tolerance"].value == 3
+
+    def test_verify_budget_skips_large(self):
+        table = figure1_table(3, 8, verify=True, verify_node_budget=100)
+        assert table["HB(3,8)"]["Nodes"].source == "formula"
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            figure1_table(2, 2)
+
+    def test_render_contains_all_rows(self):
+        text = render_table(figure1_table(2, 3), title="t")
+        for row in ("Nodes", "Edges", "Diameter", "Mesh of Trees"):
+            assert row in text
+        assert text.startswith("t")
+
+
+class TestFigure2Fast:
+    @pytest.fixture(scope="class")
+    def table(self):
+        # formula diameters: keeps the test fast; exact path covered by E2 bench
+        return figure2_table(exact_diameters=False, connectivity_pairs=2)
+
+    def test_instances(self, table):
+        assert set(table) == {"HB(3,8)", "HD(3,11)", "HD(6,8)"}
+
+    def test_equal_node_budget(self, table):
+        assert all(col["Nodes"].value == 16384 for col in table.values())
+
+    def test_regularity_story(self, table):
+        assert table["HB(3,8)"]["Regular"].value == "yes"
+        assert table["HD(3,11)"]["Regular"].value == "no"
+        assert table["HD(6,8)"]["Regular"].value == "no"
+
+    def test_degrees(self, table):
+        assert table["HB(3,8)"]["Degree"].value == "7"
+        assert table["HD(3,11)"]["Degree"].value == "5..7"
+        assert table["HD(6,8)"]["Degree"].value == "8..10"
+
+    def test_fault_tolerance_witnessed(self, table):
+        ft = table["HB(3,8)"]["Fault-tolerance"].value
+        assert ft.startswith("7")
+        assert "witnessed >= 7" in ft
+
+    def test_render(self, table):
+        text = render_table(table, title="Figure 2")
+        assert "HB(3,8)" in text and "Fault-tolerance" in text

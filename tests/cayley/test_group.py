@@ -1,0 +1,193 @@
+"""Group-law and paper-correspondence tests for the Cayley groups."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cayley.group import (
+    ButterflyGroup,
+    DirectProductGroup,
+    GeneratorSet,
+    HypercubeGroup,
+)
+from repro.errors import InvalidParameterError
+
+
+def butterfly_elements(n: int):
+    return st.tuples(
+        st.integers(0, n - 1), st.integers(0, (1 << n) - 1)
+    )
+
+
+class TestHypercubeGroup:
+    def test_rejects_negative_dimension(self):
+        with pytest.raises(InvalidParameterError):
+            HypercubeGroup(-1)
+
+    def test_order_and_elements(self):
+        g = HypercubeGroup(3)
+        assert g.order() == 8
+        assert sorted(g.elements()) == list(range(8))
+
+    def test_every_element_is_involution(self):
+        g = HypercubeGroup(4)
+        for a in g.elements():
+            assert g.multiply(a, a) == g.identity()
+
+    def test_unit_generators(self):
+        assert HypercubeGroup(3).unit_generators() == [1, 2, 4]
+
+    def test_power(self):
+        g = HypercubeGroup(3)
+        assert g.power(5, 2) == 0
+        assert g.power(5, 3) == 5
+        assert g.power(5, -1) == 5
+
+
+class TestButterflyGroupLaws:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_closure_and_identity(self, n):
+        g = ButterflyGroup(n)
+        identity = g.identity()
+        rng = random.Random(n)
+        elements = list(g.elements())
+        for _ in range(100):
+            a, b = rng.choice(elements), rng.choice(elements)
+            product = g.multiply(a, b)
+            assert g.contains(product)
+            assert g.multiply(a, identity) == a
+            assert g.multiply(identity, a) == a
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_associativity_exhaustive_sample(self, n):
+        g = ButterflyGroup(n)
+        rng = random.Random(7)
+        elements = list(g.elements())
+        for _ in range(300):
+            a, b, c = (rng.choice(elements) for _ in range(3))
+            assert g.multiply(g.multiply(a, b), c) == g.multiply(a, g.multiply(b, c))
+
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_inverse(self, n):
+        g = ButterflyGroup(n)
+        for a in g.elements():
+            assert g.multiply(a, g.inverse(a)) == g.identity()
+            assert g.multiply(g.inverse(a), a) == g.identity()
+
+    def test_rejects_small_n(self):
+        with pytest.raises(InvalidParameterError):
+            ButterflyGroup(2)
+
+    def test_order(self):
+        assert ButterflyGroup(5).order() == 5 * 32
+
+
+class TestButterflyGeneratorsMatchPaper:
+    """The generators must act exactly as the label rewritings of Section 2.1."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_g_left_shifts_without_complement(self, n):
+        g = ButterflyGroup(n)
+        for x in range(n):
+            for c in (0, 1, (1 << n) - 1, 0b101 % (1 << n)):
+                new_x, new_c = g.multiply((x, c), g.g())
+                assert new_x == (x + 1) % n
+                assert new_c == c  # complement flags ride with their symbols
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_f_complements_the_wrapped_symbol(self, n):
+        g = ButterflyGroup(n)
+        for x in range(n):
+            new_x, new_c = g.multiply((x, 0), g.f())
+            assert new_x == (x + 1) % n
+            # the wrapped symbol is t_x — exactly its flag flips
+            assert new_c == 1 << x
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_f_inv_complements_symbol_entering_front(self, n):
+        g = ButterflyGroup(n)
+        for x in range(n):
+            new_x, new_c = g.multiply((x, 0), g.f_inv())
+            assert new_x == (x - 1) % n
+            assert new_c == 1 << ((x - 1) % n)
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_generator_inverse_pairs(self, n):
+        g = ButterflyGroup(n)
+        assert g.inverse(g.g()) == g.g_inv()
+        assert g.inverse(g.f()) == g.f_inv()
+
+    @given(st.integers(3, 6), st.data())
+    @settings(max_examples=50)
+    def test_quotient_translates(self, n, data):
+        g = ButterflyGroup(n)
+        a = data.draw(butterfly_elements(n))
+        b = data.draw(butterfly_elements(n))
+        # a * (a^{-1} b) == b — the vertex-transitive routing identity
+        assert g.multiply(a, g.quotient(a, b)) == b
+
+
+class TestDirectProductGroup:
+    def test_componentwise_operations(self):
+        g = DirectProductGroup(HypercubeGroup(2), ButterflyGroup(3))
+        a = (0b01, (1, 0b010))
+        b = (0b11, (2, 0b100))
+        prod = g.multiply(a, b)
+        assert prod[0] == 0b10
+        assert g.multiply(a, g.inverse(a)) == g.identity()
+
+    def test_order(self):
+        g = DirectProductGroup(HypercubeGroup(2), ButterflyGroup(3))
+        assert g.order() == 4 * 24
+        assert len(list(g.elements())) == 96
+
+    def test_embeddings(self):
+        g = DirectProductGroup(HypercubeGroup(2), ButterflyGroup(3))
+        assert g.embed_left(0b10) == (0b10, (0, 0))
+        assert g.embed_right((1, 1)) == (0, (1, 1))
+
+    def test_contains(self):
+        g = DirectProductGroup(HypercubeGroup(2), ButterflyGroup(3))
+        assert g.contains((3, (2, 7)))
+        assert not g.contains((4, (2, 7)))
+        assert not g.contains((1, (3, 0)))
+
+
+class TestGeneratorSet:
+    def test_rejects_identity_generator(self):
+        g = HypercubeGroup(2)
+        with pytest.raises(InvalidParameterError):
+            GeneratorSet(group=g, generators=(0,), names=("id",))
+
+    def test_rejects_non_inverse_closed(self):
+        g = ButterflyGroup(3)
+        with pytest.raises(InvalidParameterError):
+            GeneratorSet(group=g, generators=(g.g(),), names=("g",))
+
+    def test_rejects_duplicates(self):
+        g = HypercubeGroup(2)
+        with pytest.raises(InvalidParameterError):
+            GeneratorSet(group=g, generators=(1, 1), names=("a", "b"))
+
+    def test_inverse_index(self):
+        g = ButterflyGroup(3)
+        gens = GeneratorSet(
+            group=g,
+            generators=tuple(g.butterfly_generators()),
+            names=("g", "f", "g^-1", "f^-1"),
+        )
+        assert gens.inverse_index == (2, 3, 0, 1)
+
+    def test_fixed_point_free(self):
+        g = ButterflyGroup(4)
+        gens = GeneratorSet(
+            group=g,
+            generators=tuple(g.butterfly_generators()),
+            names=("g", "f", "g^-1", "f^-1"),
+        )
+        # Remark 3: sigma(v) != v and distinct generators give distinct images
+        assert gens.is_fixed_point_free(sample=list(g.elements()))

@@ -1,0 +1,69 @@
+"""Vertex-transitivity certificates (Remark 7 machinery)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cayley.group import ButterflyGroup, GeneratorSet, HypercubeGroup
+from repro.cayley.transitivity import (
+    left_translation,
+    verify_translation_automorphism,
+    verify_vertex_transitivity,
+)
+
+
+def butterfly_gens(n: int) -> tuple[ButterflyGroup, GeneratorSet]:
+    group = ButterflyGroup(n)
+    gens = GeneratorSet(
+        group=group,
+        generators=tuple(group.butterfly_generators()),
+        names=("g", "f", "g^-1", "f^-1"),
+    )
+    return group, gens
+
+
+class TestLeftTranslation:
+    def test_translation_moves_identity(self):
+        group, _ = butterfly_gens(3)
+        a = (1, 0b011)
+        assert left_translation(group, a)(group.identity()) == a
+
+    def test_translation_composes(self):
+        group, _ = butterfly_gens(4)
+        a, b = (1, 0b0101), (3, 0b1100)
+        t_a, t_b = left_translation(group, a), left_translation(group, b)
+        v = (2, 0b0011)
+        assert t_a(t_b(v)) == left_translation(group, group.multiply(a, b))(v)
+
+
+class TestAutomorphismVerification:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_every_translation_is_automorphism_exhaustive(self, n):
+        group, gens = butterfly_gens(n)
+        rng = random.Random(0)
+        elements = list(group.elements())
+        for _ in range(8):
+            a = rng.choice(elements)
+            assert verify_translation_automorphism(group, gens, a, sample_size=None)
+
+    def test_sampled_verification(self):
+        group, gens = butterfly_gens(5)
+        assert verify_translation_automorphism(group, gens, (2, 0b10110))
+
+
+class TestVertexTransitivity:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_butterfly_is_vertex_transitive(self, n):
+        group, gens = butterfly_gens(n)
+        assert verify_vertex_transitivity(group, gens)
+
+    def test_hypercube_is_vertex_transitive(self):
+        group = HypercubeGroup(4)
+        gens = GeneratorSet(
+            group=group,
+            generators=tuple(group.unit_generators()),
+            names=tuple(f"h_{i}" for i in range(4)),
+        )
+        assert verify_vertex_transitivity(group, gens)

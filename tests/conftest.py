@@ -1,0 +1,54 @@
+"""Shared fixtures: canonical small instances used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.topologies.butterfly_cayley import CayleyButterfly
+from repro.topologies.hypercube import Hypercube
+
+
+@pytest.fixture(scope="session")
+def hb23() -> HyperButterfly:
+    """The workhorse instance ``HB(2, 3)`` (96 nodes)."""
+    return HyperButterfly(2, 3)
+
+
+@pytest.fixture(scope="session")
+def hb13() -> HyperButterfly:
+    return HyperButterfly(1, 3)
+
+
+@pytest.fixture(scope="session")
+def hb24() -> HyperButterfly:
+    return HyperButterfly(2, 4)
+
+
+@pytest.fixture(scope="session")
+def bf3() -> CayleyButterfly:
+    return CayleyButterfly(3)
+
+
+@pytest.fixture(scope="session")
+def bf4() -> CayleyButterfly:
+    return CayleyButterfly(4)
+
+
+@pytest.fixture(scope="session")
+def cube4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """Fresh deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+def pairs_sample(topology, rng, count):
+    """Distinct random node pairs from a topology."""
+    nodes = list(topology.nodes())
+    return [tuple(rng.sample(nodes, 2)) for _ in range(count)]

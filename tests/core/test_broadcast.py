@@ -1,0 +1,113 @@
+"""Broadcast tests (conclusion's extension, experiment E8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.broadcast import (
+    broadcast_lower_bound,
+    broadcast_rounds,
+    broadcast_tree,
+    greedy_single_port_schedule,
+    structured_broadcast_schedule,
+    verify_schedule,
+)
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import SimulationError
+from repro.topologies.hypercube import Hypercube
+
+
+class TestBroadcastTree:
+    def test_tree_spans_graph(self, hb23):
+        root = hb23.identity_node()
+        parent = broadcast_tree(hb23, root)
+        assert len(parent) == hb23.num_nodes - 1
+        assert root not in parent
+        for child, p in parent.items():
+            assert hb23.has_edge(child, p)
+
+    def test_tree_depth_is_eccentricity(self, hb13):
+        root = hb13.identity_node()
+        parent = broadcast_tree(hb13, root)
+        depth = {root: 0}
+        # children appear after parents in BFS construction order
+        changed = True
+        while changed:
+            changed = False
+            for child, p in parent.items():
+                if child not in depth and p in depth:
+                    depth[child] = depth[p] + 1
+                    changed = True
+        assert max(depth.values()) == hb13.eccentricity(root)
+
+
+class TestSchedules:
+    @pytest.mark.parametrize(("m", "n"), [(0, 3), (1, 3), (2, 3), (2, 4)])
+    def test_greedy_schedule_is_legal(self, m, n):
+        hb = HyperButterfly(m, n)
+        root = hb.identity_node()
+        schedule = greedy_single_port_schedule(hb, root)
+        verify_schedule(hb, root, schedule)
+
+    @pytest.mark.parametrize(("m", "n"), [(0, 3), (1, 3), (2, 3), (3, 3), (2, 4)])
+    def test_structured_schedule_is_legal(self, m, n):
+        hb = HyperButterfly(m, n)
+        root = hb.identity_node()
+        schedule = structured_broadcast_schedule(hb, root)
+        verify_schedule(hb, root, schedule)
+
+    def test_structured_round_count_is_m_plus_butterfly(self, hb23):
+        root = hb23.identity_node()
+        fly_rounds = len(greedy_single_port_schedule(hb23.butterfly, root[1]))
+        assert len(structured_broadcast_schedule(hb23, root)) == hb23.m + fly_rounds
+
+    def test_structured_from_non_identity_root(self, hb23):
+        root = (2, (1, 0b011))
+        schedule = structured_broadcast_schedule(hb23, root)
+        verify_schedule(hb23, root, schedule)
+
+    def test_verify_schedule_rejects_bad_sender(self, hb23):
+        root = hb23.identity_node()
+        other = (3, (2, 0b101))
+        bogus = [[(other, hb23.neighbors(other)[0])]]
+        with pytest.raises(SimulationError):
+            verify_schedule(hb23, root, bogus)
+
+
+class TestRoundCounts:
+    def test_all_port_equals_eccentricity(self, hb23):
+        root = hb23.identity_node()
+        assert broadcast_rounds(hb23, root, model="all-port") == hb23.eccentricity(root)
+
+    def test_single_port_at_least_log2(self, hb23):
+        root = hb23.identity_node()
+        rounds = broadcast_rounds(hb23, root, model="single-port")
+        assert rounds >= math.ceil(math.log2(hb23.num_nodes))
+
+    @pytest.mark.parametrize(("m", "n"), [(1, 3), (2, 3), (2, 4), (3, 4)])
+    def test_structured_within_constant_of_lower_bound(self, m, n):
+        """The 'asymptotically optimal' claim: small constant factor."""
+        hb = HyperButterfly(m, n)
+        root = hb.identity_node()
+        rounds = broadcast_rounds(hb, root, model="structured")
+        assert rounds <= 2 * broadcast_lower_bound(hb)
+
+    def test_unknown_model(self, hb23):
+        with pytest.raises(SimulationError):
+            broadcast_rounds(hb23, hb23.identity_node(), model="warp")
+
+    def test_structured_requires_hb(self):
+        with pytest.raises(SimulationError):
+            broadcast_rounds(Hypercube(3), 0, model="structured")
+
+
+class TestLowerBound:
+    def test_lower_bound_formula(self, hb24):
+        expected = max(hb24.diameter_formula(), math.ceil(math.log2(hb24.num_nodes)))
+        assert broadcast_lower_bound(hb24) == expected
+
+    def test_explicit_diameter(self):
+        h = Hypercube(4)
+        assert broadcast_lower_bound(h, diameter=4) == 4

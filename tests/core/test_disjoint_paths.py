@@ -1,0 +1,144 @@
+"""Theorem 5 / Corollary 1 tests: the m+4 node-disjoint path families."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.disjoint_paths import (
+    construction_case,
+    disjoint_paths,
+    disjoint_paths_with_info,
+    verify_disjoint_paths,
+)
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import RoutingError
+from repro.routing.base import paths_internally_disjoint, validate_path
+
+
+class TestCaseClassification:
+    def test_cases(self, hb23):
+        b = (0, 0)
+        assert construction_case((0, b), (1, b)) == 1
+        assert construction_case((0, b), (0, (1, 0))) == 2
+        assert construction_case((0, b), (1, (1, 0))) == 3
+
+    def test_same_node_rejected(self, hb23):
+        with pytest.raises(RoutingError):
+            construction_case((0, (0, 0)), (0, (0, 0)))
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(("m", "n"), [(1, 3), (2, 3), (3, 3), (2, 4)])
+    def test_random_pairs_give_m_plus_4_disjoint_paths(self, m, n, rng):
+        hb = HyperButterfly(m, n)
+        nodes = list(hb.nodes())
+        for _ in range(20):
+            u, v = rng.sample(nodes, 2)
+            family = disjoint_paths(hb, u, v)
+            verify_disjoint_paths(hb, u, v, family)  # count/validity/disjoint
+
+    def test_case1_explicit(self, hb23):
+        u, v = (0, (1, 0b010)), (3, (1, 0b010))
+        family, info = disjoint_paths_with_info(hb23, u, v)
+        assert info["case"] == 1
+        assert info["method"] == "constructive"
+        verify_disjoint_paths(hb23, u, v, family)
+        # m shortest-family paths stay in the shared butterfly copy
+        in_copy = sum(1 for p in family if all(x[1] == u[1] for x in p))
+        assert in_copy == hb23.m
+
+    def test_case2_explicit(self, hb23):
+        u, v = (2, (0, 0)), (2, (2, 0b110))
+        family, info = disjoint_paths_with_info(hb23, u, v)
+        assert info["case"] == 2
+        assert info["method"] == "constructive"
+        verify_disjoint_paths(hb23, u, v, family)
+        in_copy = sum(1 for p in family if all(x[0] == u[0] for x in p))
+        assert in_copy == 4
+
+    def test_case3_generic_uses_construction(self):
+        hb = HyperButterfly(3, 4)
+        u = (0, (0, 0))
+        v = (0b111, (2, 0b1001))  # distance-3 cube part, non-adjacent fly part
+        family, info = disjoint_paths_with_info(hb, u, v)
+        assert info["case"] == 3
+        assert info["method"] == "constructive"
+        verify_disjoint_paths(hb, u, v, family)
+
+    def test_case1_length_bounds(self, hb23, rng):
+        """Theorem 5's proof: case 1 paths have length <= m + 2 (cube family)
+        and cube-route + 2 (detours)."""
+        nodes = [v for v in hb23.nodes()]
+        for _ in range(10):
+            b = rng.choice(nodes)[1]
+            h1, h2 = rng.sample(range(4), 2)
+            u, v = (h1, b), (h2, b)
+            family, info = disjoint_paths_with_info(hb23, u, v)
+            if info["method"] != "constructive":
+                continue
+            d = (h1 ^ h2).bit_count()
+            for p in family:
+                assert len(p) - 1 <= d + 2
+
+
+class TestCornerRepairs:
+    def test_dist1_corner_repaired_for_m_ge_2(self):
+        hb = HyperButterfly(2, 4)
+        u = (0, (0, 0))
+        v = (1, (2, 0b0110))  # cube distance exactly 1
+        family, info = disjoint_paths_with_info(hb, u, v)
+        verify_disjoint_paths(hb, u, v, family)
+        assert info["method"] == "constructive"
+
+    def test_adjacent_fly_corner_repaired(self):
+        hb = HyperButterfly(2, 4)
+        u = (0, (0, 0))
+        bj = hb.fly_group.multiply((0, 0), hb.fly_group.g())
+        v = (3, bj)  # butterfly parts adjacent, cube distance 2
+        family, info = disjoint_paths_with_info(hb, u, v)
+        verify_disjoint_paths(hb, u, v, family)
+        assert info["method"] == "constructive"
+
+    def test_m1_dist1_corner_falls_back_to_flow(self, hb13):
+        u = (0, (0, 0))
+        v = (1, (1, 0b001))
+        family, info = disjoint_paths_with_info(hb13, u, v)
+        verify_disjoint_paths(hb13, u, v, family)
+        assert info["method"] == "flow"
+        assert "no copy-local repair" in info["fallback_reason"]
+
+    def test_constructive_mode_raises_on_unrepairable_corner(self, hb13):
+        u = (0, (0, 0))
+        v = (1, (1, 0b001))
+        with pytest.raises(RoutingError):
+            disjoint_paths(hb13, u, v, method="constructive")
+
+
+class TestFlowMethod:
+    def test_flow_always_succeeds(self, hb23, rng):
+        nodes = list(hb23.nodes())
+        for _ in range(8):
+            u, v = rng.sample(nodes, 2)
+            family = disjoint_paths(hb23, u, v, method="flow")
+            verify_disjoint_paths(hb23, u, v, family)
+
+    def test_corollary1_connectivity_exact(self, hb13):
+        """Corollary 1: kappa(HB) = m + 4 — verified by exact max-flow."""
+        assert nx.node_connectivity(hb13.to_networkx()) == hb13.m + 4
+
+
+class TestVerifier:
+    def test_rejects_wrong_count(self, hb23):
+        u, v = (0, (0, 0)), (1, (0, 0))
+        family = disjoint_paths(hb23, u, v)
+        with pytest.raises(RoutingError):
+            verify_disjoint_paths(hb23, u, v, family[:-1])
+
+    def test_rejects_shared_interior(self, hb23):
+        u, v = (0, (0, 0)), (3, (0, 0))
+        family = disjoint_paths(hb23, u, v)
+        tampered = [list(p) for p in family]
+        tampered[0] = tampered[1]  # duplicate path => shared interiors
+        with pytest.raises(RoutingError):
+            verify_disjoint_paths(hb23, u, v, tampered)

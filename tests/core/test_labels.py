@@ -1,0 +1,68 @@
+"""Two-part label formatting/parsing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labels import (
+    butterfly_part,
+    format_hb_node,
+    hypercube_part,
+    parse_hb_node,
+)
+from repro.errors import InvalidLabelError
+
+
+class TestAccessors:
+    def test_parts(self):
+        node = (0b10, (1, 0b011))
+        assert hypercube_part(node) == 0b10
+        assert butterfly_part(node) == (1, 0b011)
+
+
+class TestFormat:
+    def test_identity(self):
+        assert format_hb_node((0, (0, 0)), 2, 3) == "(00;abc)"
+
+    def test_msb_first_cube_part(self):
+        assert format_hb_node((0b01, (0, 0)), 2, 3).startswith("(01;")
+
+    def test_complemented_symbols_uppercase(self):
+        # CI bit 0 set -> symbol t_0 ('a') complemented
+        text = format_hb_node((0, (0, 0b001)), 1, 3)
+        assert text == "(0;Abc)"
+
+    def test_rotated_label(self):
+        assert format_hb_node((0, (1, 0)), 1, 3) == "(0;bca)"
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "node", [(0, (0, 0)), (3, (2, 0b101)), (1, (1, 0b010))]
+    )
+    def test_roundtrip(self, node):
+        text = format_hb_node(node, 2, 3)
+        assert parse_hb_node(text, 2, 3) == node
+
+    def test_rejects_missing_parens(self):
+        with pytest.raises(InvalidLabelError):
+            parse_hb_node("00;abc", 2, 3)
+
+    def test_rejects_missing_separator(self):
+        with pytest.raises(InvalidLabelError):
+            parse_hb_node("(00abc)", 2, 3)
+
+    def test_rejects_bad_cube_width(self):
+        with pytest.raises(InvalidLabelError):
+            parse_hb_node("(000;abc)", 2, 3)
+
+    def test_rejects_non_binary_cube(self):
+        with pytest.raises(InvalidLabelError):
+            parse_hb_node("(0x;abc)", 2, 3)
+
+    def test_rejects_bad_symbol_permutation(self):
+        with pytest.raises(InvalidLabelError):
+            parse_hb_node("(00;acb)", 2, 3)
+
+    def test_zero_m(self):
+        assert parse_hb_node("(;abc)", 0, 3) == (0, (0, 0))

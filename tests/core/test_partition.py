@@ -1,0 +1,121 @@
+"""Partitionability / scalability tests (paper title + intro claims)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.core.partition import (
+    SubHBPartition,
+    contraction_words,
+    expansion_embedding,
+    partition_by_cube_bits,
+    partition_member,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestCubeBitPartition:
+    @pytest.mark.parametrize("positions", [[0], [1], [0, 1], [2]])
+    def test_blocks_partition_node_set(self, positions):
+        hb = HyperButterfly(3, 3)
+        blocks = partition_by_cube_bits(hb, positions)
+        assert len(blocks) == 2 ** len(positions)
+        seen = set()
+        for block in blocks:
+            for v in block.nodes():
+                assert v not in seen
+                seen.add(v)
+        assert len(seen) == hb.num_nodes
+
+    def test_each_block_is_induced_sub_hb(self, hb23):
+        blocks = partition_by_cube_bits(hb23, [1])
+        for block in blocks:
+            emb = block.as_embedding()
+            emb.verify()  # subgraph embedding of HB(1,3)
+            assert emb.guest.m == hb23.m - 1
+            # induced: the block's internal edge count matches HB(1,3)
+            sub = hb23.subgraph_networkx(list(block.nodes()))
+            assert sub.number_of_edges() == emb.guest.num_edges
+
+    def test_block_isomorphic_to_smaller_hb(self, hb23):
+        block = partition_by_cube_bits(hb23, [0])[0]
+        sub = hb23.subgraph_networkx(list(block.nodes()))
+        smaller = HyperButterfly(1, 3).to_networkx()
+        assert nx.is_isomorphic(sub, smaller)
+
+    def test_lift_project_roundtrip(self, hb23):
+        block = partition_by_cube_bits(hb23, [1])[1]
+        for sub_node in block.sub.nodes():
+            host = block.lift(sub_node)
+            assert block.contains(host)
+            assert block.project(host) == sub_node
+
+    def test_project_rejects_foreign_node(self, hb23):
+        blocks = partition_by_cube_bits(hb23, [0])
+        outside = next(v for v in hb23.nodes() if not blocks[0].contains(v))
+        with pytest.raises(InvalidParameterError):
+            blocks[0].project(outside)
+
+    def test_partition_member(self, hb23, rng):
+        blocks = partition_by_cube_bits(hb23, [0, 1])
+        nodes = list(hb23.nodes())
+        for _ in range(20):
+            v = rng.choice(nodes)
+            block = partition_member(blocks, v)
+            assert block.contains(v)
+
+    def test_rejects_duplicates_and_overflow(self, hb23):
+        with pytest.raises(InvalidParameterError):
+            partition_by_cube_bits(hb23, [0, 0])
+        with pytest.raises(InvalidParameterError):
+            partition_by_cube_bits(hb23, [0, 1, 2])
+
+    def test_bad_fixed_bits(self, hb23):
+        with pytest.raises(InvalidParameterError):
+            SubHBPartition(hb23, {5: 0})
+        with pytest.raises(InvalidParameterError):
+            SubHBPartition(hb23, {0: 2})
+
+
+class TestExpansion:
+    @pytest.mark.parametrize(("m", "n"), [(0, 3), (1, 3), (2, 3), (2, 4)])
+    def test_hb_embeds_in_next_size(self, m, n):
+        hb = HyperButterfly(m, n)
+        emb = expansion_embedding(hb)
+        emb.verify()
+        assert emb.host.m == m + 1
+
+    def test_labels_are_preserved(self, hb13):
+        emb = expansion_embedding(hb13)
+        assert all(g == h for g, h in emb.mapping.items())
+
+    def test_expansion_is_induced(self, hb13):
+        """No new edges appear between old nodes after doubling."""
+        emb = expansion_embedding(hb13)
+        bigger = emb.host
+        old = set(emb.mapping.values())
+        sub = bigger.subgraph_networkx(old)
+        assert sub.number_of_edges() == hb13.num_edges
+
+    def test_chain_of_expansions(self):
+        hb = HyperButterfly(0, 3)
+        for _ in range(3):
+            emb = expansion_embedding(hb)
+            emb.verify()
+            hb = emb.host
+        assert hb.m == 3
+
+
+class TestContractionWords:
+    def test_coordinates_identify_copies(self, hb23):
+        fly_copy, cube_copy = contraction_words(hb23, (2, (1, 0b011)))
+        assert fly_copy == 2
+        assert cube_copy == 1 * 8 + 0b011
+
+    def test_copy_counts(self, hb23):
+        fly_copies = {contraction_words(hb23, v)[0] for v in hb23.nodes()}
+        cube_copies = {contraction_words(hb23, v)[1] for v in hb23.nodes()}
+        assert len(fly_copies) == 2**hb23.m        # one B_n copy per cube word
+        assert len(cube_copies) == hb23.n * 2**hb23.n  # one H_m copy per fly node

@@ -1,0 +1,72 @@
+"""Embedding record and verifier tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embeddings.base import Embedding, verify_cycle_embedding
+from repro.errors import EmbeddingError
+from repro.topologies.cycle import Cycle
+from repro.topologies.hypercube import Hypercube
+
+
+class TestEmbeddingVerify:
+    def test_valid_embedding(self):
+        emb = Embedding(
+            guest=Cycle(4),
+            host=Hypercube(2),
+            mapping={0: 0, 1: 1, 2: 3, 3: 2},
+        )
+        emb.verify()
+        assert emb.dilation == 1
+        assert emb.expansion == 1.0
+
+    def test_detects_unmapped_guest(self):
+        emb = Embedding(guest=Cycle(4), host=Hypercube(2), mapping={0: 0})
+        with pytest.raises(EmbeddingError):
+            emb.verify()
+
+    def test_detects_non_injective(self):
+        emb = Embedding(
+            guest=Cycle(4),
+            host=Hypercube(2),
+            mapping={0: 0, 1: 1, 2: 0, 3: 2},
+        )
+        with pytest.raises(EmbeddingError):
+            emb.verify()
+
+    def test_detects_non_edge(self):
+        emb = Embedding(
+            guest=Cycle(4),
+            host=Hypercube(2),
+            mapping={0: 0, 1: 1, 2: 2, 3: 3},  # 1-2 is not a cube edge
+        )
+        with pytest.raises(EmbeddingError):
+            emb.verify()
+
+    def test_image(self):
+        emb = Embedding(
+            guest=Cycle(4), host=Hypercube(3), mapping={0: 0, 1: 1, 2: 3, 3: 2}
+        )
+        assert emb.image() == {0, 1, 2, 3}
+
+
+class TestCycleVerifier:
+    def test_valid_cycle(self):
+        verify_cycle_embedding(Hypercube(2), [0, 1, 3, 2], expected_length=4)
+
+    def test_detects_repeats(self):
+        with pytest.raises(EmbeddingError):
+            verify_cycle_embedding(Hypercube(3), [0, 1, 0, 2])
+
+    def test_detects_broken_closing_edge(self):
+        with pytest.raises(EmbeddingError):
+            verify_cycle_embedding(Hypercube(3), [0, 1, 3, 7])
+
+    def test_detects_wrong_length(self):
+        with pytest.raises(EmbeddingError):
+            verify_cycle_embedding(Hypercube(2), [0, 1, 3, 2], expected_length=6)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(EmbeddingError):
+            verify_cycle_embedding(Hypercube(2), [0, 1])

@@ -1,0 +1,149 @@
+"""Cycle embedding tests: Remark 9, Lemma 1, Lemma 2 — exhaustively."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.embeddings.base import verify_cycle_embedding
+from repro.embeddings.cycles import (
+    butterfly_cycle,
+    butterfly_cycle_lengths,
+    butterfly_hamiltonian_cycle,
+    hb_even_cycle,
+    hb_even_cycle_max_length,
+    hypercube_cycle,
+    torus_cycle,
+)
+from repro.errors import EmbeddingError
+from repro.topologies.butterfly_cayley import CayleyButterfly
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.mesh import Torus
+
+
+class TestHypercubeCycles:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_all_even_lengths(self, m):
+        """Remark 9: H_m contains every even cycle 4..2^m."""
+        h = Hypercube(m)
+        for k in range(4, 2**m + 1, 2):
+            verify_cycle_embedding(h, hypercube_cycle(m, k), expected_length=k)
+
+    def test_rejects_odd_and_out_of_range(self):
+        with pytest.raises(EmbeddingError):
+            hypercube_cycle(3, 5)
+        with pytest.raises(EmbeddingError):
+            hypercube_cycle(3, 10)
+        with pytest.raises(EmbeddingError):
+            hypercube_cycle(3, 2)
+
+
+class TestButterflyHamiltonian:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_constructive_hamiltonian(self, n):
+        """Our binomial-lap construction: Hamiltonian for every n (the paper
+        cites [7] for this without construction)."""
+        cycle = butterfly_hamiltonian_cycle(n)
+        verify_cycle_embedding(CayleyButterfly(n), cycle, expected_length=n * 2**n)
+
+    def test_rejects_small_n(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            butterfly_hamiltonian_cycle(2)
+
+
+class TestButterflyCycleCatalog:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_every_even_length_constructible(self, n):
+        lengths = butterfly_cycle_lengths(n)
+        for k in range(4, n * 2**n + 1, 2):
+            assert k in lengths, f"missing even {k}-cycle in B_{n}"
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_constructed_cycles_are_valid(self, n):
+        cb = CayleyButterfly(n)
+        for k in butterfly_cycle_lengths(n):
+            verify_cycle_embedding(cb, butterfly_cycle(n, k), expected_length=k)
+
+    def test_straight_cycle(self):
+        cycle = butterfly_cycle(5, 5)
+        verify_cycle_embedding(CayleyButterfly(5), cycle, expected_length=5)
+
+    def test_four_cycle_any_n(self):
+        for n in (3, 5, 8):
+            verify_cycle_embedding(
+                CayleyButterfly(n), butterfly_cycle(n, 4), expected_length=4
+            )
+
+    def test_unreachable_length_raises(self):
+        with pytest.raises(EmbeddingError):
+            butterfly_cycle(3, 1000)
+
+    @pytest.mark.parametrize("n", [5, 6])
+    def test_spot_checks_large_n(self, n):
+        cb = CayleyButterfly(n)
+        for k in (4, 2 * n, 2 * n + 6, 3 * n + 2 * (n % 2), n * 2**n):
+            if k % 2 == 0 or n % 2 == 1:
+                try:
+                    cycle = butterfly_cycle(n, k)
+                except EmbeddingError:
+                    continue
+                verify_cycle_embedding(cb, cycle, expected_length=k)
+
+
+class TestTorusCycles:
+    @pytest.mark.parametrize(("n1", "n2"), [(4, 4), (4, 6), (6, 4), (8, 6)])
+    def test_lemma1_all_even_lengths(self, n1, n2):
+        t = Torus(n1, n2)
+        for k in range(4, n1 * n2 + 1, 2):
+            verify_cycle_embedding(t, torus_cycle(n1, n2, k), expected_length=k)
+
+    def test_rejects_odd(self):
+        with pytest.raises(EmbeddingError):
+            torus_cycle(4, 4, 7)
+
+    def test_rejects_too_long(self):
+        with pytest.raises(EmbeddingError):
+            torus_cycle(4, 4, 18)
+
+    def test_hamiltonian_needs_even_side(self):
+        with pytest.raises(EmbeddingError):
+            torus_cycle(5, 5, 24)  # comb needs even columns beyond 2 rows
+
+
+class TestLemma2:
+    @pytest.mark.parametrize(("m", "n"), [(0, 3), (1, 3), (2, 3), (2, 4)])
+    def test_full_even_range(self, m, n):
+        """Lemma 2: even cycles of every length 4..n*2^(m+n)."""
+        hb = HyperButterfly(m, n)
+        top = hb_even_cycle_max_length(hb)
+        assert top == hb.num_nodes
+        for k in range(4, top + 1, 2):
+            verify_cycle_embedding(hb, hb_even_cycle(hb, k), expected_length=k)
+
+    def test_rejects_odd_or_tiny(self, hb23):
+        with pytest.raises(EmbeddingError):
+            hb_even_cycle(hb23, 5)
+        with pytest.raises(EmbeddingError):
+            hb_even_cycle(hb23, 2)
+
+    def test_rejects_beyond_node_count(self, hb23):
+        with pytest.raises(EmbeddingError):
+            hb_even_cycle(hb23, hb23.num_nodes + 2)
+
+    @given(st.integers(2, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_random_even_lengths_hb23(self, half_k):
+        hb = HyperButterfly(2, 3)
+        k = 2 * half_k
+        if k < 4 or k > hb.num_nodes:
+            return
+        verify_cycle_embedding(hb, hb_even_cycle(hb, k), expected_length=k)
+
+    def test_larger_instance_spot_checks(self):
+        hb = HyperButterfly(3, 5)  # 1280 nodes
+        for k in (4, 100, 777 * 0 + 778, hb.num_nodes):
+            verify_cycle_embedding(hb, hb_even_cycle(hb, k), expected_length=k)

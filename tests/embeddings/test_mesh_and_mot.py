@@ -1,0 +1,86 @@
+"""Torus (mesh) and mesh-of-trees embedding tests (Lemma 1 setup, Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.embeddings.mesh import hb_torus_embedding
+from repro.embeddings.mesh_of_trees import hb_mesh_of_trees_embedding
+from repro.errors import EmbeddingError
+
+
+class TestTorusEmbedding:
+    @pytest.mark.parametrize(
+        ("m", "n", "n1", "n2"),
+        [(2, 3, 4, 6), (3, 3, 4, 8), (3, 3, 8, 6), (2, 4, 4, 8)],
+    )
+    def test_torus_in_hb(self, m, n, n1, n2):
+        hb = HyperButterfly(m, n)
+        emb = hb_torus_embedding(hb, n1, n2)
+        assert emb.guest.num_nodes == n1 * n2
+        emb.verify()
+
+    def test_rejects_bad_cube_side(self, hb23):
+        with pytest.raises(EmbeddingError):
+            hb_torus_embedding(hb23, 5, 6)  # odd cube-cycle length
+        with pytest.raises(EmbeddingError):
+            hb_torus_embedding(hb23, 8, 6)  # exceeds 2^m
+
+    def test_rejects_unreachable_fly_side(self, hb23):
+        with pytest.raises(EmbeddingError):
+            hb_torus_embedding(hb23, 4, 1000)
+
+    def test_expansion_reported(self, hb23):
+        emb = hb_torus_embedding(hb23, 4, 6)
+        assert emb.expansion == pytest.approx(hb23.num_nodes / 24)
+
+
+class TestTheorem4MeshOfTrees:
+    @pytest.mark.parametrize(
+        ("m", "n", "p", "q"),
+        [
+            (3, 3, 1, 1),
+            (3, 3, 1, 2),
+            (3, 3, 1, 3),
+            (4, 3, 2, 3),
+            (4, 4, 2, 4),
+            (5, 3, 3, 3),
+            (5, 4, 2, 2),
+        ],
+    )
+    def test_valid_parameter_range(self, m, n, p, q):
+        """Theorem 4: MT(2^p, 2^q) in HB(m,n) for 1<=p<=m-2, 1<=q<=n."""
+        hb = HyperButterfly(m, n)
+        emb = hb_mesh_of_trees_embedding(hb, p, q)
+        assert emb.guest.rows == 2**p
+        assert emb.guest.cols == 2**q
+        emb.verify()
+
+    def test_rejects_p_too_large(self):
+        hb = HyperButterfly(3, 3)
+        with pytest.raises(EmbeddingError):
+            hb_mesh_of_trees_embedding(hb, 2, 2)  # needs p <= m-2 = 1
+
+    def test_rejects_q_too_large(self):
+        hb = HyperButterfly(4, 3)
+        with pytest.raises(EmbeddingError):
+            hb_mesh_of_trees_embedding(hb, 1, 4)  # needs q <= n = 3
+
+    def test_rejects_zero_p(self):
+        hb = HyperButterfly(4, 3)
+        with pytest.raises(EmbeddingError):
+            hb_mesh_of_trees_embedding(hb, 0, 2)
+
+    def test_row_and_column_images_disjoint_by_construction(self):
+        """Lemma 4's key point: row internals use T1 leaves, column internals
+        use T1 internals — first coordinates cannot collide."""
+        hb = HyperButterfly(4, 3)
+        emb = hb_mesh_of_trees_embedding(hb, 2, 2)
+        row_hosts = {
+            host for g, host in emb.mapping.items() if g[0] == "row"
+        }
+        col_hosts = {
+            host for g, host in emb.mapping.items() if g[0] == "col"
+        }
+        assert not row_hosts & col_hosts

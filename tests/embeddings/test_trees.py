@@ -1,0 +1,93 @@
+"""Tree embedding tests: Lemma 3 and the Figure 1 tree row."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.embeddings.trees import (
+    butterfly_tree_embedding,
+    hb_tree_embedding,
+    hypercube_tree_embedding,
+)
+from repro.errors import EmbeddingError
+
+
+class TestLemma3ButterflyTree:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_t_n_plus_1_in_b_n(self, n):
+        emb = butterfly_tree_embedding(n)
+        assert emb.guest.num_nodes == 2 ** (n + 1) - 1
+        emb.verify()
+
+    def test_root_is_identity_classic_node(self):
+        emb = butterfly_tree_embedding(4)
+        assert emb.mapping[1] == (0, 0)  # (PI, CI) of (word 0, level 0)
+
+    def test_rejects_small_n(self):
+        with pytest.raises(EmbeddingError):
+            butterfly_tree_embedding(2)
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_patched_leaf_is_not_root(self, n):
+        emb = butterfly_tree_embedding(n)
+        leftmost_leaf = 1 << n
+        assert emb.mapping[leftmost_leaf] != emb.mapping[1]
+
+
+class TestHypercubeTree:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6, 7])
+    def test_t_m_minus_1_in_h_m(self, m):
+        emb = hypercube_tree_embedding(m)
+        assert emb.guest.num_nodes == 2 ** (m - 1) - 1
+        emb.verify()
+
+    def test_rooted_at_zero(self):
+        assert hypercube_tree_embedding(5).mapping[1] == 0
+
+    def test_custom_height(self):
+        emb = hypercube_tree_embedding(5, height=2)
+        assert emb.guest.num_nodes == 3
+        emb.verify()
+
+    def test_rejects_oversized_tree(self):
+        with pytest.raises(EmbeddingError):
+            hypercube_tree_embedding(3, height=5)
+
+    def test_rejects_zero_height(self):
+        with pytest.raises(EmbeddingError):
+            hypercube_tree_embedding(3, height=0)
+
+
+class TestFigure1HBTree:
+    @pytest.mark.parametrize(
+        ("m", "n"), [(0, 3), (1, 3), (2, 3), (3, 3), (2, 4), (4, 3), (3, 4), (4, 4)]
+    )
+    def test_t_m_plus_n_minus_1(self, m, n):
+        """Figure 1 row: HB(m,n) embeds T(m+n-1)."""
+        hb = HyperButterfly(m, n)
+        emb = hb_tree_embedding(hb)
+        assert emb.guest.k == m + n - 1
+        assert emb.guest.num_nodes == 2 ** (m + n - 1) - 1
+        emb.verify()
+
+    def test_small_m_truncates_lemma3_tree(self):
+        hb = HyperButterfly(1, 4)
+        emb = hb_tree_embedding(hb)
+        # all images sit in the cube-word-0 butterfly copy
+        assert all(host[0] == 0 for host in emb.mapping.values())
+        emb.verify()
+
+    def test_large_m_uses_cube_extensions(self):
+        hb = HyperButterfly(3, 3)
+        emb = hb_tree_embedding(hb)
+        cube_words = {host[0] for host in emb.mapping.values()}
+        assert len(cube_words) > 1  # the T(m-1) subtrees leave word 0
+        emb.verify()
+
+    def test_figure2_design_point(self):
+        """Figure 2 row: HB(3,8) embeds T(10) (1023 nodes of 16384)."""
+        hb = HyperButterfly(3, 8)
+        emb = hb_tree_embedding(hb)
+        assert emb.guest.k == 10
+        emb.verify()

@@ -1,0 +1,39 @@
+"""Fault-sweep experiment driver tests (E6)."""
+
+from __future__ import annotations
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.faults.experiments import fault_sweep
+
+
+class TestFaultSweep:
+    def test_guaranteed_region_is_perfect(self, hb13):
+        """Below connectivity, everything must connect and route."""
+        results = fault_sweep(
+            hb13, [0, 2, hb13.m + 3], trials=3, pairs_per_trial=6, seed=5
+        )
+        for r in results:
+            assert r.connected_fraction == 1.0
+            assert r.disjoint_success_rate == 1.0
+            assert r.total_pairs == 18
+
+    def test_overhead_at_least_one(self, hb13):
+        results = fault_sweep(hb13, [1, 3], trials=2, pairs_per_trial=5, seed=9)
+        for r in results:
+            assert r.mean_overhead >= 1.0
+
+    def test_beyond_guarantee_still_mostly_connected(self, hb13):
+        results = fault_sweep(hb13, [8], trials=3, pairs_per_trial=6, seed=7)
+        (r,) = results
+        assert 0.5 <= r.connected_fraction <= 1.0
+
+    def test_result_shape(self, hb13):
+        results = fault_sweep(hb13, [0, 1], trials=1, pairs_per_trial=2, seed=0)
+        assert [r.faults for r in results] == [0, 1]
+        assert all(r.trials == 1 and r.pairs_per_trial == 2 for r in results)
+
+    def test_deterministic_given_seed(self, hb13):
+        a = fault_sweep(hb13, [4], trials=2, pairs_per_trial=4, seed=3)
+        b = fault_sweep(hb13, [4], trials=2, pairs_per_trial=4, seed=3)
+        assert a[0].connected_pairs == b[0].connected_pairs
+        assert a[0].disjoint_total_length == b[0].disjoint_total_length

@@ -1,0 +1,76 @@
+"""Fault-set model tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import InvalidLabelError, InvalidParameterError
+from repro.faults.model import FaultSet, random_node_faults
+from repro.topologies.hypercube import Hypercube
+
+
+class TestFaultSet:
+    def test_validates_labels(self):
+        h = Hypercube(2)
+        with pytest.raises(InvalidLabelError):
+            FaultSet(h, [9])
+
+    def test_set_operations(self):
+        h = Hypercube(3)
+        fs = FaultSet(h, [0, 1])
+        assert len(fs) == 2
+        assert 0 in fs and 5 not in fs
+        merged = fs | [5]
+        assert len(merged) == 3
+        healed = merged.without([0, 1])
+        assert set(healed) == {5}
+
+    def test_union_with_fault_set(self):
+        h = Hypercube(3)
+        a, b = FaultSet(h, [0]), FaultSet(h, [1])
+        assert set(a | b) == {0, 1}
+
+    def test_healthy_neighbors(self):
+        h = Hypercube(3)
+        fs = FaultSet(h, [1, 2])
+        assert sorted(fs.healthy_neighbors(0)) == [4]
+
+    def test_repr(self):
+        fs = FaultSet(Hypercube(2), [1])
+        assert "1 faults" in repr(fs)
+
+
+class TestRandomFaults:
+    def test_count_and_exclusion(self):
+        h = Hypercube(4)
+        rng = random.Random(0)
+        fs = random_node_faults(h, 5, rng=rng, exclude=[0, 15])
+        assert len(fs) == 5
+        assert 0 not in fs and 15 not in fs
+
+    def test_too_many_rejected(self):
+        h = Hypercube(2)
+        with pytest.raises(InvalidParameterError):
+            random_node_faults(h, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_node_faults(Hypercube(2), -1)
+
+    def test_deterministic_with_seeded_rng(self):
+        h = Hypercube(5)
+        a = random_node_faults(h, 6, rng=random.Random(3)).nodes
+        b = random_node_faults(h, 6, rng=random.Random(3)).nodes
+        assert a == b
+
+    def test_reservoir_is_roughly_uniform(self):
+        """Each node should be hit a plausible number of times."""
+        h = Hypercube(3)
+        hits = {v: 0 for v in h.nodes()}
+        for seed in range(200):
+            for v in random_node_faults(h, 2, rng=random.Random(seed)):
+                hits[v] += 1
+        expected = 200 * 2 / 8
+        assert all(expected / 3 < c < expected * 3 for c in hits.values())

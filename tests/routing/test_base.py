@@ -1,0 +1,88 @@
+"""Path utility tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.base import (
+    loop_erase,
+    path_length,
+    paths_internally_disjoint,
+    paths_vertex_disjoint,
+    validate_path,
+)
+from repro.topologies.cycle import Cycle
+from repro.topologies.hypercube import Hypercube
+
+
+class TestValidatePath:
+    def test_accepts_valid_path(self):
+        validate_path(Hypercube(3), [0, 1, 3], source=0, target=3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(RoutingError):
+            validate_path(Hypercube(2), [])
+
+    def test_rejects_non_edge(self):
+        with pytest.raises(RoutingError):
+            validate_path(Hypercube(3), [0, 3])
+
+    def test_rejects_wrong_endpoints(self):
+        with pytest.raises(RoutingError):
+            validate_path(Hypercube(3), [0, 1], source=1)
+        with pytest.raises(RoutingError):
+            validate_path(Hypercube(3), [0, 1], target=0)
+
+    def test_rejects_revisit_when_simple(self):
+        c = Cycle(4)
+        with pytest.raises(RoutingError):
+            validate_path(c, [0, 1, 0], simple=True)
+        validate_path(c, [0, 1, 0], simple=False)
+
+    def test_rejects_foreign_node(self):
+        with pytest.raises(Exception):
+            validate_path(Hypercube(2), [0, 4])
+
+
+class TestPathLength:
+    def test_length(self):
+        assert path_length([1]) == 0
+        assert path_length([1, 2, 3]) == 2
+
+
+class TestLoopErase:
+    def test_no_loops_unchanged(self):
+        assert loop_erase([1, 2, 3]) == [1, 2, 3]
+
+    def test_cuts_simple_loop(self):
+        assert loop_erase([1, 2, 3, 2, 4]) == [1, 2, 4]
+
+    def test_cuts_nested_loops(self):
+        assert loop_erase([1, 2, 3, 4, 2, 5, 1, 6]) == [1, 6]
+
+    def test_preserves_endpoints(self):
+        walk = [0, 1, 2, 1, 2, 3]
+        erased = loop_erase(walk)
+        assert erased[0] == 0 and erased[-1] == 3
+        assert len(set(erased)) == len(erased)
+
+
+class TestDisjointness:
+    def test_vertex_disjoint(self):
+        assert paths_vertex_disjoint([[1, 2], [3, 4]])
+        assert not paths_vertex_disjoint([[1, 2], [2, 3]])
+
+    def test_internally_disjoint_shares_endpoints_only(self):
+        assert paths_internally_disjoint([[1, 2, 9], [1, 3, 9], [1, 9]])
+        assert not paths_internally_disjoint([[1, 2, 9], [1, 2, 9]])
+
+    def test_internally_disjoint_requires_common_endpoints(self):
+        assert not paths_internally_disjoint([[1, 2, 9], [1, 3, 8]])
+
+    def test_interior_may_not_touch_endpoint(self):
+        # 1 appears as an interior vertex of the second path
+        assert not paths_internally_disjoint([[1, 2, 9], [1, 3, 1, 9]])
+
+    def test_empty_family(self):
+        assert paths_internally_disjoint([])

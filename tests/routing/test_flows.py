@@ -1,0 +1,124 @@
+"""Max-flow disjoint-path extraction tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.base import paths_internally_disjoint, validate_path
+from repro.routing.flows import node_to_set_disjoint_paths, vertex_disjoint_paths
+from repro.topologies.butterfly_cayley import CayleyButterfly
+from repro.topologies.hypercube import Hypercube
+
+
+class TestVertexDisjointPaths:
+    def test_matches_local_connectivity(self, rng):
+        h = Hypercube(4)
+        g = h.to_networkx()
+        nodes = list(g.nodes())
+        for _ in range(15):
+            u, v = rng.sample(nodes, 2)
+            family = vertex_disjoint_paths(g, u, v)
+            assert len(family) == nx.connectivity.local_node_connectivity(g, u, v)
+            assert paths_internally_disjoint(family)
+            for p in family:
+                validate_path(h, p, source=u, target=v)
+
+    def test_k_truncates(self):
+        g = Hypercube(4).to_networkx()
+        family = vertex_disjoint_paths(g, 0, 0b1111, k=2)
+        assert len(family) == 2
+
+    def test_k_too_large_raises(self):
+        g = Hypercube(3).to_networkx()
+        with pytest.raises(RoutingError):
+            vertex_disjoint_paths(g, 0, 7, k=4)
+
+    def test_blocked_nodes_avoided(self):
+        g = Hypercube(3).to_networkx()
+        family = vertex_disjoint_paths(g, 0, 0b111, blocked={0b001})
+        for p in family:
+            assert 0b001 not in p
+        assert len(family) == 2  # one neighbor of the source is gone
+
+    def test_blocked_endpoint_rejected(self):
+        g = Hypercube(3).to_networkx()
+        with pytest.raises(RoutingError):
+            vertex_disjoint_paths(g, 0, 7, blocked={0})
+
+    def test_same_endpoints_rejected(self):
+        g = Hypercube(3).to_networkx()
+        with pytest.raises(RoutingError):
+            vertex_disjoint_paths(g, 1, 1)
+
+    def test_cutoff_still_yields_requested_family(self):
+        bf = CayleyButterfly(4)
+        g = bf.to_networkx()
+        family = vertex_disjoint_paths(g, (0, 0), (2, 0b1010), k=4, cutoff=4)
+        assert len(family) == 4
+        assert paths_internally_disjoint(family)
+
+
+class TestNodeToSet:
+    def test_hypercube_neighbors_to_antipode(self):
+        h = Hypercube(4)
+        g = h.to_networkx()
+        sources = [1 << i for i in range(4)]
+        family = node_to_set_disjoint_paths(g, sources, 0b1111)
+        assert [p[0] for p in family] == sources
+        seen = set()
+        for p in family:
+            assert p[-1] == 0b1111
+            for x in p[:-1]:
+                assert x not in seen
+                seen.add(x)
+            validate_path(h, p, target=0b1111)
+
+    def test_source_equal_to_target_gets_trivial_path(self):
+        g = Hypercube(3).to_networkx()
+        family = node_to_set_disjoint_paths(g, [0b111, 0b011], 0b111)
+        assert family[0] == [0b111]
+        assert family[1][0] == 0b011 and family[1][-1] == 0b111
+
+    def test_butterfly_neighbors_to_far_node(self, bf4, rng):
+        g = bf4.to_networkx()
+        for _ in range(10):
+            target = rng.choice(list(bf4.nodes()))
+            anchor = rng.choice(list(bf4.nodes()))
+            sources = bf4.neighbors(anchor)
+            if target in sources or target == anchor:
+                continue
+            family = node_to_set_disjoint_paths(g, sources, target)
+            assert len(family) == 4
+            seen = set()
+            for p in family:
+                for x in p[:-1]:
+                    assert x not in seen
+                    seen.add(x)
+
+    def test_paths_never_pass_through_other_sources(self):
+        g = Hypercube(4).to_networkx()
+        sources = [1, 2, 4, 8]
+        family = node_to_set_disjoint_paths(g, sources, 0b1111)
+        for i, p in enumerate(family):
+            for j, s in enumerate(sources):
+                if i != j:
+                    assert s not in p
+
+    def test_duplicate_sources_rejected(self):
+        g = Hypercube(3).to_networkx()
+        with pytest.raises(RoutingError):
+            node_to_set_disjoint_paths(g, [1, 1], 7)
+
+    def test_infeasible_raises(self):
+        # a path graph cannot route 2 disjoint paths into its end vertex
+        g = nx.path_graph(5)
+        with pytest.raises(RoutingError):
+            node_to_set_disjoint_paths(g, [0, 2], 4)
+
+    def test_blocked_respected(self):
+        g = Hypercube(3).to_networkx()
+        family = node_to_set_disjoint_paths(g, [1, 2], 7, blocked={5})
+        for p in family:
+            assert 5 not in p

@@ -1,0 +1,87 @@
+"""Hypercube routing and disjoint-path tests [5]."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, RoutingError
+from repro.routing.base import paths_internally_disjoint, validate_path
+from repro.routing.hypercube import (
+    hypercube_disjoint_paths,
+    hypercube_distance,
+    hypercube_route,
+)
+from repro.topologies.hypercube import Hypercube
+
+
+class TestRoute:
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=80)
+    def test_route_is_shortest(self, m, data):
+        u = data.draw(st.integers(0, 2**m - 1))
+        v = data.draw(st.integers(0, 2**m - 1))
+        path = hypercube_route(m, u, v)
+        assert len(path) - 1 == hypercube_distance(u, v)
+        validate_path(Hypercube(m), path, source=u, target=v)
+
+    def test_custom_order(self):
+        path = hypercube_route(3, 0b000, 0b101, order=[2, 0])
+        assert path == [0b000, 0b100, 0b101]
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(RoutingError):
+            hypercube_route(3, 0, 0b101, order=[0, 1])
+
+    def test_rejects_out_of_range_words(self):
+        with pytest.raises(InvalidParameterError):
+            hypercube_route(2, 0, 7)
+
+    def test_trivial(self):
+        assert hypercube_route(3, 5, 5) == [5]
+
+
+class TestDisjointPaths:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5])
+    def test_exhaustive_small(self, m):
+        """Every distinct pair yields m internally disjoint valid paths."""
+        h = Hypercube(m)
+        for u, v in itertools.combinations(range(2**m), 2):
+            family = hypercube_disjoint_paths(m, u, v)
+            assert len(family) == m
+            assert paths_internally_disjoint(family)
+            for p in family:
+                validate_path(h, p, source=u, target=v)
+
+    @pytest.mark.parametrize("m", [3, 4, 6])
+    def test_length_bounds(self, m):
+        """d rotated paths of length d; m-d detours of length d+2 <= m+2."""
+        import random
+
+        rng = random.Random(m)
+        for _ in range(30):
+            u, v = rng.randrange(2**m), rng.randrange(2**m)
+            if u == v:
+                continue
+            d = hypercube_distance(u, v)
+            family = hypercube_disjoint_paths(m, u, v)
+            lengths = sorted(len(p) - 1 for p in family)
+            assert lengths[:d] == [d] * d
+            assert lengths[d:] == [d + 2] * (m - d)
+            assert max(lengths) <= m + 2
+
+    def test_rejects_equal_endpoints(self):
+        with pytest.raises(RoutingError):
+            hypercube_disjoint_paths(3, 5, 5)
+
+    def test_adjacent_pair(self):
+        family = hypercube_disjoint_paths(3, 0, 1)
+        assert sorted(len(p) - 1 for p in family) == [1, 3, 3]
+
+    def test_antipodal_pair(self):
+        m = 4
+        family = hypercube_disjoint_paths(m, 0, 2**m - 1)
+        assert all(len(p) - 1 == m for p in family)

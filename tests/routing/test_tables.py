@@ -1,0 +1,72 @@
+"""Routing-table tests (VLSI-oriented, built on vertex transitivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.routing.base import validate_path
+from repro.routing.tables import build_full_table, build_split_table
+
+
+class TestFullTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_full_table(HyperButterfly(1, 3))
+
+    def test_entry_count_is_node_count_minus_one(self, table):
+        assert table.num_entries == table.hb.num_nodes - 1
+
+    def test_all_pairs_optimal(self, table):
+        """One shared table routes every pair optimally."""
+        hb = table.hb
+        nodes = list(hb.nodes())
+        for u in nodes[::3]:
+            for v in nodes[::5]:
+                path = table.route(u, v)
+                validate_path(hb, path, source=u, target=v)
+                assert len(path) - 1 == hb.distance(u, v)
+
+    def test_trivial_route(self, table):
+        u = table.hb.identity_node()
+        assert table.route(u, u) == [u]
+        assert table.next_hop(u, u) is None
+
+
+class TestSplitTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_split_table(HyperButterfly(2, 3))
+
+    def test_rom_saving(self, table):
+        """The split table only stores the butterfly factor."""
+        hb = table.hb
+        assert table.num_entries == hb.n * 2**hb.n - 1
+        full = build_full_table(hb)
+        assert full.num_entries == hb.num_nodes - 1
+        assert table.num_entries < full.num_entries
+
+    def test_all_pairs_optimal(self, table, rng):
+        hb = table.hb
+        nodes = list(hb.nodes())
+        for _ in range(80):
+            u, v = rng.sample(nodes, 2)
+            path = table.route(u, v)
+            validate_path(hb, path, source=u, target=v)
+            assert len(path) - 1 == hb.distance(u, v)
+
+    def test_cube_part_first(self, table):
+        u, v = (0, (0, 0)), (3, (1, 0b001))
+        hop = table.next_hop(u, v)
+        assert hop[1] == u[1]  # butterfly part untouched while cube differs
+
+
+class TestAgreement:
+    def test_full_and_split_same_lengths(self, rng):
+        hb = HyperButterfly(1, 4)
+        full = build_full_table(hb)
+        split = build_split_table(hb)
+        nodes = list(hb.nodes())
+        for _ in range(60):
+            u, v = rng.sample(nodes, 2)
+            assert len(full.route(u, v)) == len(split.route(u, v))

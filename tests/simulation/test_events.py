@@ -1,0 +1,70 @@
+"""Event-queue core tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda: log.append("c"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        assert q.run() == 3
+        assert log == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        log = []
+        for name in "abc":
+            q.schedule(1.0, lambda name=name: log.append(name))
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_until_horizon(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(5.0, lambda: log.append(5))
+        assert q.run(until=2.0) == 1
+        assert log == [1]
+        assert len(q) == 1
+
+    def test_max_events(self):
+        q = EventQueue()
+        for i in range(10):
+            q.schedule(float(i), lambda: None)
+        assert q.run(max_events=4) == 4
+        assert len(q) == 6
+
+    def test_cascading_events_keep_clock_monotonic(self):
+        q = EventQueue()
+        times = []
+
+        def fire():
+            times.append(q.now)
+            if len(times) < 5:
+                q.schedule(1.5, fire)
+
+        q.schedule(0.0, fire)
+        q.run()
+        assert times == [0.0, 1.5, 3.0, 4.5, 6.0]
+
+    def test_rejects_negative_delay(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_processed_counter(self):
+        q = EventQueue()
+        q.schedule(0.0, lambda: None)
+        q.run()
+        q.schedule(0.0, lambda: None)
+        q.run()
+        assert q.processed == 2

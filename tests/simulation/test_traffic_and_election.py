@@ -1,0 +1,94 @@
+"""Traffic generator and leader-election tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import InvalidParameterError, SimulationError
+from repro.simulation.leader_election import (
+    flood_max_election,
+    tree_based_election,
+)
+from repro.simulation.traffic import (
+    hotspot_traffic,
+    permutation_traffic,
+    uniform_random_traffic,
+)
+from repro.topologies.hypercube import Hypercube
+
+
+class TestTraffic:
+    def test_uniform_pairs_distinct_endpoints(self, hb13):
+        pairs = uniform_random_traffic(hb13, 60, seed=1)
+        assert len(pairs) == 60
+        assert all(s != t for s, t in pairs)
+        assert all(hb13.has_node(s) and hb13.has_node(t) for s, t in pairs)
+
+    def test_uniform_deterministic(self, hb13):
+        assert uniform_random_traffic(hb13, 10, seed=5) == uniform_random_traffic(
+            hb13, 10, seed=5
+        )
+
+    def test_uniform_rejects_negative(self, hb13):
+        with pytest.raises(InvalidParameterError):
+            uniform_random_traffic(hb13, -1)
+
+    def test_permutation_is_derangement(self, hb13):
+        pairs = permutation_traffic(hb13, seed=2)
+        sources = [s for s, _ in pairs]
+        targets = [t for _, t in pairs]
+        assert sorted(map(repr, sources)) == sorted(map(repr, targets))
+        assert all(s != t for s, t in pairs)
+        assert len(set(targets)) == hb13.num_nodes
+
+    def test_hotspot_concentration(self, hb13):
+        hot = hb13.identity_node()
+        pairs = hotspot_traffic(hb13, 200, hotspot=hot, hot_fraction=0.8, seed=3)
+        hot_count = sum(1 for _, t in pairs if t == hot)
+        assert hot_count > 100  # well above uniform expectation
+
+    def test_hotspot_fraction_validation(self, hb13):
+        with pytest.raises(InvalidParameterError):
+            hotspot_traffic(hb13, 10, hot_fraction=1.5)
+
+
+class TestFloodElection:
+    @pytest.mark.parametrize("topology", [Hypercube(4)], ids=["H_4"])
+    def test_elects_max_id(self, topology):
+        result = flood_max_election(topology, seed=0)
+        assert result.leader_id == topology.num_nodes - 1
+        assert result.algorithm == "flood-max"
+
+    def test_rounds_bounded_by_diameter_plus_one(self, hb13):
+        result = flood_max_election(hb13, seed=1)
+        assert result.rounds <= hb13.diameter_formula() + 1
+
+    def test_explicit_ids(self, hb13):
+        ids = {v: i for i, v in enumerate(hb13.nodes())}
+        chosen = max(ids, key=ids.get)
+        result = flood_max_election(hb13, ids=ids)
+        assert result.leader == chosen
+
+    def test_duplicate_ids_rejected(self, hb13):
+        ids = {v: 0 for v in hb13.nodes()}
+        with pytest.raises(SimulationError):
+            flood_max_election(hb13, ids=ids)
+
+
+class TestTreeElection:
+    def test_agrees_with_flooding(self, hb13):
+        flood = flood_max_election(hb13, seed=4)
+        tree = tree_based_election(hb13, hb13.identity_node(), seed=4)
+        assert flood.leader == tree.leader
+
+    def test_message_optimality(self, hb13):
+        tree = tree_based_election(hb13, hb13.identity_node(), seed=4)
+        assert tree.messages == 3 * (hb13.num_nodes - 1)
+        flood = flood_max_election(hb13, seed=4)
+        assert tree.messages < flood.messages
+
+    def test_rounds_relate_to_eccentricity(self, hb13):
+        root = hb13.identity_node()
+        tree = tree_based_election(hb13, root, seed=4)
+        assert tree.rounds == 3 * hb13.eccentricity(root)

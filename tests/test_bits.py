@@ -1,0 +1,101 @@
+"""Unit and property tests for the bit-vector helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bits import (
+    bit,
+    bits_to_word,
+    differing_bits,
+    flip,
+    format_word,
+    gray_code,
+    gray_cycle,
+    mask,
+    popcount,
+    rotate_left,
+    rotate_right,
+    set_bits,
+    word_to_bits,
+)
+
+words = st.integers(min_value=0, max_value=(1 << 12) - 1)
+widths = st.integers(min_value=1, max_value=12)
+
+
+class TestBasics:
+    def test_bit_extracts_positions(self):
+        assert [bit(0b1010, i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_flip_is_involution(self):
+        assert flip(flip(0b1010, 2), 2) == 0b1010
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(3) == 0b111
+
+    def test_set_bits_sorted(self):
+        assert set_bits(0b101001) == [0, 3, 5]
+
+    def test_differing_bits(self):
+        assert differing_bits(0b1100, 0b1010) == [1, 2]
+
+    def test_format_word_msb_first(self):
+        assert format_word(0b011, 4) == "0011"
+        assert format_word(0, 0) == ""
+
+
+class TestRotation:
+    def test_rotate_left_moves_bit_up(self):
+        # bit 0 should land at bit 2 after rotating left by 2 in width 4
+        assert rotate_left(0b0001, 2, 4) == 0b0100
+
+    def test_rotate_wraps(self):
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    @given(words, st.integers(-20, 20), widths)
+    def test_rotate_right_inverts_left(self, w, k, width):
+        w &= mask(width)
+        assert rotate_right(rotate_left(w, k, width), k, width) == w
+
+    @given(words, widths)
+    def test_rotate_full_cycle_is_identity(self, w, width):
+        w &= mask(width)
+        assert rotate_left(w, width, width) == w
+
+    @given(words, st.integers(-20, 20), widths)
+    def test_rotation_preserves_popcount(self, w, k, width):
+        w &= mask(width)
+        assert popcount(rotate_left(w, k, width)) == popcount(w)
+
+
+class TestWordBitConversion:
+    @given(words, widths)
+    def test_roundtrip(self, w, width):
+        w &= mask(width)
+        assert bits_to_word(word_to_bits(w, width)) == w
+
+    def test_bits_to_word_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_word([0, 2, 1])
+
+
+class TestGray:
+    @given(st.integers(min_value=2, max_value=10))
+    def test_gray_cycle_is_hamiltonian_cycle(self, width):
+        seq = list(gray_cycle(width))
+        assert sorted(seq) == list(range(1 << width))
+        for a, b in zip(seq, seq[1:] + [seq[0]]):
+            assert popcount(a ^ b) == 1
+
+    def test_gray_code_start(self):
+        assert gray_code(0) == 0
+        assert gray_code(1) == 1
+        assert gray_code(2) == 3

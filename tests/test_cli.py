@@ -1,0 +1,53 @@
+"""CLI smoke tests (every subcommand on small instances)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "HB(2,3)" in out
+        assert "96" in out
+
+    def test_info_exact(self, capsys):
+        assert main(["info", "1", "3", "--exact"]) == 0
+        assert "exact diameter" in capsys.readouterr().out
+
+    def test_route(self, capsys):
+        assert main(["route", "1", "3", "(0;abc)", "(1;bcA)"]) == 0
+        out = capsys.readouterr().out
+        assert "distance" in out
+        assert "(0;abc)" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "HB(2,3)" in out and "Fault-tolerance" in out
+
+    def test_figure1_verify(self, capsys):
+        assert main(["figure1", "1", "3", "--verify"]) == 0
+        assert "Parameter" in capsys.readouterr().out
+
+    def test_faults(self, capsys):
+        assert main(["faults", "1", "3", "2", "--trials", "1"]) == 0
+        assert "fault sweep" in capsys.readouterr().out
+
+    def test_broadcast(self, capsys):
+        assert main(["broadcast", "1", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all-port" in out and "structured" in out

@@ -1,0 +1,90 @@
+"""Serialisation round-trip tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.disjoint_paths import disjoint_paths
+from repro.embeddings.trees import hb_tree_embedding
+from repro.errors import EmbeddingError, InvalidLabelError
+from repro.io import (
+    dump_embedding,
+    dump_paths,
+    load_embedding_mapping,
+    load_paths,
+    node_from_jsonable,
+    node_to_jsonable,
+)
+from repro.topologies.tree import CompleteBinaryTree
+
+
+class TestNodeCodec:
+    @pytest.mark.parametrize(
+        "node", [0, 5, (1, 2), (3, (2, 9)), ("row", 1, 2), ((0, (1, 2)), 4)]
+    )
+    def test_roundtrip(self, node):
+        assert node_from_jsonable(node_to_jsonable(node)) == node
+
+    def test_rejects_unserialisable(self):
+        with pytest.raises(InvalidLabelError):
+            node_to_jsonable(object())
+
+    def test_rejects_bad_payload(self):
+        with pytest.raises(InvalidLabelError):
+            node_from_jsonable({"a": 1})
+
+
+class TestPathsRoundTrip:
+    def test_theorem5_family(self, hb23, tmp_path):
+        u, v = (0, (0, 0)), (3, (2, 0b101))
+        family = disjoint_paths(hb23, u, v)
+        file = tmp_path / "family.json"
+        dump_paths(family, file, meta={"case": 3})
+        loaded, meta = load_paths(file, topology=hb23)
+        assert loaded == family
+        assert meta == {"case": 3}
+
+    def test_validation_catches_foreign_nodes(self, hb23, hb13, tmp_path):
+        u, v = (0, (0, 0)), (3, (2, 0b101))
+        family = disjoint_paths(hb23, u, v)
+        file = tmp_path / "family.json"
+        dump_paths(family, file)
+        with pytest.raises(InvalidLabelError):
+            load_paths(file, topology=hb13)  # wrong host
+
+    def test_file_is_plain_json(self, hb23, tmp_path):
+        file = tmp_path / "p.json"
+        dump_paths([[(0, (0, 0)), (1, (0, 0))]], file)
+        payload = json.loads(file.read_text())
+        assert payload["paths"][0][0] == [0, [0, 0]]
+
+
+class TestEmbeddingRoundTrip:
+    def test_tree_embedding(self, hb23, tmp_path):
+        emb = hb_tree_embedding(hb23)
+        file = tmp_path / "tree.json"
+        dump_embedding(emb, file)
+        mapping = load_embedding_mapping(
+            file, guest=emb.guest, host=hb23
+        )  # re-verified inside
+        assert mapping == dict(emb.mapping)
+
+    def test_tampered_mapping_fails_verification(self, hb23, tmp_path):
+        emb = hb_tree_embedding(hb23)
+        file = tmp_path / "tree.json"
+        dump_embedding(emb, file)
+        payload = json.loads(file.read_text())
+        payload["mapping"][0][1] = payload["mapping"][1][1]  # duplicate image
+        file.write_text(json.dumps(payload))
+        with pytest.raises(EmbeddingError):
+            load_embedding_mapping(
+                file, guest=CompleteBinaryTree(emb.guest.k), host=hb23
+            )
+
+    def test_load_without_verification(self, hb23, tmp_path):
+        emb = hb_tree_embedding(hb23)
+        file = tmp_path / "tree.json"
+        dump_embedding(emb, file)
+        assert load_embedding_mapping(file) == dict(emb.mapping)

@@ -1,0 +1,144 @@
+"""Cross-module property-based tests (hypothesis) on core invariants.
+
+These complement the per-module suites with randomized invariants that tie
+several subsystems together: group algebra vs graph distance, routing vs
+oracle, disjoint paths vs Menger, embeddings vs verifiers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.disjoint_paths import disjoint_paths, verify_disjoint_paths
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.core.routing import HBRouter
+from repro.embeddings.base import verify_cycle_embedding
+from repro.embeddings.cycles import hb_even_cycle
+from repro.routing.base import validate_path
+from repro.routing.butterfly import butterfly_distance, butterfly_route_walk
+
+_HB_CACHE: dict[tuple[int, int], HyperButterfly] = {}
+
+
+def get_hb(m: int, n: int) -> HyperButterfly:
+    if (m, n) not in _HB_CACHE:
+        _HB_CACHE[(m, n)] = HyperButterfly(m, n)
+    return _HB_CACHE[(m, n)]
+
+
+def hb_nodes(m: int, n: int):
+    return st.tuples(
+        st.integers(0, (1 << m) - 1),
+        st.tuples(st.integers(0, n - 1), st.integers(0, (1 << n) - 1)),
+    )
+
+
+small_mn = st.sampled_from([(0, 3), (1, 3), (2, 3), (1, 4), (2, 4)])
+
+
+class TestGroupGraphCoherence:
+    @given(small_mn, st.data())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_neighbors_are_mutual(self, mn, data):
+        m, n = mn
+        hb = get_hb(m, n)
+        v = data.draw(hb_nodes(m, n))
+        for w in hb.neighbors(v):
+            assert v in hb.neighbors(w)
+
+    @given(small_mn, st.data())
+    @settings(max_examples=60)
+    def test_quotient_is_graph_translation(self, mn, data):
+        """dist(u, v) == dist(I, u^{-1} v) — Remark 7 made executable."""
+        m, n = mn
+        hb = get_hb(m, n)
+        u = data.draw(hb_nodes(m, n))
+        v = data.draw(hb_nodes(m, n))
+        delta = hb.group.quotient(u, v)
+        assert hb.distance(u, v) == hb.distance(hb.identity_node(), delta)
+
+
+class TestRoutingInvariants:
+    @given(small_mn, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_route_length_equals_distance_and_is_valid(self, mn, data):
+        m, n = mn
+        hb = get_hb(m, n)
+        router = HBRouter(hb)
+        u = data.draw(hb_nodes(m, n))
+        v = data.draw(hb_nodes(m, n))
+        result = router.route(u, v)
+        validate_path(hb, result.path, source=u, target=v)
+        assert result.length == hb.distance(u, v)
+
+    @given(small_mn, st.data())
+    @settings(max_examples=60)
+    def test_distance_is_a_metric(self, mn, data):
+        m, n = mn
+        hb = get_hb(m, n)
+        u = data.draw(hb_nodes(m, n))
+        v = data.draw(hb_nodes(m, n))
+        w = data.draw(hb_nodes(m, n))
+        duv = hb.distance(u, v)
+        assert duv == hb.distance(v, u)
+        assert (duv == 0) == (u == v)
+        assert hb.distance(u, w) <= duv + hb.distance(v, w)
+
+    @given(small_mn, st.data())
+    @settings(max_examples=40)
+    def test_distance_bounded_by_diameter_formula(self, mn, data):
+        m, n = mn
+        hb = get_hb(m, n)
+        u = data.draw(hb_nodes(m, n))
+        v = data.draw(hb_nodes(m, n))
+        assert hb.distance(u, v) <= hb.diameter_formula()
+
+    @given(st.integers(3, 12), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_butterfly_router_scales_without_oracle(self, n, data):
+        """The covering-walk router works at sizes the oracle never sees."""
+        u = (data.draw(st.integers(0, n - 1)), data.draw(st.integers(0, 2**n - 1)))
+        v = (data.draw(st.integers(0, n - 1)), data.draw(st.integers(0, 2**n - 1)))
+        d = butterfly_distance(n, u, v)
+        path = butterfly_route_walk(n, u, v)
+        assert len(path) - 1 == d <= (3 * n) // 2
+
+
+class TestDisjointPathInvariants:
+    @given(small_mn, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_theorem5_family_always_valid(self, mn, data):
+        m, n = mn
+        hb = get_hb(m, n)
+        u = data.draw(hb_nodes(m, n))
+        v = data.draw(hb_nodes(m, n))
+        if u == v:
+            return
+        family = disjoint_paths(hb, u, v)
+        verify_disjoint_paths(hb, u, v, family)
+
+    @given(small_mn, st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_family_contains_a_shortest_path(self, mn, data):
+        """At least one of the m+4 paths achieves the exact distance
+        (the construction starts from optimal part-routes)."""
+        m, n = mn
+        hb = get_hb(m, n)
+        u = data.draw(hb_nodes(m, n))
+        v = data.draw(hb_nodes(m, n))
+        if u == v:
+            return
+        family = disjoint_paths(hb, u, v)
+        assert min(len(p) - 1 for p in family) >= hb.distance(u, v)
+
+
+class TestEmbeddingInvariants:
+    @given(st.integers(2, 47))
+    @settings(max_examples=40, deadline=None)
+    def test_every_even_cycle_length_hb13(self, half_k):
+        hb = get_hb(1, 3)
+        k = 2 * half_k
+        if not 4 <= k <= hb.num_nodes:
+            return
+        verify_cycle_embedding(hb, hb_even_cycle(hb, k), expected_length=k)

@@ -1,0 +1,70 @@
+"""DOT export tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.disjoint_paths import disjoint_paths
+from repro.core.routing import HBRouter
+from repro.embeddings.trees import butterfly_tree_embedding
+from repro.errors import InvalidParameterError
+from repro.topologies.hypercube import Hypercube
+from repro.viz import embedding_to_dot, path_family_to_dot, to_dot
+
+
+class TestToDot:
+    def test_basic_structure(self):
+        dot = to_dot(Hypercube(3))
+        assert dot.startswith('graph "H_3" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == 12  # edges of H_3
+
+    def test_node_count(self, hb13):
+        dot = to_dot(hb13)
+        # one node line per node (label attribute present)
+        assert dot.count("label=") == hb13.num_nodes
+
+    def test_highlighting(self):
+        dot = to_dot(Hypercube(2), highlight_nodes=[0, 3])
+        assert dot.count("fillcolor=") == 2
+
+    def test_hb_edge_classes_styled(self, hb13):
+        dot = to_dot(hb13)
+        assert "style=dashed" in dot  # hypercube edges
+
+    def test_size_cap(self):
+        from repro.core.hyperbutterfly import HyperButterfly
+
+        with pytest.raises(InvalidParameterError):
+            to_dot(HyperButterfly(3, 8))
+
+    def test_invalid_highlight(self):
+        with pytest.raises(Exception):
+            to_dot(Hypercube(2), highlight_nodes=[9])
+
+
+class TestPathFamilyDot:
+    def test_theorem5_family_rendering(self, hb13):
+        u, v = (0, (0, 0)), (1, (2, 0b011))
+        family = disjoint_paths(hb13, u, v)
+        dot = path_family_to_dot(hb13, family)
+        assert dot.count("penwidth=2.5") == sum(len(p) - 1 for p in family)
+        assert dot.count("fillcolor=") == 2  # the two endpoints
+
+    def test_single_route(self, hb13):
+        router = HBRouter(hb13)
+        route = router.route((0, (0, 0)), (1, (1, 0b001)))
+        dot = path_family_to_dot(hb13, [route.path])
+        assert "penwidth" in dot
+
+    def test_rejects_empty_family(self, hb13):
+        with pytest.raises(InvalidParameterError):
+            path_family_to_dot(hb13, [])
+
+
+class TestEmbeddingDot:
+    def test_lemma3_tree_rendering(self):
+        emb = butterfly_tree_embedding(3)
+        dot = embedding_to_dot(emb)
+        assert dot.count("fillcolor=") == emb.guest.num_nodes
+        assert dot.count("penwidth=2.5") == emb.guest.num_edges

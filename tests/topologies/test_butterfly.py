@@ -1,0 +1,82 @@
+"""Classic wrapped-butterfly tests (Remark 1 facts)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.topologies.butterfly import WrappedButterfly
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_counts(self, n):
+        b = WrappedButterfly(n)
+        assert b.num_nodes == n * 2**n
+        assert b.num_edges == n * 2 ** (n + 1)
+        g = b.to_networkx()
+        assert g.number_of_nodes() == b.num_nodes
+        assert g.number_of_edges() == b.num_edges
+
+    def test_rejects_small_n(self):
+        with pytest.raises(InvalidParameterError):
+            WrappedButterfly(2)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_four_regular(self, n):
+        b = WrappedButterfly(n)
+        assert b.is_regular()
+        assert b.degree((0, 0)) == 4
+
+    def test_neighbors_change_level_by_one(self):
+        b = WrappedButterfly(4)
+        for w, level in [(0, 0), (7, 2), (15, 3)]:
+            for w2, level2 in b.neighbors((w, level)):
+                assert (level2 - level) % 4 in (1, 3)
+
+    def test_cross_edge_flips_source_level_bit(self):
+        b = WrappedButterfly(4)
+        v = (0b0000, 2)
+        assert b.forward_cross(v) == (0b0100, 3)
+        assert b.backward_cross(v) == (0b0010, 1)
+
+    def test_directional_accessors_are_neighbors(self):
+        b = WrappedButterfly(3)
+        v = (0b101, 1)
+        moves = [
+            b.forward_straight(v),
+            b.forward_cross(v),
+            b.backward_straight(v),
+            b.backward_cross(v),
+        ]
+        assert sorted(moves) == sorted(b.neighbors(v))
+
+    def test_level_nodes(self):
+        b = WrappedButterfly(3)
+        assert len(list(b.level_nodes(1))) == 8
+        with pytest.raises(InvalidParameterError):
+            list(b.level_nodes(3))
+
+    def test_format_node(self):
+        assert WrappedButterfly(3).format_node((0b011, 2)) == "<011;2>"
+
+
+class TestMetrics:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_diameter_formula_matches_exact(self, n):
+        """Remark 1 claims floor(3n/2); Theorem 3 writes the ceiling —
+        exact BFS settles the floor reading (see EXPERIMENTS.md)."""
+        b = WrappedButterfly(n)
+        assert nx.diameter(b.to_networkx()) == b.diameter_formula() == (3 * n) // 2
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_connected_and_vertex_transitive_degree(self, n):
+        g = WrappedButterfly(n).to_networkx()
+        assert nx.is_connected(g)
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_vertex_connectivity_is_four(self, n):
+        """Remark 1: B_n is maximally fault tolerant (kappa = 4)."""
+        g = WrappedButterfly(n).to_networkx()
+        assert nx.node_connectivity(g) == 4

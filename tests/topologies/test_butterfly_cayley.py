@@ -1,0 +1,102 @@
+"""Cayley butterfly tests: PI/CI vocabulary and the Remark 2 isomorphism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.topologies.butterfly import WrappedButterfly
+from repro.topologies.butterfly_cayley import (
+    CayleyButterfly,
+    cayley_to_classic,
+    classic_to_cayley,
+)
+
+
+class TestVocabulary:
+    def test_identity_node(self, bf3):
+        assert bf3.identity_node() == (0, 0)
+        assert bf3.format_node((0, 0)) == "abc"
+
+    def test_paper_pi_examples(self, bf3):
+        """Definition 1's examples: PI(bca) = 1, PI(cab) = 2."""
+        assert bf3.node_from_string("bca") == (1, 0)
+        assert bf3.node_from_string("cab") == (2, 0)
+        assert CayleyButterfly.permutation_index((1, 0)) == 1
+
+    def test_complementation_index(self, bf3):
+        # "aBc" complements symbol t_1 only -> CI = 2
+        node = bf3.node_from_string("aBc")
+        assert CayleyButterfly.complementation_index(node) == 0b010
+
+    def test_format_roundtrip(self, bf4):
+        for node in bf4.nodes():
+            assert bf4.node_from_string(bf4.format_node(node)) == node
+
+    def test_node_from_string_rejects_bad_labels(self, bf3):
+        with pytest.raises(InvalidParameterError):
+            bf3.node_from_string("acb")  # not a cyclic shift
+        with pytest.raises(InvalidParameterError):
+            bf3.node_from_string("ab")  # wrong length
+
+    def test_symbol_sequence(self, bf3):
+        seq = bf3.symbol_sequence((1, 0b100))
+        assert [s for s, _ in seq] == [1, 2, 0]
+        assert [c for _, c in seq] == [False, True, False]
+
+
+class TestGeneratorApplications:
+    def test_g_rotates_label(self, bf3):
+        node = bf3.node_from_string("abc")
+        assert bf3.format_node(bf3.apply_g(node)) == "bca"
+
+    def test_f_complements_wrapped_symbol(self, bf3):
+        node = bf3.node_from_string("abc")
+        assert bf3.format_node(bf3.apply_f(node)) == "bcA"
+
+    def test_f_inv_complements_front_symbol(self, bf3):
+        node = bf3.node_from_string("abc")
+        assert bf3.format_node(bf3.apply_f_inv(node)) == "Cab"
+
+    def test_g_inv_undoes_g(self, bf4):
+        for node in [(0, 0), (2, 0b1010), (3, 0b0110)]:
+            assert bf4.apply_g_inv(bf4.apply_g(node)) == node
+
+
+class TestRemark2Isomorphism:
+    """The identity map (PI, CI) -> (level=PI, word=CI) preserves edges."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_isomorphism_exhaustive(self, n):
+        cayley = CayleyButterfly(n)
+        classic = WrappedButterfly(n)
+        for v in cayley.nodes():
+            image = cayley_to_classic(v)
+            assert classic.has_node(image)
+            expected = {cayley_to_classic(w) for w in cayley.neighbors(v)}
+            assert expected == set(classic.neighbors(image))
+
+    def test_maps_invert_each_other(self):
+        assert classic_to_cayley(cayley_to_classic((2, 5))) == (2, 5)
+
+
+class TestCayleyServices:
+    def test_counts(self, bf4):
+        assert bf4.num_nodes == 64
+        assert bf4.num_edges == 128
+        assert bf4.is_regular()
+
+    def test_diameter_matches_formula(self, bf3, bf4):
+        assert bf3.diameter() == bf3.diameter_formula() == 4
+        assert bf4.diameter() == bf4.diameter_formula() == 6
+
+    def test_distance_symmetric(self, bf3):
+        nodes = list(bf3.nodes())
+        for u in nodes[::5]:
+            for v in nodes[::7]:
+                assert bf3.distance(u, v) == bf3.distance(v, u)
+
+    def test_shortest_path_endpoints(self, bf3):
+        path = bf3.shortest_path((0, 0), (2, 0b101))
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 0b101)

@@ -1,0 +1,97 @@
+"""de Bruijn and hyper-deBruijn tests (the baseline family [1])."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.topologies.debruijn import DeBruijn
+from repro.topologies.hyperdebruijn import HyperDeBruijn
+
+
+class TestDeBruijn:
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            DeBruijn(0)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_node_count(self, n):
+        assert DeBruijn(n).num_nodes == 2**n
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_degrees_between_2_and_4(self, n):
+        d = DeBruijn(n)
+        lo, hi = d.degree_stats()
+        assert lo == 2 and hi == 4
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_irregular(self, n):
+        assert not DeBruijn(n).is_regular()
+
+    def test_all_zero_and_all_one_have_degree_two(self):
+        d = DeBruijn(4)
+        assert d.degree(0) == 2
+        assert d.degree(0b1111) == 2
+
+    def test_no_self_loops(self):
+        d = DeBruijn(3)
+        for v in d.nodes():
+            assert v not in d.neighbors(v)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_shift_successors_are_neighbors(self, n):
+        d = DeBruijn(n)
+        m = (1 << n) - 1
+        for v in d.nodes():
+            for b in (0, 1):
+                w = ((v << 1) & m) | b
+                if w != v:
+                    assert w in d.neighbors(v)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_connected_with_diameter_at_most_n(self, n):
+        g = DeBruijn(n).to_networkx()
+        assert nx.is_connected(g)
+        assert nx.diameter(g) <= n
+
+    def test_format(self):
+        assert DeBruijn(4).format_node(0b0101) == "0101"
+
+
+class TestHyperDeBruijn:
+    def test_counts(self):
+        hd = HyperDeBruijn(2, 3)
+        assert hd.num_nodes == 32
+        g = hd.to_networkx()
+        assert g.number_of_edges() == hd.num_edges
+
+    def test_degree_range_matches_figure1(self):
+        hd = HyperDeBruijn(3, 4)
+        lo, hi = hd.degree_stats()
+        assert lo == hd.min_degree() == 5  # m + 2
+        assert hi == hd.max_degree() == 7  # m + 4
+
+    @pytest.mark.parametrize(("m", "n"), [(1, 3), (2, 3), (2, 4)])
+    def test_diameter_formula(self, m, n):
+        hd = HyperDeBruijn(m, n)
+        assert nx.diameter(hd.to_networkx()) == hd.diameter_formula() == m + n
+
+    @pytest.mark.parametrize(("m", "n"), [(1, 3), (2, 3)])
+    def test_fault_tolerance_is_m_plus_2(self, m, n):
+        """Figure 1: HD's connectivity is m+2 — strictly below most degrees."""
+        hd = HyperDeBruijn(m, n)
+        g = hd.to_networkx()
+        assert nx.node_connectivity(g) == hd.fault_tolerance_formula() == m + 2
+
+    def test_not_regular(self):
+        assert not HyperDeBruijn(2, 4).is_regular()
+
+    def test_format_node(self):
+        hd = HyperDeBruijn(2, 3)
+        assert hd.format_node((0b10, 0b011)) == "(10;011)"
+
+    def test_factor_accessors(self):
+        hd = HyperDeBruijn(2, 3)
+        assert hd.hypercube.m == 2
+        assert hd.debruijn.n == 3

@@ -1,0 +1,133 @@
+"""Guest-graph topologies: cycles, meshes, trees, mesh of trees."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.topologies.cycle import Cycle
+from repro.topologies.mesh import Mesh, Torus
+from repro.topologies.mesh_of_trees import MeshOfTrees
+from repro.topologies.tree import CompleteBinaryTree
+
+
+class TestCycle:
+    def test_rejects_short(self):
+        with pytest.raises(InvalidParameterError):
+            Cycle(2)
+
+    @pytest.mark.parametrize("k", [3, 4, 7])
+    def test_structure(self, k):
+        c = Cycle(k)
+        assert c.num_nodes == c.num_edges == k
+        assert nx.is_isomorphic(c.to_networkx(), nx.cycle_graph(k))
+
+    def test_distance_and_diameter(self):
+        c = Cycle(7)
+        assert c.distance(0, 3) == 3
+        assert c.distance(0, 5) == 2
+        assert c.diameter() == 3
+
+
+class TestTorusAndMesh:
+    def test_torus_is_product_of_cycles(self):
+        t = Torus(3, 4)
+        expected = nx.cartesian_product(nx.cycle_graph(3), nx.cycle_graph(4))
+        assert nx.is_isomorphic(t.to_networkx(), expected)
+
+    def test_torus_counts(self):
+        t = Torus(4, 5)
+        assert t.num_nodes == 20
+        assert t.num_edges == 40
+        assert t.is_regular()
+
+    def test_mesh_counts(self):
+        m = Mesh(3, 4)
+        assert m.num_nodes == 12
+        assert m.num_edges == 3 * 3 + 4 * 2
+        assert nx.is_isomorphic(m.to_networkx(), nx.grid_2d_graph(3, 4))
+
+    def test_mesh_corner_degree(self):
+        m = Mesh(3, 3)
+        assert m.degree((0, 0)) == 2
+        assert m.degree((1, 1)) == 4
+
+
+class TestCompleteBinaryTree:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_counts(self, k):
+        t = CompleteBinaryTree(k)
+        assert t.num_nodes == 2**k - 1
+        assert t.num_edges == t.num_nodes - 1
+        assert nx.is_tree(t.to_networkx())
+
+    def test_heap_relations(self):
+        t = CompleteBinaryTree(3)
+        assert t.parent(1) is None
+        assert t.parent(5) == 2
+        assert t.children(2) == [4, 5]
+        assert t.children(4) == []
+        assert t.is_leaf(7)
+        assert not t.is_leaf(3)
+
+    def test_depth_and_leaves(self):
+        t = CompleteBinaryTree(4)
+        assert t.depth(1) == 0
+        assert t.depth(15) == 3
+        leaves = list(t.leaves())
+        assert len(leaves) == 8
+        assert t.leaf_index(leaves[0]) == 0
+        assert t.leaf_index(leaves[-1]) == 7
+
+    def test_leaf_index_rejects_internal(self):
+        t = CompleteBinaryTree(3)
+        with pytest.raises(InvalidParameterError):
+            t.leaf_index(2)
+
+
+class TestMeshOfTrees:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidParameterError):
+            MeshOfTrees(3, 4)
+
+    @pytest.mark.parametrize(("r", "c"), [(2, 2), (2, 4), (4, 4), (4, 8)])
+    def test_counts(self, r, c):
+        mt = MeshOfTrees(r, c)
+        assert mt.num_nodes == 3 * r * c - r - c
+        g = mt.to_networkx()
+        assert g.number_of_nodes() == mt.num_nodes
+        assert g.number_of_edges() == mt.num_edges
+        assert nx.is_connected(g)
+
+    def test_leaf_has_two_parents(self):
+        mt = MeshOfTrees(4, 4)
+        neighbors = mt.neighbors(mt.leaf(2, 3))
+        assert len(neighbors) == 2
+        kinds = sorted(k for k, _, _ in neighbors)
+        assert kinds == ["col", "row"]
+
+    def test_row_tree_is_a_tree_over_its_leaves(self):
+        mt = MeshOfTrees(2, 8)
+        row_nodes = [("row", 0, v) for v in range(1, 8)] + [
+            ("leaf", 0, j) for j in range(8)
+        ]
+        sub = mt.subgraph_networkx(row_nodes)
+        # the column-tree parents are outside, so this must be exactly T(4)
+        assert nx.is_tree(sub)
+        assert sub.number_of_nodes() == 15
+
+    def test_roots(self):
+        mt = MeshOfTrees(4, 2)
+        assert mt.row_root(3) == ("row", 3, 1)
+        assert mt.col_root(1) == ("col", 1, 1)
+
+    def test_cross_trees_meet_only_at_leaves(self):
+        mt = MeshOfTrees(2, 2)
+        for v in mt.nodes():
+            kind = v[0]
+            for w in mt.neighbors(v):
+                if kind == "row":
+                    assert w[0] in ("row", "leaf")
+                if kind == "col":
+                    assert w[0] in ("col", "leaf")

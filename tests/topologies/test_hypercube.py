@@ -1,0 +1,76 @@
+"""Hypercube topology tests (paper Section 2.1 facts)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidLabelError, InvalidParameterError
+from repro.topologies.hypercube import Hypercube
+
+
+class TestStructure:
+    @pytest.mark.parametrize("m", [0, 1, 2, 3, 4, 6])
+    def test_counts(self, m):
+        h = Hypercube(m)
+        assert h.num_nodes == 2**m
+        assert h.num_edges == m * 2 ** (m - 1) if m else h.num_edges == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            Hypercube(-1)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_neighbors_differ_in_one_bit(self, m):
+        h = Hypercube(m)
+        for v in h.nodes():
+            for w in h.neighbors(v):
+                assert (v ^ w).bit_count() == 1
+
+    def test_regular(self):
+        assert Hypercube(5).is_regular()
+        assert Hypercube(5).degree(0) == 5
+
+    def test_matches_networkx_hypercube(self):
+        h = Hypercube(4)
+        ours = h.to_networkx()
+        theirs = nx.hypercube_graph(4)
+        assert nx.is_isomorphic(ours, theirs)
+
+    def test_invalid_node(self):
+        h = Hypercube(2)
+        with pytest.raises(InvalidLabelError):
+            h.neighbors(4)
+        assert not h.has_node("01")  # labels are ints, not strings
+
+
+class TestMetrics:
+    @given(st.integers(1, 8), st.data())
+    def test_distance_is_hamming(self, m, data):
+        h = Hypercube(m)
+        u = data.draw(st.integers(0, 2**m - 1))
+        v = data.draw(st.integers(0, 2**m - 1))
+        assert h.distance(u, v) == (u ^ v).bit_count()
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_diameter_and_antipode(self, m):
+        h = Hypercube(m)
+        assert h.diameter() == m
+        assert h.distance(0, h.antipode(0)) == m
+
+    def test_eccentricity_equals_diameter(self):
+        h = Hypercube(4)
+        assert h.eccentricity(0) == 4
+
+    def test_format_node_msb_first(self):
+        assert Hypercube(4).format_node(0b0010) == "0010"
+
+    def test_bfs_distances_respect_blocked(self):
+        h = Hypercube(3)
+        # blocking all neighbors of 0 except 1 forces detours through 1
+        dist = h.bfs_distances(0, blocked=frozenset({2, 4}))
+        assert dist[0] == 0 and dist[1] == 1
+        assert 2 not in dist and 4 not in dist
+        assert dist[3] == 2  # 0 -> 1 -> 3

@@ -1,0 +1,92 @@
+"""Quotient-map tests: the butterfly covers the de Bruijn graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import InvalidParameterError
+from repro.topologies.butterfly_cayley import CayleyButterfly
+from repro.topologies.hyperdebruijn import HyperDeBruijn
+from repro.topologies.quotients import (
+    butterfly_to_debruijn,
+    debruijn_fiber,
+    hb_to_hyperdebruijn,
+    verify_quotient_homomorphism,
+)
+
+
+class TestButterflyCover:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_homomorphism_exhaustive(self, n):
+        assert verify_quotient_homomorphism(n)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_surjective_with_uniform_fibers(self, n):
+        butterfly = CayleyButterfly(n)
+        counts: dict[int, int] = {}
+        for v in butterfly.nodes():
+            counts[butterfly_to_debruijn(n, v)] = (
+                counts.get(butterfly_to_debruijn(n, v), 0) + 1
+            )
+        assert set(counts) == set(range(1 << n))  # surjective
+        assert all(c == n for c in counts.values())  # n-to-1
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_fibers_invert_the_map(self, n):
+        for word in range(1 << n):
+            fiber = debruijn_fiber(n, word)
+            assert len(fiber) == n
+            for node in fiber:
+                assert butterfly_to_debruijn(n, node) == word
+
+    def test_identity_node_maps_to_zero(self):
+        assert butterfly_to_debruijn(4, (0, 0)) == 0
+
+    def test_fiber_validates_word(self):
+        with pytest.raises(InvalidParameterError):
+            debruijn_fiber(3, 9)
+
+    def test_straight_cycle_collapses_to_constant_word(self):
+        """The straight n-cycle of word 0 is exactly the fiber of 0^n."""
+        n = 4
+        fiber = set(debruijn_fiber(n, 0))
+        straight = {(level, 0) for level in range(n)}
+        assert fiber == straight
+
+
+class TestHBQuotient:
+    @pytest.mark.parametrize(("m", "n"), [(1, 3), (2, 3), (2, 4)])
+    def test_hb_maps_onto_hd(self, m, n):
+        hb = HyperButterfly(m, n)
+        hd = HyperDeBruijn(m, n)
+        images = {hb_to_hyperdebruijn(hb, v) for v in hb.nodes()}
+        assert images == set(hd.nodes())
+
+    @pytest.mark.parametrize(("m", "n"), [(1, 3), (2, 3)])
+    def test_edges_map_to_edges_or_collapse(self, m, n):
+        hb = HyperButterfly(m, n)
+        hd = HyperDeBruijn(m, n)
+        for u in hb.nodes():
+            iu = hb_to_hyperdebruijn(hb, u)
+            for v in hb.neighbors(u):
+                iv = hb_to_hyperdebruijn(hb, v)
+                if iu != iv:
+                    assert hd.has_edge(iu, iv)
+
+    def test_fiber_size_is_n(self, hb23):
+        from collections import Counter
+
+        counter = Counter(hb_to_hyperdebruijn(hb23, v) for v in hb23.nodes())
+        assert set(counter.values()) == {hb23.n}
+
+    def test_explains_regularity_gap(self, hb23):
+        """HD's degree-deficient vertices (constant de Bruijn words) lift to
+        perfectly regular butterfly fibers — the paper's regularity fix."""
+        hd = HyperDeBruijn(hb23.m, hb23.n)
+        deficient = [v for v in hd.nodes() if hd.degree(v) < hd.max_degree()]
+        assert deficient  # HD really is irregular
+        for v in deficient:
+            h, word = v
+            for b in debruijn_fiber(hb23.n, word):
+                assert hb23.degree((h, b)) == hb23.m + 4
