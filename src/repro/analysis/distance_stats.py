@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.fastgraph.backend import get_fastgraph
 from repro.topologies.base import Topology
 
 __all__ = ["DistanceProfile", "distance_profile", "profile_table"]
@@ -39,14 +40,33 @@ class DistanceProfile:
 def _transitive_profile(topology: Topology) -> dict[int, int]:
     """One BFS suffices when the graph is vertex transitive."""
     anchor = next(iter(topology.nodes()))
-    counts: dict[int, int] = {}
-    for dist in topology.bfs_distances(anchor).values():
-        counts[dist] = counts.get(dist, 0) + 1
+    fast = get_fastgraph(topology)
+    if fast is not None:
+        import numpy as np
+
+        dist = fast.distances_array(anchor)
+        counts = {
+            d: int(c)
+            for d, c in enumerate(np.bincount(dist[dist >= 0]))
+            if c
+        }
+    else:
+        counts = {}
+        for dist in topology.bfs_distances(anchor).values():
+            counts[dist] = counts.get(dist, 0) + 1
     # scale single-source counts up to ordered-pair counts
     return {d: c * topology.num_nodes for d, c in counts.items()}
 
 
 def _generic_profile(topology: Topology) -> dict[int, int]:
+    fast = get_fastgraph(topology, allow_enumeration=True)
+    if fast is not None:
+        try:
+            from repro.fastgraph.kernels import distance_histogram
+
+            return distance_histogram(fast.csr)
+        except ImportError:
+            pass  # no scipy: per-source label BFS below
     counts: dict[int, int] = {}
     for v in topology.nodes():
         for dist in topology.bfs_distances(v).values():

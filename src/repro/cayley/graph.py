@@ -22,6 +22,8 @@ import networkx as nx
 
 from repro.cayley.group import Group, GeneratorSet
 from repro.errors import InvalidLabelError
+from repro.fastgraph.backend import enabled as fastgraph_enabled
+from repro.fastgraph.codecs import codec_for_group
 
 __all__ = ["CayleyGraph", "DistanceOracle", "build_cayley_graph"]
 
@@ -33,14 +35,31 @@ class DistanceOracle:
     index of the generator whose edge was used to *reach* it in the BFS.
     Shortest paths are reconstructed backwards by applying inverse
     generators.
+
+    For the standard groups (hypercube, butterfly, their direct products)
+    the whole oracle lives in three numpy arrays indexed by the
+    :mod:`repro.fastgraph` dense-integer codec — one vectorized BFS fills
+    distances and parent generators for every element at once.  Groups
+    without a codec (or ``backend="python"``) use the original dict BFS.
     """
 
-    def __init__(self, group: Group, gens: GeneratorSet) -> None:
+    def __init__(
+        self, group: Group, gens: GeneratorSet, *, backend: str = "auto"
+    ) -> None:
         self.group = group
         self.gens = gens
         self._dist: dict[Hashable, int] = {}
         self._via: dict[Hashable, int] = {}
-        self._run_bfs()
+        self._codec = None
+        self._dist_arr = None  # int32[order]  distance from identity, by rank
+        self._via_arr = None  # int64[order]  reaching generator index, by rank
+        self._parent_arr = None  # int64[order] BFS-tree parent rank, by rank
+        if backend == "auto" and fastgraph_enabled():
+            self._codec = codec_for_group(group)
+        if self._codec is not None:
+            self._run_bfs_fast()
+        else:
+            self._run_bfs()
 
     def _run_bfs(self) -> None:
         identity = self.group.identity()
@@ -56,7 +75,46 @@ class DistanceOracle:
                     self._via[w] = i
                     queue.append(w)
 
+    def _run_bfs_fast(self) -> None:
+        """Vectorized all-elements oracle fill from the identity."""
+        import numpy as np
+
+        from repro.fastgraph.csr import CSRAdjacency
+        from repro.fastgraph.kernels import bfs_levels
+
+        codec = self._codec
+        order = codec.num_nodes
+        table = np.column_stack(
+            [
+                codec.apply_generator(np.arange(order, dtype=np.int64), s)
+                for s in self.gens.generators
+            ]
+        )
+        csr = CSRAdjacency(
+            indptr=np.arange(order + 1, dtype=np.int64) * table.shape[1],
+            indices=np.ascontiguousarray(table.ravel(), dtype=np.int32),
+            uniform_degree=table.shape[1],
+        )
+        root = codec.rank(self.group.identity())
+        dist, parents = bfs_levels(csr, root, want_parents=True)
+        # the reaching generator of v is v's column in its parent's table row
+        via = np.argmax(table[parents] == np.arange(order)[:, None], axis=1)
+        via[root] = -1
+        self._dist_arr = dist
+        self._via_arr = via
+        self._parent_arr = parents
+
+    def _rank_checked(self, delta: Hashable) -> int:
+        if not self.group.contains(delta):
+            raise InvalidLabelError(f"{delta!r} is not a group element")
+        return self._codec.rank(delta)
+
     def distance_from_identity(self, delta: Hashable) -> int:
+        if self._dist_arr is not None:
+            d = int(self._dist_arr[self._rank_checked(delta)])
+            if d < 0:  # non-generating set: mirror the dict path's failure
+                raise InvalidLabelError(f"{delta!r} is not a group element")
+            return d
         try:
             return self._dist[delta]
         except KeyError:
@@ -69,7 +127,16 @@ class DistanceOracle:
         path, and applying the word to any vertex ``u`` traces the shortest
         path from ``u`` to ``u·delta``.
         """
-        word_rev: list[int] = []
+        if self._dist_arr is not None:
+            word_rev: list[int] = []
+            v = self._rank_checked(delta)
+            root = self._codec.rank(self.group.identity())
+            while v != root:
+                word_rev.append(int(self._via_arr[v]))
+                v = int(self._parent_arr[v])
+            word_rev.reverse()
+            return word_rev
+        word_rev = []
         v = delta
         identity = self.group.identity()
         while v != identity:
@@ -99,10 +166,17 @@ class DistanceOracle:
 
         (Vertex transitivity makes every vertex's eccentricity equal.)
         """
+        if self._dist_arr is not None:
+            return int(self._dist_arr.max())
         return max(self._dist.values())
 
     def distance_distribution(self) -> dict[int, int]:
         """Histogram ``{distance: count}`` over all vertices."""
+        if self._dist_arr is not None:
+            import numpy as np
+
+            counts = np.bincount(self._dist_arr[self._dist_arr >= 0])
+            return {d: int(c) for d, c in enumerate(counts) if c}
         hist: dict[int, int] = {}
         for d in self._dist.values():
             hist[d] = hist.get(d, 0) + 1
@@ -110,6 +184,9 @@ class DistanceOracle:
 
     def average_distance(self) -> float:
         """Mean distance from the identity over all vertices (incl. itself)."""
+        if self._dist_arr is not None:
+            reached = self._dist_arr[self._dist_arr >= 0]
+            return float(reached.mean())
         n = len(self._dist)
         return sum(self._dist.values()) / n
 
@@ -122,6 +199,7 @@ class CayleyGraph:
             raise InvalidLabelError("generator set belongs to a different group")
         self.group = group
         self.gens = gens
+        self._gen_set = frozenset(gens.generators)
         self._oracle: DistanceOracle | None = None
 
     # Basic graph interface ----------------------------------------------
@@ -150,7 +228,9 @@ class CayleyGraph:
         return self.group.contains(v)
 
     def has_edge(self, u: Hashable, v: Hashable) -> bool:
-        return v in self.gens.neighbors(u)
+        # {u, v} is an edge iff u^{-1}·v is a generator: one O(1) set probe
+        # instead of materialising and scanning the neighbor list.
+        return self.group.quotient(u, v) in self._gen_set
 
     def to_networkx(self) -> nx.Graph:
         """Materialise as an undirected :class:`networkx.Graph`."""

@@ -34,7 +34,7 @@ from repro.cayley.group import (
     HypercubeGroup,
 )
 from repro.core.labels import format_hb_node
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidLabelError, InvalidParameterError
 from repro.topologies.base import Topology
 from repro.topologies.butterfly_cayley import CayleyButterfly
 from repro.topologies.hypercube import Hypercube
@@ -136,8 +136,6 @@ class HyperButterfly(Topology):
             return "hypercube"
         if u[0] == v[0] and v[1] in self.butterfly.neighbors(u[1]):
             return "butterfly"
-        from repro.errors import InvalidLabelError
-
         raise InvalidLabelError(f"{u!r} and {v!r} are not adjacent in {self.name}")
 
     # Remark 5: copy decompositions -------------------------------------------

@@ -1,0 +1,179 @@
+"""Topology-facing fast backend: codec + CSR + kernels, memoized per instance.
+
+:func:`get_fastgraph` is the single integration point the rest of the
+library uses: it returns a :class:`FastGraph` when the topology's family
+has a registered codec (and numpy is importable), else ``None`` — callers
+keep their pure-Python label-walking fallback for arbitrary topologies.
+
+Set ``REPRO_FASTGRAPH=0`` to disable the backend globally (every consumer
+then exercises its fallback path; the property tests use the same switch
+indirectly by calling the ``_python`` implementations directly).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import DisconnectedError, InvalidLabelError
+
+__all__ = ["FastGraph", "get_fastgraph"]
+
+_ATTR = "_fastgraph_backend"
+_ENUM_ATTR = "_fastgraph_backend_enum"
+
+
+def _numpy_ok() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def enabled() -> bool:
+    """Whether the fast backend is globally enabled."""
+    return os.environ.get("REPRO_FASTGRAPH", "1") != "0" and _numpy_ok()
+
+
+class FastGraph:
+    """Dense-integer view of one topology instance.
+
+    The CSR adjacency is built lazily on first use and memoized on this
+    object (which is itself memoized on the topology instance).
+    """
+
+    def __init__(self, topology, codec) -> None:
+        self.topology = topology
+        self.codec = codec
+        self._csr = None
+
+    @property
+    def csr(self):
+        if self._csr is None:
+            from repro.fastgraph.csr import build_csr
+
+            self._csr = build_csr(self.topology, self.codec)
+        return self._csr
+
+    # -- label plumbing ----------------------------------------------------
+
+    def rank(self, label: Hashable) -> int:
+        return self.codec.rank(label)
+
+    def unrank(self, idx: int) -> Hashable:
+        return self.codec.unrank(idx)
+
+    def _forbidden_mask(self, blocked: Iterable[Hashable] | None):
+        if not blocked:
+            return None
+        import numpy as np
+
+        mask = np.zeros(self.codec.num_nodes, dtype=bool)
+        has_node = self.topology.has_node
+        for label in blocked:
+            if has_node(label):
+                mask[self.codec.rank(label)] = True
+        return mask
+
+    # -- BFS services ------------------------------------------------------
+
+    def distances_array(self, source: Hashable, *, blocked=None):
+        """``int32`` distance array indexed by rank (-1 = unreached)."""
+        from repro.fastgraph.kernels import bfs_levels
+
+        dist, _ = bfs_levels(
+            self.csr, self.rank(source), forbidden=self._forbidden_mask(blocked)
+        )
+        return dist
+
+    def bfs_distances(self, source: Hashable, blocked=None) -> dict[Hashable, int]:
+        """Distance dict keyed by label — drop-in for the pure-Python BFS."""
+        dist = self.distances_array(source, blocked=blocked)
+        import numpy as np
+
+        unrank = self.codec.unrank
+        reached = np.nonzero(dist >= 0)[0]
+        return {unrank(int(i)): int(dist[i]) for i in reached}
+
+    def eccentricity(self, source: Hashable) -> int:
+        """Max BFS distance without materialising a label dict."""
+        dist = self.distances_array(source)
+        if int((dist < 0).sum()):
+            raise DisconnectedError(
+                f"{self.topology.name} is not connected from {source!r}"
+            )
+        return int(dist.max())
+
+    def shortest_path(
+        self, source: Hashable, target: Hashable, *, blocked=None
+    ) -> list[Hashable] | None:
+        """A shortest label path, or ``None`` when unreachable."""
+        from repro.fastgraph.kernels import bfs_levels, path_from_parents
+
+        src, dst = self.rank(source), self.rank(target)
+        dist, parents = bfs_levels(
+            self.csr,
+            src,
+            forbidden=self._forbidden_mask(blocked),
+            want_parents=True,
+            target=dst,
+        )
+        if dist[dst] < 0:
+            return None
+        return [self.unrank(i) for i in path_from_parents(parents, src, dst)]
+
+    # -- adjacency services ------------------------------------------------
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        if not (self.topology.has_node(u) and self.topology.has_node(v)):
+            return False
+        row = self.csr.neighbors_of(self.rank(u))
+        return bool((row == self.rank(v)).any())
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        """Each undirected edge once, without a ``seen`` set of all nodes."""
+        csr = self.csr
+        unrank = self.codec.unrank
+        indptr, indices = csr.indptr, csr.indices
+        for i in range(csr.num_nodes):
+            u = unrank(i)
+            for j in indices[indptr[i] : indptr[i + 1]]:
+                if j > i:
+                    yield (u, unrank(int(j)))
+
+
+def get_fastgraph(topology, *, allow_enumeration: bool = False) -> FastGraph | None:
+    """The memoized :class:`FastGraph` for ``topology``, or ``None``.
+
+    With ``allow_enumeration=True`` an
+    :class:`~repro.fastgraph.codecs.EnumerationCodec` over the node
+    iterator is used when no codec is registered — O(V) setup, intended
+    for whole-graph algorithms (batched diameters/histograms), never for
+    per-call BFS routing.
+    """
+    if not enabled():
+        return None
+    cached = topology.__dict__.get(_ATTR)
+    if cached is None and _ATTR not in topology.__dict__:
+        from repro.fastgraph.codecs import codec_for
+
+        codec = codec_for(topology)
+        cached = FastGraph(topology, codec) if codec is not None else None
+        try:
+            setattr(topology, _ATTR, cached)
+        except (AttributeError, TypeError):
+            pass  # slots/frozen instances: recompute next call
+    if cached is not None or not allow_enumeration:
+        return cached
+
+    enum_cached = topology.__dict__.get(_ENUM_ATTR)
+    if enum_cached is None:
+        from repro.fastgraph.codecs import EnumerationCodec
+
+        enum_cached = FastGraph(topology, EnumerationCodec(topology.nodes()))
+        try:
+            setattr(topology, _ENUM_ATTR, enum_cached)
+        except (AttributeError, TypeError):
+            pass
+    return enum_cached

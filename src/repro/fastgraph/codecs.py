@@ -1,0 +1,409 @@
+"""Bijective node ↔ dense-integer codecs for the fast graph backend.
+
+A :class:`NodeCodec` maps every vertex label of a topology family onto the
+dense integer range ``0 .. num_nodes - 1`` (``rank``) and back (``unrank``).
+Once labels are dense integers, adjacency becomes a CSR array pair
+(:mod:`repro.fastgraph.csr`) and BFS becomes numpy array arithmetic
+(:mod:`repro.fastgraph.kernels`) instead of dict-of-tuples walking.
+
+Packings (all mixed-radix / bit-packed, so rank and unrank are O(1)):
+
+* hypercube ``H_m`` — labels already are dense ints: identity.
+* butterfly group element ``(PI, CI)`` — ``idx = PI << n | CI`` (dense
+  because ``PI < n`` and ``CI < 2^n``).
+* hyper-butterfly ``(h, (PI, CI))`` — product packing
+  ``idx = h * (n·2^n) + (PI << n | CI)``, the ``(h << n | CI) * n + PI``
+  family of packings with the butterfly part kept contiguous so the
+  butterfly generators act on aligned bit fields.
+* generic products — ``idx = rank_left * num_right + rank_right``.
+
+Cayley-backed codecs additionally implement :meth:`NodeCodec.apply_generator`
+— the **vectorized** right-multiplication of a whole array of ranked nodes
+by one group generator — from which a complete neighbor table (and hence a
+CSR) is built in a handful of numpy operations, with no per-node Python.
+
+The registry (:func:`register_codec` / :func:`codec_for`) is keyed by
+topology class name and reads only public attributes, so registering a
+codec never imports topology modules (no import cycles) and any external
+:class:`~repro.topologies.base.Topology` subclass can opt in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.errors import InvalidLabelError
+
+__all__ = [
+    "NodeCodec",
+    "IntRangeCodec",
+    "HypercubeCodec",
+    "ButterflyElementCodec",
+    "ProductCodec",
+    "PairRadixCodec",
+    "WrappedButterflyCodec",
+    "EnumerationCodec",
+    "register_codec",
+    "codec_for",
+    "codec_for_group",
+]
+
+
+class NodeCodec:
+    """Bijection between a family's vertex labels and ``0 .. num_nodes-1``."""
+
+    #: number of vertices — ranks are exactly ``range(num_nodes)``
+    num_nodes: int = 0
+
+    #: stable identity string for disk-level CSR caching, or ``None`` when
+    #: the codec is instance-bound (e.g. enumeration codecs)
+    cache_key: str | None = None
+
+    def rank(self, label: Hashable) -> int:
+        raise NotImplementedError
+
+    def unrank(self, idx: int) -> Hashable:
+        raise NotImplementedError
+
+    # Optional vectorized services ----------------------------------------
+
+    #: generator labels (Cayley families) used to build the neighbor table
+    generators: tuple | None = None
+
+    def apply_generator(self, idx, gen):
+        """Vectorized right-multiplication of ranked nodes by ``gen``.
+
+        ``idx`` is a numpy integer array; returns the ranked images.  Only
+        Cayley-element codecs implement this.
+        """
+        raise NotImplementedError
+
+    def neighbor_table(self):
+        """``(num_nodes, degree)`` int array of ranked neighbors, or ``None``.
+
+        Column ``i`` of a Cayley codec's table is generator ``i`` applied to
+        every vertex — the column order matches ``self.generators`` so BFS
+        parent columns double as generator indices for the oracle.
+        """
+        if self.generators is None:
+            return None
+        import numpy as np
+
+        if not self.generators:
+            return np.zeros((self.num_nodes, 0), dtype=np.int64)
+        idx = np.arange(self.num_nodes, dtype=np.int64)
+        return np.column_stack([self.apply_generator(idx, s) for s in self.generators])
+
+
+class IntRangeCodec(NodeCodec):
+    """Identity codec for families whose labels already are dense ints."""
+
+    def __init__(self, num_nodes: int, *, offset: int = 0, cache_key: str | None = None):
+        self.num_nodes = num_nodes
+        self.offset = offset
+        self.cache_key = cache_key
+
+    def rank(self, label: int) -> int:
+        return label - self.offset
+
+    def unrank(self, idx: int) -> int:
+        return idx + self.offset
+
+
+class HypercubeCodec(IntRangeCodec):
+    """``H_m`` / ``(Z_2)^m`` — int labels, generators act by XOR."""
+
+    def __init__(self, m: int, generators: Iterable[int] | None = None):
+        super().__init__(1 << m, cache_key=f"hypercube:{m}")
+        self.m = m
+        self.generators = (
+            tuple(generators) if generators is not None else tuple(1 << i for i in range(m))
+        )
+
+    def apply_generator(self, idx, gen: int):
+        return idx ^ gen
+
+
+class ButterflyElementCodec(NodeCodec):
+    """Butterfly group ``Z_n ⋉ (Z_2)^n`` elements ``(x, c)`` → ``x << n | c``."""
+
+    def __init__(self, n: int, generators: Iterable[tuple[int, int]] | None = None):
+        self.n = n
+        self.num_nodes = n << n
+        self.cache_key = f"butterfly:{n}"
+        if generators is None:
+            # the paper's g, f, g^-1, f^-1 in ButterflyGroup's order
+            generators = [(1, 0), (1, 1), (n - 1, 0), (n - 1, 1 << (n - 1))]
+        self.generators = tuple(generators)
+
+    def rank(self, label: tuple[int, int]) -> int:
+        x, c = label
+        return (x << self.n) | c
+
+    def unrank(self, idx: int) -> tuple[int, int]:
+        return (idx >> self.n, idx & ((1 << self.n) - 1))
+
+    def apply_generator(self, idx, gen: tuple[int, int]):
+        # (x, c) · (dx, dc) = ((x + dx) mod n, c ^ rot_left(dc, x))
+        n = self.n
+        word_mask = (1 << n) - 1
+        dx, dc = gen
+        x = idx >> n
+        c = idx & word_mask
+        x2 = (x + dx) % n
+        rotated = ((dc << x) | (dc >> (n - x))) & word_mask
+        return (x2 << n) | (c ^ rotated)
+
+
+class ProductCodec(NodeCodec):
+    """Pair labels ``(a, b)`` → ``rank_left(a) * num_right + rank_right(b)``.
+
+    Used for direct-product groups (hyper-butterfly: hypercube × butterfly,
+    with per-factor generator application) and for Cartesian-product
+    topologies (neighbor table = left moves ⊕ right moves when both factor
+    tables exist).
+    """
+
+    def __init__(
+        self,
+        left: NodeCodec,
+        right: NodeCodec,
+        *,
+        generators: Iterable[tuple] | None = None,
+    ):
+        self.left = left
+        self.right = right
+        self.num_nodes = left.num_nodes * right.num_nodes
+        if left.cache_key and right.cache_key:
+            self.cache_key = f"product:({left.cache_key})x({right.cache_key})"
+        self.generators = tuple(generators) if generators is not None else None
+
+    def rank(self, label: tuple) -> int:
+        a, b = label
+        return self.left.rank(a) * self.right.num_nodes + self.right.rank(b)
+
+    def unrank(self, idx: int) -> tuple:
+        a, b = divmod(idx, self.right.num_nodes)
+        return (self.left.unrank(a), self.right.unrank(b))
+
+    def apply_generator(self, idx, gen: tuple):
+        ga, gb = gen
+        nr = self.right.num_nodes
+        a = idx // nr
+        b = idx % nr
+        return self.left.apply_generator(a, ga) * nr + self.right.apply_generator(b, gb)
+
+    def neighbor_table(self):
+        if self.generators is not None:
+            return super().neighbor_table()
+        # Cartesian product: (u, x) ~ (u', x) for u~u' plus (u, x') for x~x'
+        lt = self.left.neighbor_table()
+        rt = self.right.neighbor_table()
+        if lt is None or rt is None:
+            return None
+        import numpy as np
+
+        nl, nr = self.left.num_nodes, self.right.num_nodes
+        a = np.repeat(np.arange(nl, dtype=np.int64), nr)
+        b = np.tile(np.arange(nr, dtype=np.int64), nl)
+        left_moves = lt[a] * nr + b[:, None]
+        right_moves = a[:, None] * nr + rt[b]
+        return np.concatenate([left_moves, right_moves], axis=1)
+
+
+class PairRadixCodec(NodeCodec):
+    """Plain mixed-radix pair labels ``(a, b)`` with ``0 <= b < radix``."""
+
+    def __init__(self, num_left: int, radix: int, *, cache_key: str | None = None):
+        self.radix = radix
+        self.num_nodes = num_left * radix
+        self.cache_key = cache_key
+
+    def rank(self, label: tuple[int, int]) -> int:
+        a, b = label
+        return a * self.radix + b
+
+    def unrank(self, idx: int) -> tuple[int, int]:
+        return divmod(idx, self.radix)
+
+
+class WrappedButterflyCodec(PairRadixCodec):
+    """Classic ``⟨word, level⟩`` butterfly ``B_n`` — ``idx = word * n + level``."""
+
+    def __init__(self, n: int):
+        super().__init__(1 << n, n, cache_key=f"wrapped-butterfly:{n}")
+        self.n = n
+
+    def neighbor_table(self):
+        import numpy as np
+
+        n = self.n
+        idx = np.arange(self.num_nodes, dtype=np.int64)
+        w, level = idx // n, idx % n
+        up = (level + 1) % n
+        down = (level - 1) % n
+        return np.column_stack(
+            [
+                w * n + up,
+                (w ^ (1 << level)) * n + up,
+                w * n + down,
+                (w ^ (1 << down)) * n + down,
+            ]
+        )
+
+
+class EnumerationCodec(NodeCodec):
+    """Universal fallback: rank by enumeration order of ``topology.nodes()``.
+
+    O(V) memory and no vectorized adjacency — used only where an algorithm
+    explicitly asks for an array substrate on an unregistered family (for
+    example the batched all-eccentricity diameter of irregular graphs).
+    """
+
+    def __init__(self, labels: Iterable[Hashable]):
+        self._labels = list(labels)
+        self._index = {v: i for i, v in enumerate(self._labels)}
+        self.num_nodes = len(self._labels)
+        self.cache_key = None
+
+    def rank(self, label: Hashable) -> int:
+        try:
+            return self._index[label]
+        except KeyError:
+            raise InvalidLabelError(f"{label!r} is not a known node") from None
+
+    def unrank(self, idx: int) -> Hashable:
+        return self._labels[idx]
+
+
+# Registry ----------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[Any], NodeCodec | None]] = {}
+
+
+def register_codec(type_name: str | type, factory: Callable[[Any], NodeCodec | None]) -> None:
+    """Register ``factory(topology) -> NodeCodec | None`` for a class (name).
+
+    Keyed by class *name* so registration requires no imports of topology
+    modules; external subclasses opt in with
+    ``register_codec(MyTopology, my_factory)``.
+    """
+    name = type_name if isinstance(type_name, str) else type_name.__name__
+    _REGISTRY[name] = factory
+
+
+def codec_for(topology: Any) -> NodeCodec | None:
+    """The registered codec for ``topology``, or ``None`` (use fallbacks)."""
+    for klass in type(topology).__mro__:
+        factory = _REGISTRY.get(klass.__name__)
+        if factory is not None:
+            return factory(topology)
+    return None
+
+
+def codec_for_group(group: Any) -> NodeCodec | None:
+    """A codec over *group elements* for the standard groups, else ``None``."""
+    name = type(group).__name__
+    if name == "HypercubeGroup":
+        return HypercubeCodec(group.m)
+    if name == "ButterflyGroup":
+        return ButterflyElementCodec(group.n)
+    if name == "DirectProductGroup":
+        left = codec_for_group(group.left)
+        right = codec_for_group(group.right)
+        if left is None or right is None:
+            return None
+        return ProductCodec(left, right)
+    return None
+
+
+# Built-in families --------------------------------------------------------
+
+
+def _hypercube_factory(t) -> NodeCodec:
+    return HypercubeCodec(t.m)
+
+
+def _cayley_butterfly_factory(t) -> NodeCodec:
+    return ButterflyElementCodec(t.n, generators=t.gens.generators)
+
+
+def _wrapped_butterfly_factory(t) -> NodeCodec:
+    return WrappedButterflyCodec(t.n)
+
+
+def _hyper_butterfly_factory(t) -> NodeCodec:
+    codec = ProductCodec(
+        HypercubeCodec(t.m),
+        ButterflyElementCodec(t.n),
+        generators=t.gens.generators,
+    )
+    codec.cache_key = f"hyperbutterfly:{t.m},{t.n}"
+    return codec
+
+
+def _debruijn_factory(t) -> NodeCodec:
+    return IntRangeCodec(t.num_nodes, cache_key=f"debruijn:{t.n}")
+
+
+def _cycle_factory(t) -> NodeCodec:
+    codec = IntRangeCodec(t.k, cache_key=f"cycle:{t.k}")
+
+    def table():
+        import numpy as np
+
+        idx = np.arange(t.k, dtype=np.int64)
+        return np.column_stack([(idx + 1) % t.k, (idx - 1) % t.k])
+
+    codec.neighbor_table = table  # type: ignore[method-assign]
+    return codec
+
+
+def _torus_factory(t) -> NodeCodec:
+    codec = PairRadixCodec(t.n1, t.n2, cache_key=f"torus:{t.n1},{t.n2}")
+
+    def table():
+        import numpy as np
+
+        idx = np.arange(codec.num_nodes, dtype=np.int64)
+        i, j = idx // t.n2, idx % t.n2
+        return np.column_stack(
+            [
+                ((i + 1) % t.n1) * t.n2 + j,
+                ((i - 1) % t.n1) * t.n2 + j,
+                i * t.n2 + (j + 1) % t.n2,
+                i * t.n2 + (j - 1) % t.n2,
+            ]
+        )
+
+    codec.neighbor_table = table  # type: ignore[method-assign]
+    return codec
+
+
+def _mesh_factory(t) -> NodeCodec:
+    # open mesh: boundary irregularity → rank only, generic CSR build
+    return PairRadixCodec(t.n1, t.n2, cache_key=f"mesh:{t.n1},{t.n2}")
+
+
+def _tree_factory(t) -> NodeCodec:
+    return IntRangeCodec(t.num_nodes, offset=1, cache_key=f"tree:{t.k}")
+
+
+def _product_factory(t) -> NodeCodec | None:
+    left = codec_for(t.left)
+    right = codec_for(t.right)
+    if left is None or right is None:
+        return None
+    return ProductCodec(left, right)
+
+
+register_codec("Hypercube", _hypercube_factory)
+register_codec("CayleyButterfly", _cayley_butterfly_factory)
+register_codec("WrappedButterfly", _wrapped_butterfly_factory)
+register_codec("HyperButterfly", _hyper_butterfly_factory)
+register_codec("DeBruijn", _debruijn_factory)
+register_codec("Cycle", _cycle_factory)
+register_codec("Torus", _torus_factory)
+register_codec("Mesh", _mesh_factory)
+register_codec("CompleteBinaryTree", _tree_factory)
+register_codec("CartesianProduct", _product_factory)

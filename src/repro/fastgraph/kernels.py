@@ -1,0 +1,158 @@
+"""Array-backed BFS kernels over :class:`~repro.fastgraph.csr.CSRAdjacency`.
+
+Three kernels cover every BFS the library runs:
+
+* :func:`bfs_levels` — single-source level/parent arrays using frontier
+  arrays instead of a dict+deque; supports blocked-node masks and early
+  exit at a target.  One numpy pass per BFS level.
+* :func:`batched_eccentricities` — multi-source boolean BFS, ``batch``
+  sources at a time, as sparse-matrix × dense-boolean products (the
+  generalisation of the one-off ``_batched_bfs_diameter`` that used to
+  live in :mod:`repro.analysis.metrics`).
+* :func:`distance_histogram` — the same sweep accumulating per-depth
+  newly-visited counts, i.e. the all-ordered-pairs distance histogram.
+
+All distances are ``int32`` with ``-1`` meaning unreached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DisconnectedError
+from repro.fastgraph.csr import CSRAdjacency
+
+__all__ = [
+    "bfs_levels",
+    "path_from_parents",
+    "batched_eccentricities",
+    "distance_histogram",
+]
+
+
+def bfs_levels(
+    csr: CSRAdjacency,
+    source: int,
+    *,
+    forbidden: np.ndarray | None = None,
+    want_parents: bool = False,
+    target: int | None = None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Single-source BFS → ``(dist, parents)`` arrays.
+
+    ``forbidden`` is a boolean mask of blocked nodes (never entered, left at
+    distance ``-1``).  With ``target`` the sweep stops as soon as the target
+    level is complete.  ``parents`` (when requested) holds the rank of the
+    BFS-tree parent, ``-1`` for the source and unreached nodes.
+    """
+    n = csr.num_nodes
+    dist = np.full(n, -1, dtype=np.int32)
+    parents = np.full(n, -1, dtype=np.int64) if want_parents else None
+    visited = forbidden.copy() if forbidden is not None else np.zeros(n, dtype=bool)
+    visited[source] = True
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    table = csr.table()
+    depth = 0
+    while frontier.size:
+        if target is not None and dist[target] >= 0:
+            break
+        depth += 1
+        if table is not None:
+            nbrs = table[frontier].ravel()
+            origins = np.repeat(frontier, csr.uniform_degree)
+        else:
+            starts = csr.indptr[frontier]
+            counts = csr.indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            offsets = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            nbrs = csr.indices[offsets + np.arange(total)]
+            origins = np.repeat(frontier, counts)
+        fresh = ~visited[nbrs]
+        nbrs = nbrs[fresh]
+        if nbrs.size == 0:
+            break
+        # dedupe while retaining one parent per node (first occurrence)
+        uniq, first = np.unique(nbrs, return_index=True)
+        dist[uniq] = depth
+        if parents is not None:
+            parents[uniq] = origins[fresh][first]
+        visited[uniq] = True
+        frontier = uniq
+    return dist, parents
+
+
+def path_from_parents(parents: np.ndarray, source: int, target: int) -> list[int]:
+    """The rank path ``source → target`` along a BFS parent array."""
+    path = [target]
+    while path[-1] != source:
+        path.append(int(parents[path[-1]]))
+    path.reverse()
+    return path
+
+
+def batched_eccentricities(
+    csr: CSRAdjacency,
+    *,
+    sources: np.ndarray | None = None,
+    batch: int = 128,
+    check_connected: bool = True,
+    name: str = "graph",
+) -> np.ndarray:
+    """Eccentricity of each source (default: all) via batched boolean BFS.
+
+    Runs BFS from ``batch`` sources at a time as sparse × dense-boolean
+    products — roughly two orders of magnitude faster than per-source
+    Python BFS at the 16k-node Figure 2 scale, and exact.
+    """
+    adjacency = csr.to_scipy()
+    total = csr.num_nodes
+    if sources is None:
+        sources = np.arange(total, dtype=np.int64)
+    eccentricities = np.empty(len(sources), dtype=np.int64)
+    for start in range(0, len(sources), batch):
+        chunk = sources[start : start + batch]
+        width = len(chunk)
+        visited = np.zeros((total, width), dtype=bool)
+        visited[chunk, np.arange(width)] = True
+        frontier = visited.copy()
+        depth = 0
+        ecc = np.zeros(width, dtype=np.int64)
+        while frontier.any():
+            reached = (adjacency @ frontier.astype(np.uint8)) > 0
+            frontier = reached & ~visited
+            visited |= frontier
+            depth += 1
+            ecc[frontier.any(axis=0)] = depth
+        if check_connected and not visited.all():
+            raise DisconnectedError(f"{name} is disconnected")
+        eccentricities[start : start + width] = ecc
+    return eccentricities
+
+
+def distance_histogram(csr: CSRAdjacency, *, batch: int = 128) -> dict[int, int]:
+    """``{distance: ordered-pair count}`` over all reachable ordered pairs.
+
+    Includes the ``distance == 0`` diagonal, mirroring the aggregation of
+    per-source BFS dictionaries it replaces.
+    """
+    adjacency = csr.to_scipy()
+    total = csr.num_nodes
+    counts: dict[int, int] = {0: total}
+    for start in range(0, total, batch):
+        width = min(batch, total - start)
+        visited = np.zeros((total, width), dtype=bool)
+        visited[np.arange(start, start + width), np.arange(width)] = True
+        frontier = visited.copy()
+        depth = 0
+        while frontier.any():
+            reached = (adjacency @ frontier.astype(np.uint8)) > 0
+            frontier = reached & ~visited
+            visited |= frontier
+            depth += 1
+            newly = int(frontier.sum())
+            if newly:
+                counts[depth] = counts.get(depth, 0) + newly
+    return dict(sorted(counts.items()))

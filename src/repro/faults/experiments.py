@@ -66,6 +66,8 @@ def fault_sweep(
     """Run the E6 sweep; one :class:`FaultSweepResult` per fault count."""
     rng = random.Random(seed)
     router = FaultTolerantRouter(hb)
+    # The adaptive strategy BFS runs on the fastgraph CSR backend (blocked
+    # fault masks), so the per-pair cost is array sweeps, not label walks.
     all_nodes = list(hb.nodes())
     results = []
     for count in fault_counts:
@@ -74,9 +76,13 @@ def fault_sweep(
         )
         for _ in range(trials):
             faults = random_node_faults(hb, count, rng=rng)
-            healthy = [v for v in all_nodes if v not in faults]
             for _ in range(pairs_per_trial):
-                u, v = rng.sample(healthy, 2)
+                # rejection-sample a healthy pair: avoids rebuilding an
+                # O(V) healthy-node list per trial (faults << V always)
+                while True:
+                    u, v = rng.sample(all_nodes, 2)
+                    if u not in faults and v not in faults:
+                        break
                 res.total_pairs += 1
                 adaptive = None
                 try:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
 from repro.errors import SimulationError
+from repro.fastgraph.backend import get_fastgraph
 from repro.simulation.events import EventQueue
 from repro.simulation.stats import LatencyStats
 from repro.topologies.base import Topology
@@ -66,6 +67,13 @@ class NetworkSimulator:
         self._ids = itertools.count()
         # per-directed-link busy-until time: contention modelling
         self._link_free_at: dict[tuple[Hashable, Hashable], float] = {}
+        # CSR-backed edge validation for the per-hop protocol check
+        self._fast = get_fastgraph(topology)
+
+    def _edge_ok(self, u: Hashable, v: Hashable) -> bool:
+        if self._fast is not None:
+            return self._fast.has_edge(u, v)
+        return self.topology.has_edge(u, v)
 
     # -- injection ---------------------------------------------------------
 
@@ -105,7 +113,7 @@ class NetworkSimulator:
         if next_hop is None:
             packet.dropped = True
             return
-        if not self.topology.has_edge(node, next_hop):
+        if not self._edge_ok(node, next_hop):
             raise SimulationError(
                 f"protocol proposed non-edge {node!r} -> {next_hop!r}"
             )

@@ -11,11 +11,13 @@ larger than what an explicit adjacency structure would allow, while
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Hashable, Iterable, Iterator
 
 import networkx as nx
 
-from repro.errors import InvalidLabelError
+from repro.errors import DisconnectedError, InvalidLabelError
+from repro.fastgraph.backend import get_fastgraph
 
 __all__ = ["Topology"]
 
@@ -57,10 +59,19 @@ class Topology(ABC):
         return len(self.neighbors(v))
 
     def has_edge(self, u: Hashable, v: Hashable) -> bool:
-        return v in self.neighbors(u)
+        return v in set(self.neighbors(u))
 
     def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
-        """Iterate each undirected edge exactly once."""
+        """Iterate each undirected edge exactly once.
+
+        With a fast-backend codec the rank order replaces the ``seen`` set
+        (an edge is emitted from its lower-ranked endpoint), so the walk
+        holds O(1) extra state instead of a set of every vertex.
+        """
+        fast = get_fastgraph(self)
+        if fast is not None:
+            yield from fast.edges()
+            return
         seen: set[Hashable] = set()
         for u in self.nodes():
             seen.add(u)
@@ -115,8 +126,16 @@ class Topology(ABC):
         blocked = blocked or frozenset()
         if source in blocked:
             raise InvalidLabelError("source node is blocked")
-        from collections import deque
+        fast = get_fastgraph(self)
+        if fast is not None:
+            return fast.bfs_distances(source, blocked)
+        return self._bfs_distances_python(source, blocked)
 
+    def _bfs_distances_python(
+        self, source: Hashable, blocked: frozenset | set
+    ) -> dict[Hashable, int]:
+        """Pure-Python label BFS — fallback for codec-less topologies and the
+        reference the fast backend is property-tested against."""
         dist = {source: 0}
         queue = deque([source])
         while queue:
@@ -144,8 +163,14 @@ class Topology(ABC):
             return None
         if source == target:
             return [source]
-        from collections import deque
+        fast = get_fastgraph(self)
+        if fast is not None:
+            return fast.shortest_path(source, target, blocked=blocked)
+        return self._bfs_shortest_path_python(source, target, blocked)
 
+    def _bfs_shortest_path_python(
+        self, source: Hashable, target: Hashable, blocked: frozenset | set
+    ) -> list[Hashable] | None:
         parent: dict[Hashable, Hashable] = {source: source}
         queue = deque([source])
         while queue:
@@ -165,10 +190,13 @@ class Topology(ABC):
 
     def eccentricity(self, v: Hashable) -> int:
         """Eccentricity of ``v`` (max BFS distance; graph must be connected)."""
-        dist = self.bfs_distances(v)
+        self.validate_node(v)
+        fast = get_fastgraph(self)
+        if fast is not None:
+            # array max — skips materialising a num_nodes-sized label dict
+            return fast.eccentricity(v)
+        dist = self._bfs_distances_python(v, frozenset())
         if len(dist) != self.num_nodes:
-            from repro.errors import DisconnectedError
-
             raise DisconnectedError(f"{self.name} is not connected from {v!r}")
         return max(dist.values())
 

@@ -1,0 +1,137 @@
+"""Codec round-trip and registry tests for the fast graph backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.fastgraph import codec_for, codec_for_group, register_codec
+from repro.fastgraph.codecs import EnumerationCodec
+from repro.topologies.base import Topology
+from repro.topologies.butterfly import WrappedButterfly
+from repro.topologies.butterfly_cayley import CayleyButterfly
+from repro.topologies.cycle import Cycle
+from repro.topologies.debruijn import DeBruijn
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.hyperdebruijn import HyperDeBruijn
+from repro.topologies.mesh import Mesh, Torus
+from repro.topologies.mesh_of_trees import MeshOfTrees
+from repro.topologies.product import CartesianProduct
+from repro.topologies.tree import CompleteBinaryTree
+
+GRID = [
+    Hypercube(0),
+    Hypercube(1),
+    Hypercube(3),
+    Hypercube(5),
+    WrappedButterfly(3),
+    WrappedButterfly(4),
+    CayleyButterfly(3),
+    CayleyButterfly(5),
+    HyperButterfly(0, 3),
+    HyperButterfly(1, 3),
+    HyperButterfly(2, 4),
+    DeBruijn(4),
+    HyperDeBruijn(2, 3),
+    Cycle(7),
+    Torus(3, 4),
+    Mesh(3, 5),
+    CompleteBinaryTree(4),
+    CartesianProduct(Hypercube(2), Cycle(5)),
+]
+
+
+@pytest.mark.parametrize("topology", GRID, ids=lambda t: t.name)
+class TestRoundTrip:
+    def test_codec_exists(self, topology):
+        assert codec_for(topology) is not None
+
+    def test_rank_unrank_bijective(self, topology):
+        codec = codec_for(topology)
+        assert codec.num_nodes == topology.num_nodes
+        for idx in range(codec.num_nodes):
+            assert codec.rank(codec.unrank(idx)) == idx
+
+    def test_unrank_matches_node_universe(self, topology):
+        codec = codec_for(topology)
+        labels = {codec.unrank(i) for i in range(codec.num_nodes)}
+        assert labels == set(topology.nodes())
+
+    def test_ranks_of_nodes_are_dense(self, topology):
+        codec = codec_for(topology)
+        ranks = sorted(codec.rank(v) for v in topology.nodes())
+        assert ranks == list(range(topology.num_nodes))
+
+
+class TestNeighborTables:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            Hypercube(3),
+            WrappedButterfly(4),
+            CayleyButterfly(4),
+            HyperButterfly(2, 3),
+            Cycle(6),
+            Torus(3, 3),
+            CartesianProduct(Hypercube(2), Cycle(4)),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_table_matches_neighbors(self, topology):
+        """Vectorized tables agree with label-level ``neighbors`` per node."""
+        codec = codec_for(topology)
+        table = codec.neighbor_table()
+        assert table is not None
+        anchor = next(iter(topology.nodes()))
+        assert table.shape == (topology.num_nodes, topology.degree(anchor))
+        for idx in range(topology.num_nodes):
+            expected = {codec.rank(w) for w in topology.neighbors(codec.unrank(idx))}
+            assert set(int(j) for j in table[idx]) == expected
+
+    def test_irregular_families_have_no_table(self):
+        assert codec_for(DeBruijn(3)).neighbor_table() is None
+        assert codec_for(Mesh(3, 3)).neighbor_table() is None
+
+
+class TestGroupCodecs:
+    def test_hyperbutterfly_group_codec_roundtrip(self, hb23):
+        codec = codec_for_group(hb23.group)
+        assert codec is not None
+        for i, element in enumerate(sorted(codec.rank(v) for v in hb23.group.elements())):
+            assert i == element
+
+    def test_unknown_group_has_no_codec(self):
+        class Weird:
+            pass
+
+        assert codec_for_group(Weird()) is None
+
+
+class TestRegistryOptIn:
+    def test_unregistered_topology_has_no_codec(self):
+        assert codec_for(MeshOfTrees(2, 2)) is None
+
+    def test_external_subclass_can_register(self):
+        class TinyPath(Topology):
+            name = "tiny-path"
+            num_nodes = 4
+
+            def nodes(self):
+                return iter(range(4))
+
+            def has_node(self, v):
+                return isinstance(v, int) and 0 <= v < 4
+
+            def neighbors(self, v):
+                self.validate_node(v)
+                return [w for w in (v - 1, v + 1) if 0 <= w < 4]
+
+        register_codec(TinyPath, lambda t: EnumerationCodec(t.nodes()))
+        try:
+            codec = codec_for(TinyPath())
+            assert codec is not None
+            assert [codec.unrank(i) for i in range(4)] == [0, 1, 2, 3]
+        finally:
+            from repro.fastgraph.codecs import _REGISTRY
+
+            _REGISTRY.pop("TinyPath", None)
