@@ -7,6 +7,9 @@ Subcommands:
 * ``figure1 M N``         — regenerate the paper's Figure 1 at ``(M, N)``.
 * ``figure2``             — regenerate the paper's Figure 2 (large; minutes).
 * ``faults M N K``        — fault-sweep experiment with up to ``K`` faults.
+* ``faults-campaign M N`` — degradation campaign past the ``m + 3``
+  guarantee (static sweep on HB/HD/hypercube + transient transport
+  comparison), emitting ``BENCH_faults.json``.
 * ``broadcast M N``       — broadcast round counts under all three models.
 """
 
@@ -56,6 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("n", type=int)
     p_faults.add_argument("max_faults", type=int)
     p_faults.add_argument("--trials", type=int, default=5)
+
+    p_fc = sub.add_parser(
+        "faults-campaign",
+        help="degradation campaign past the m+3 guarantee (JSON output)",
+    )
+    p_fc.add_argument("m", type=int)
+    p_fc.add_argument("n", type=int)
+    p_fc.add_argument("--seed", type=int, default=0)
+    p_fc.add_argument("--trials", type=int, default=None)
+    p_fc.add_argument("--pairs", type=int, default=None)
+    p_fc.add_argument(
+        "--output", default="BENCH_faults.json", help="JSON output path"
+    )
+    p_fc.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-scale sweep (smoke tests / CI)",
+    )
 
     p_bc = sub.add_parser("broadcast", help="broadcast rounds on HB(m, n)")
     p_bc.add_argument("m", type=int)
@@ -126,6 +147,54 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_faults_campaign(args) -> int:
+    import dataclasses
+
+    from repro.faults.campaigns import (
+        CampaignConfig,
+        run_campaign,
+        write_campaign_json,
+    )
+
+    if args.quick:
+        config = CampaignConfig.quick(args.m, args.n, seed=args.seed)
+    else:
+        config = CampaignConfig(m=args.m, n=args.n, seed=args.seed)
+    overrides = {}
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.pairs is not None:
+        overrides["pairs"] = args.pairs
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    results = run_campaign(config)
+    write_campaign_json(results, args.output)
+    for network in results["networks"]:
+        print(
+            f"{network['name']}: {network['num_nodes']} nodes, "
+            f"guarantee {network['guaranteed_tolerance']} faults, "
+            f"breaking point {network['breaking_point']}"
+        )
+        print("  faults  delivery  stretch  disjoint-share")
+        for row in network["curve"]:
+            stretch = row["mean_stretch"]
+            share = row["disjoint_share"]
+            print(
+                f"  {row['faults']:6d}  {row['delivery_ratio']:8.3f}  "
+                f"{stretch if stretch is not None else float('nan'):7.3f}  "
+                f"{share if share is not None else float('nan'):14.3f}"
+            )
+    print(f"transient transport on {results['transient']['network']}:")
+    print("  rate    no-retry  retry     mean-rexmit")
+    for row in results["transient"]["curve"]:
+        print(
+            f"  {row['rate']:5.2f}  {row['no_retry_delivery']:8.3f}  "
+            f"{row['retry_delivery']:8.3f}  {row['mean_retransmissions']:11.3f}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_broadcast(args) -> int:
     from repro import HyperButterfly, broadcast_rounds
     from repro.core.broadcast import broadcast_lower_bound
@@ -146,6 +215,7 @@ _HANDLERS = {
     "figure1": _cmd_figure1,
     "figure2": _cmd_figure2,
     "faults": _cmd_faults,
+    "faults-campaign": _cmd_faults_campaign,
     "broadcast": _cmd_broadcast,
 }
 

@@ -9,6 +9,8 @@ Modules:
 * :mod:`repro.core.disjoint_paths` — the ``m + 4`` node-disjoint paths of
   Theorem 5.
 * :mod:`repro.core.fault_routing` — fault-tolerant routing (Remark 10).
+* :mod:`repro.core.resilient` — escalating resilient router with graceful
+  degradation past the ``m + 3`` guarantee.
 * :mod:`repro.core.broadcast` — the broadcast extension teased in the
   paper's conclusion.
 """
@@ -18,6 +20,12 @@ from repro.core.labels import format_hb_node, parse_hb_node
 from repro.core.routing import HBRouter, RouteResult
 from repro.core.disjoint_paths import disjoint_paths, verify_disjoint_paths
 from repro.core.fault_routing import FaultTolerantRouter
+from repro.core.resilient import (
+    ResilientRouter,
+    RouteOutcome,
+    ReachabilityReport,
+    DegradedRouteError,
+)
 from repro.core.broadcast import broadcast_tree, broadcast_rounds
 from repro.core.partition import (
     SubHBPartition,
@@ -34,6 +42,10 @@ __all__ = [
     "disjoint_paths",
     "verify_disjoint_paths",
     "FaultTolerantRouter",
+    "ResilientRouter",
+    "RouteOutcome",
+    "ReachabilityReport",
+    "DegradedRouteError",
     "broadcast_tree",
     "broadcast_rounds",
     "SubHBPartition",

@@ -54,6 +54,11 @@ class FaultTolerantRouter:
           fault-avoiding route; succeeds whenever the faulted graph still
           connects ``u`` to ``v``.
         """
+        if strategy not in ("disjoint", "adaptive"):
+            # fail fast: a typo'd strategy must never silently fall through
+            # to disjoint behaviour (or worse, only error after the adaptive
+            # branch happened to be skipped)
+            raise RoutingError(f"unknown strategy {strategy!r}")
         fault_set = frozenset(faults)
         self._check_endpoints(u, v, fault_set)
         if u == v:
@@ -65,8 +70,6 @@ class FaultTolerantRouter:
                     f"faults disconnect {u!r} from {v!r} in {self.hb.name}"
                 )
             return path
-        if strategy != "disjoint":
-            raise RoutingError(f"unknown strategy {strategy!r}")
 
         candidates = disjoint_paths(self.hb, u, v)
         best: list[HBNode] | None = None

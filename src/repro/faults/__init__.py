@@ -1,12 +1,22 @@
-"""Fault models and connectivity analysis (paper Section 5).
+"""Fault models, dynamic fault injection, and connectivity analysis.
 
-* :mod:`repro.faults.model` — fault sets and random fault injection.
+* :mod:`repro.faults.model` — node/link fault sets and random injection.
+* :mod:`repro.faults.dynamic` — seeded fail/repair schedules (chaos layer).
 * :mod:`repro.faults.connectivity` — exact vertex connectivity (max-flow),
   connectivity under faults, and maximal-fault-tolerance certificates.
 * :mod:`repro.faults.experiments` — fault-sweep experiment driver (E6).
+* :mod:`repro.faults.campaigns` — degradation campaigns past the ``m + 3``
+  guarantee (``BENCH_faults.json``).
 """
 
-from repro.faults.model import FaultSet, random_node_faults
+from repro.faults.model import (
+    FaultSet,
+    LinkFaultSet,
+    canonical_link,
+    random_node_faults,
+    random_link_faults,
+)
+from repro.faults.dynamic import FaultEvent, FaultSchedule, FaultState
 from repro.faults.connectivity import (
     vertex_connectivity,
     is_maximally_fault_tolerant,
@@ -14,14 +24,24 @@ from repro.faults.connectivity import (
     connected_under_faults,
 )
 from repro.faults.experiments import FaultSweepResult, fault_sweep
+from repro.faults.campaigns import CampaignConfig, run_campaign, write_campaign_json
 
 __all__ = [
     "FaultSet",
+    "LinkFaultSet",
+    "canonical_link",
     "random_node_faults",
+    "random_link_faults",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultState",
     "vertex_connectivity",
     "is_maximally_fault_tolerant",
     "connectivity_certificate",
     "connected_under_faults",
     "FaultSweepResult",
     "fault_sweep",
+    "CampaignConfig",
+    "run_campaign",
+    "write_campaign_json",
 ]

@@ -1,0 +1,280 @@
+"""Degradation campaigns: charting robustness past the ``m + 3`` guarantee.
+
+Corollary 1 promises full pairwise connectivity — hence delivery ratio
+1.0 with the disjoint-path scheme — for any ``<= m + 3`` node faults.
+This module measures what happens *beyond* that line (the regime studied
+for hypercubes in *Structure fault diameter of hypercubes*):
+
+* **static sweep** — for each fault count (through the guarantee region,
+  then fractions of the whole network), sample fault sets and healthy
+  node pairs and route with the escalating
+  :class:`repro.core.resilient.ResilientRouter` (on ``HB``) or adaptive
+  BFS (baselines), recording delivery ratio, latency (hops), stretch over
+  the fault-free distance, and the share of pairs still served by the
+  paper's disjoint families.  The *breaking point* is the first fault
+  count whose delivery ratio drops below 1.0.
+* **transient transport sweep** — identical Poisson fail/repair schedules
+  and traffic replayed through the packet simulator twice per fault rate:
+  fire-and-forget versus the reliable per-hop transport (acks,
+  exponential-backoff retransmission, duplicate suppression), measuring
+  how much delivery the transport buys back.
+
+Everything is seeded; the same :class:`CampaignConfig` reproduces the
+emitted JSON bit for bit (the campaign determinism test enforces this).
+
+The simulation layer is imported lazily inside functions: the ``faults``
+package initialises this module, while ``simulation.network`` imports
+``faults.dynamic`` — eager cross-imports here would cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Hashable
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import RoutingError
+from repro.faults.dynamic import FaultSchedule
+from repro.faults.model import random_node_faults
+from repro.topologies.base import Topology
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.hyperdebruijn import HyperDeBruijn
+
+__all__ = ["CampaignConfig", "run_campaign", "write_campaign_json"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one degradation campaign on ``HB(m, n)`` + baselines."""
+
+    m: int = 3
+    n: int = 4
+    seed: int = 0
+    trials: int = 3
+    pairs: int = 25
+    # static sweep: fractions of the node set, beyond the guarantee region
+    fault_fractions: tuple[float, ...] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+    # transient transport sweep: Poisson fault arrivals per time unit
+    transient_rates: tuple[float, ...] = (0.05, 0.1, 0.2, 0.5, 1.0)
+    transient_packets: int = 120
+    horizon: float = 80.0
+    repair_time: float = 6.0
+
+    @classmethod
+    def quick(cls, m: int, n: int, *, seed: int = 0) -> "CampaignConfig":
+        """A seconds-scale configuration for smoke tests and CI."""
+        return cls(
+            m=m,
+            n=n,
+            seed=seed,
+            trials=2,
+            pairs=8,
+            fault_fractions=(0.2, 0.5),
+            transient_rates=(0.1, 0.5),
+            transient_packets=30,
+            horizon=40.0,
+        )
+
+
+def _round(x: float) -> float:
+    return round(x, 6)
+
+
+def _fault_counts(num_nodes: int, guarantee: int, config: CampaignConfig) -> list[int]:
+    """The guarantee region step by step, then the configured fractions."""
+    counts = set(range(0, guarantee + 3))
+    for fraction in config.fault_fractions:
+        counts.add(int(round(fraction * num_nodes)))
+    # a fault set must leave at least two healthy nodes to route between
+    return sorted(c for c in counts if c <= num_nodes - 2)
+
+
+def _static_curve(
+    topology: Topology,
+    guarantee: int,
+    config: CampaignConfig,
+    *,
+    resilient: bool,
+) -> tuple[list[dict], int | None]:
+    """Sweep static fault counts; returns (curve rows, breaking point)."""
+    import random
+
+    from repro.core.resilient import DegradedRouteError, ResilientRouter
+
+    rng = random.Random(config.seed)
+    router = ResilientRouter(topology) if resilient else None
+    all_nodes = list(topology.nodes())
+    curve: list[dict] = []
+    breaking_point: int | None = None
+    for count in _fault_counts(topology.num_nodes, guarantee, config):
+        delivered = 0
+        total = 0
+        disjoint_hits = 0
+        length_sum = 0
+        stretch_sum = 0.0
+        stretch_n = 0
+        for _ in range(config.trials):
+            faults = random_node_faults(topology, count, rng=rng)
+            for _ in range(config.pairs):
+                while True:
+                    u, v = rng.sample(all_nodes, 2)
+                    if u not in faults and v not in faults:
+                        break
+                total += 1
+                path: list | None = None
+                strategy = "adaptive"
+                if router is not None:
+                    try:
+                        outcome = router.route_ex(u, v, node_faults=faults.nodes)
+                        path = list(outcome.path)
+                        strategy = outcome.strategy
+                    except (DegradedRouteError, RoutingError):
+                        path = None
+                else:
+                    path = topology.bfs_shortest_path(u, v, blocked=faults.nodes)
+                if path is None:
+                    continue
+                delivered += 1
+                if strategy == "disjoint":
+                    disjoint_hits += 1
+                length = len(path) - 1
+                length_sum += length
+                base = topology.bfs_shortest_path(u, v)
+                if base is not None and len(base) > 1:
+                    stretch_sum += length / (len(base) - 1)
+                    stretch_n += 1
+        ratio = delivered / total if total else 1.0
+        if breaking_point is None and ratio < 1.0:
+            breaking_point = count
+        curve.append(
+            {
+                "faults": count,
+                "fault_fraction": _round(count / topology.num_nodes),
+                "delivery_ratio": _round(ratio),
+                "mean_latency_hops": _round(length_sum / delivered)
+                if delivered
+                else None,
+                "mean_stretch": _round(stretch_sum / stretch_n)
+                if stretch_n
+                else None,
+                "disjoint_share": _round(disjoint_hits / total) if total else None,
+            }
+        )
+    return curve, breaking_point
+
+
+def _transient_curve(hb: HyperButterfly, config: CampaignConfig) -> list[dict]:
+    """Fire-and-forget vs reliable transport on identical fault schedules."""
+    import random
+
+    from repro.simulation.network import NetworkSimulator, TransportConfig
+    from repro.simulation.protocols import HBObliviousProtocol
+    from repro.simulation.traffic import uniform_random_traffic
+
+    transport = TransportConfig(
+        ack_timeout=2.0,
+        max_retries=10,
+        backoff_base=1.0,
+        backoff_factor=2.0,
+        jitter=0.5,
+    )
+    rows: list[dict] = []
+    for rate in config.transient_rates:
+        schedule = FaultSchedule.generate(
+            hb,
+            rate=rate,
+            horizon=config.horizon,
+            seed=config.seed + 1,
+            mode="transient",
+            kinds=("node", "link"),
+            repair_time=config.repair_time,
+        )
+        pairs = uniform_random_traffic(
+            hb, config.transient_packets, seed=config.seed + 2
+        )
+        inject_rng = random.Random(config.seed + 3)
+        inject_times = [
+            inject_rng.uniform(0.0, 0.6 * config.horizon) for _ in pairs
+        ]
+        stats = {}
+        for label, cfg in (("no_retry", None), ("retry", transport)):
+            sim = NetworkSimulator(
+                hb,
+                HBObliviousProtocol(hb),
+                schedule=schedule,
+                transport=cfg,
+                seed=config.seed + 4,
+            )
+            for (s, t), at in zip(pairs, inject_times):
+                sim.inject(s, t, at=at)
+            sim.run()
+            stats[label] = sim.stats()
+        base, retry = stats["no_retry"], stats["retry"]
+        rows.append(
+            {
+                "rate": _round(rate),
+                "no_retry_delivery": _round(base.delivery_rate),
+                "retry_delivery": _round(retry.delivery_rate),
+                "mean_retransmissions": _round(
+                    retry.retransmissions / retry.injected
+                )
+                if retry.injected
+                else 0.0,
+                "duplicates": retry.duplicates,
+                "no_retry_mean_latency": _round(base.mean_latency),
+                "retry_mean_latency": _round(retry.mean_latency),
+            }
+        )
+    return rows
+
+
+def run_campaign(config: CampaignConfig) -> dict:
+    """The full campaign: static curves on HB/HD/hypercube + transient sweep."""
+    import math
+
+    hb = HyperButterfly(config.m, config.n)
+    networks = []
+    comparisons: list[tuple[Topology, int, bool]] = [
+        # (topology, guaranteed tolerance = connectivity - 1, resilient?)
+        (hb, hb.m + 3, True),
+        (HyperDeBruijn(config.m, config.n), config.m + 1, False),
+        (Hypercube(max(2, round(math.log2(hb.num_nodes)))), None, False),
+    ]
+    for topology, guarantee, resilient in comparisons:
+        if guarantee is None:
+            guarantee = topology.m - 1  # hypercube connectivity is its degree
+        curve, breaking_point = _static_curve(
+            topology, guarantee, config, resilient=resilient
+        )
+        networks.append(
+            {
+                "name": topology.name,
+                "num_nodes": topology.num_nodes,
+                "guaranteed_tolerance": guarantee,
+                "scheme": "resilient(disjoint->adaptive)"
+                if resilient
+                else "adaptive-bfs",
+                "curve": curve,
+                "breaking_point": breaking_point,
+            }
+        )
+    return {
+        "config": asdict(config),
+        "networks": networks,
+        "transient": {
+            "network": hb.name,
+            "mode": "transient",
+            "kinds": ["link", "node"],
+            "repair_time": config.repair_time,
+            "curve": _transient_curve(hb, config),
+        },
+    }
+
+
+def write_campaign_json(results: dict, path: str | Path) -> str:
+    """Serialise deterministically (sorted keys, fixed indent); returns text."""
+    text = json.dumps(results, indent=2, sort_keys=True)
+    Path(path).write_text(text + "\n")
+    return text

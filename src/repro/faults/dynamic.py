@@ -1,0 +1,236 @@
+"""Dynamic fault injection: seeded, deterministic fail/repair schedules.
+
+The paper's fault-tolerance results (Theorem 5, Corollary 1, Remark 10)
+are *existential* statements about static fault sets.  This module supplies
+the chaos half of the dynamic story: a :class:`FaultSchedule` is a frozen,
+time-ordered list of :class:`FaultEvent` fail/repair events over **both
+nodes and links**, generated from a Poisson arrival process with a seed —
+the same seed always reproduces the same schedule bit for bit, which the
+campaign determinism tests rely on.
+
+Three fault modes:
+
+* ``"permanent"``  — a failed component never repairs;
+* ``"transient"``  — each failure heals after an exponential repair time
+  (mean ``repair_time``);
+* ``"intermittent"`` — a component flaps: fail/repair cycles (exponential
+  down- and up-times) repeat until the horizon.
+
+Overlapping failures of the same component are tracked with a depth
+counter in :class:`FaultState`, so a repair belonging to an earlier,
+shorter outage never heals a longer overlapping one early.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Literal
+
+from repro.errors import InvalidParameterError
+from repro.faults.model import canonical_link
+from repro.topologies.base import Topology
+
+__all__ = ["FaultEvent", "FaultSchedule", "FaultState"]
+
+FaultMode = Literal["permanent", "transient", "intermittent"]
+FaultKind = Literal["node", "link"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timestamped state change of one component."""
+
+    time: float
+    action: Literal["fail", "repair"]
+    kind: FaultKind
+    target: Hashable  # a node label, or a canonical (u, v) link tuple
+
+    def to_jsonable(self) -> dict:
+        return {
+            "time": self.time,
+            "action": self.action,
+            "kind": self.kind,
+            "target": repr(self.target),
+        }
+
+
+class FaultState:
+    """Mutable replay state: which components are down right now.
+
+    Failure depth is counted per component so overlapping fail/repair
+    intervals compose correctly (a component is healthy again only when
+    every outstanding failure has been repaired).
+    """
+
+    def __init__(self) -> None:
+        self._node_depth: dict[Hashable, int] = {}
+        self._link_depth: dict[tuple, int] = {}
+
+    @property
+    def faulty_nodes(self) -> frozenset:
+        return frozenset(self._node_depth)
+
+    @property
+    def faulty_links(self) -> frozenset:
+        return frozenset(self._link_depth)
+
+    def node_faulty(self, v: Hashable) -> bool:
+        return v in self._node_depth
+
+    def link_faulty(self, u: Hashable, v: Hashable) -> bool:
+        return canonical_link(u, v) in self._link_depth
+
+    def apply(self, event: FaultEvent) -> bool:
+        """Apply one event; returns whether visible health flipped."""
+        depths = self._node_depth if event.kind == "node" else self._link_depth
+        target = event.target
+        if event.action == "fail":
+            depths[target] = depths.get(target, 0) + 1
+            return depths[target] == 1
+        # repair of an already-healthy component is a no-op (can happen
+        # when a schedule is truncated by a horizon)
+        depth = depths.get(target, 0)
+        if depth == 0:
+            return False
+        if depth == 1:
+            del depths[target]
+            return True
+        depths[target] = depth - 1
+        return False
+
+
+class FaultSchedule:
+    """An immutable, time-sorted sequence of fault events.
+
+    Construct directly from events, or sample one with :meth:`generate`.
+    Ties in time preserve generation order (stable sort), so replay is
+    fully deterministic.
+    """
+
+    def __init__(self, topology: Topology, events: Iterable[FaultEvent] = ()) -> None:
+        self.topology = topology
+        ordered = sorted(events, key=lambda e: e.time)
+        for e in ordered:
+            if e.action not in ("fail", "repair"):
+                raise InvalidParameterError(f"unknown action {e.action!r}")
+            if e.kind == "node":
+                topology.validate_node(e.target)
+            elif e.kind == "link":
+                u, v = e.target
+                if not topology.has_edge(u, v):
+                    raise InvalidParameterError(
+                        f"({u!r}, {v!r}) is not an edge of {topology.name}"
+                    )
+            else:
+                raise InvalidParameterError(f"unknown fault kind {e.kind!r}")
+        self._events = tuple(ordered)
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def state_at(self, time: float) -> FaultState:
+        """The fault state after replaying every event with ``time <= t``."""
+        state = FaultState()
+        for event in self._events:
+            if event.time > time:
+                break
+            state.apply(event)
+        return state
+
+    def to_jsonable(self) -> list[dict]:
+        return [e.to_jsonable() for e in self._events]
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSchedule({self.topology.name}, {len(self._events)} events)"
+        )
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        *,
+        rate: float,
+        horizon: float,
+        seed: int = 0,
+        mode: FaultMode = "transient",
+        kinds: tuple[FaultKind, ...] = ("node",),
+        repair_time: float = 5.0,
+        uptime: float | None = None,
+        exclude_nodes: Iterable[Hashable] = (),
+    ) -> "FaultSchedule":
+        """Sample a schedule: Poisson fault arrivals over ``[0, horizon)``.
+
+        ``rate`` is the expected number of fault arrivals per time unit
+        (across the whole network).  Each arrival downs one uniformly
+        random component among ``kinds``; ``exclude_nodes`` shields chosen
+        nodes (e.g. traffic endpoints) from node faults.  Repair and
+        (for ``"intermittent"``) up-times are exponential with means
+        ``repair_time`` and ``uptime`` (default ``2 * repair_time``).
+        """
+        if rate < 0:
+            raise InvalidParameterError(f"fault rate must be >= 0, got {rate}")
+        if horizon <= 0:
+            raise InvalidParameterError(f"horizon must be > 0, got {horizon}")
+        if repair_time <= 0:
+            raise InvalidParameterError(
+                f"repair_time must be > 0, got {repair_time}"
+            )
+        if mode not in ("permanent", "transient", "intermittent"):
+            raise InvalidParameterError(f"unknown fault mode {mode!r}")
+        for kind in kinds:
+            if kind not in ("node", "link"):
+                raise InvalidParameterError(f"unknown fault kind {kind!r}")
+        if not kinds:
+            raise InvalidParameterError("kinds must not be empty")
+        rng = random.Random(seed)
+        up_mean = uptime if uptime is not None else 2.0 * repair_time
+        shielded = set(exclude_nodes)
+        node_pool = [v for v in topology.nodes() if v not in shielded]
+        link_pool = (
+            [canonical_link(u, v) for u, v in topology.edges()]
+            if "link" in kinds
+            else []
+        )
+        if "node" in kinds and not node_pool:
+            raise InvalidParameterError("every node is excluded from faults")
+
+        events: list[FaultEvent] = []
+        t = 0.0
+        while rate > 0:
+            t += rng.expovariate(rate)
+            if t >= horizon:
+                break
+            kind = kinds[rng.randrange(len(kinds))] if len(kinds) > 1 else kinds[0]
+            if kind == "node":
+                target: Hashable = node_pool[rng.randrange(len(node_pool))]
+            else:
+                target = link_pool[rng.randrange(len(link_pool))]
+            events.append(FaultEvent(t, "fail", kind, target))
+            if mode == "permanent":
+                continue
+            down = rng.expovariate(1.0 / repair_time)
+            if mode == "transient":
+                events.append(FaultEvent(t + down, "repair", kind, target))
+                continue
+            # intermittent: flap until the horizon; the final repair is
+            # always emitted so every transient outage eventually heals
+            cursor = t
+            while cursor < horizon:
+                events.append(FaultEvent(cursor + down, "repair", kind, target))
+                cursor += down + rng.expovariate(1.0 / up_mean)
+                if cursor >= horizon:
+                    break
+                events.append(FaultEvent(cursor, "fail", kind, target))
+                down = rng.expovariate(1.0 / repair_time)
+        return cls(topology, events)

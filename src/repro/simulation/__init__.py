@@ -8,13 +8,14 @@ election of the companion paper, with latency/throughput statistics.
 """
 
 from repro.simulation.events import Event, EventQueue
-from repro.simulation.network import NetworkSimulator, Packet
+from repro.simulation.network import NetworkSimulator, Packet, TransportConfig
 from repro.simulation.protocols import (
     RoutingProtocol,
     PrecomputedPathProtocol,
     HBObliviousProtocol,
     HDObliviousProtocol,
     BFSProtocol,
+    ResilientProtocol,
 )
 from repro.simulation.traffic import (
     uniform_random_traffic,
@@ -40,11 +41,13 @@ __all__ = [
     "EventQueue",
     "NetworkSimulator",
     "Packet",
+    "TransportConfig",
     "RoutingProtocol",
     "PrecomputedPathProtocol",
     "HBObliviousProtocol",
     "HDObliviousProtocol",
     "BFSProtocol",
+    "ResilientProtocol",
     "uniform_random_traffic",
     "permutation_traffic",
     "hotspot_traffic",

@@ -8,10 +8,15 @@
   cube part, classic shift-in routing on the de Bruijn part (with longest
   suffix/prefix overlap shortcutting), as in [1].
 * :class:`BFSProtocol` — shortest-path-under-faults reference (adaptive).
+* :class:`ResilientProtocol` — hop-by-hop forwarding along
+  :class:`repro.core.resilient.ResilientRouter` routes, re-planned when
+  the simulator reports a fault event.
 
 Protocols are deliberately *stateless across hops* where the underlying
 scheme is oblivious, so the simulator measures the algorithm the paper
-describes rather than a cached table.
+describes rather than a cached table.  Protocols that expose a ``bind``
+method are handed the simulator at construction time and may subscribe to
+its fault events — that is how adaptive protocols see mid-run failures.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ from typing import Hashable, Protocol
 
 from repro._bits import mask, set_bits
 from repro.core.hyperbutterfly import HyperButterfly
+from repro.core.resilient import ResilientRouter
+from repro.errors import RoutingError
 from repro.routing.base import loop_erase
 from repro.routing.butterfly import butterfly_route_walk
 from repro.topologies.base import Topology
@@ -32,6 +39,7 @@ __all__ = [
     "HBObliviousProtocol",
     "HDObliviousProtocol",
     "BFSProtocol",
+    "ResilientProtocol",
 ]
 
 
@@ -147,22 +155,90 @@ def _cached_debruijn_route(n: int, d: int, d2: int) -> tuple:
 
 
 class BFSProtocol:
-    """Adaptive shortest-path routing around a fault set (reference)."""
+    """Adaptive shortest-path routing around a fault set (reference).
+
+    When bound to a simulator (:meth:`bind` is called automatically by
+    :class:`repro.simulation.network.NetworkSimulator`), the protocol also
+    avoids the simulator's *live* faulty nodes and flushes its path cache
+    whenever a fault event fires, so mid-run failures reroute packets.
+    """
 
     def __init__(self, topology: Topology, faults=()) -> None:
         self.topology = topology
         self.faults = frozenset(faults)
         self._cache: dict[tuple, tuple | None] = {}
+        self._sim = None
+
+    def bind(self, sim) -> None:
+        self._sim = sim
+        sim.add_fault_listener(self._on_fault)
+
+    def _on_fault(self, event) -> None:
+        self._cache.clear()
+
+    def _blocked(self) -> frozenset:
+        if self._sim is None:
+            return self.faults
+        return self.faults | self._sim.faults
 
     def next_hop(self, packet, node) -> Hashable | None:
         key = (node, packet.target)
         path = self._cache.get(key)
         if key not in self._cache:
             raw = self.topology.bfs_shortest_path(
-                node, packet.target, blocked=self.faults
+                node, packet.target, blocked=self._blocked()
             )
             path = tuple(raw) if raw else None
             self._cache[key] = path
         if path is None or len(path) < 2:
             return None
+        return path[1]
+
+
+class ResilientProtocol:
+    """Forwarding along :class:`ResilientRouter` escalation routes.
+
+    A full route is planned at the packet's current node and then followed
+    hop by hop; any fault event invalidates the router's adaptive cache
+    *and* every in-flight plan, so the next hop decision re-plans against
+    the current fault state (disjoint families are fault-independent and
+    survive, keeping re-planning cheap).
+    """
+
+    def __init__(self, router: ResilientRouter) -> None:
+        self.router = router
+        self._sim = None
+        # packet ident -> remaining planned path (starting at current node)
+        self._plans: dict[int, tuple] = {}
+
+    def bind(self, sim) -> None:
+        self._sim = sim
+        sim.add_fault_listener(self._on_fault)
+
+    def _on_fault(self, event) -> None:
+        self.router.on_fault_event(event)
+        self._plans.clear()
+
+    def _current_faults(self) -> tuple[frozenset, frozenset]:
+        if self._sim is None:
+            return frozenset(), frozenset()
+        return self._sim.faults, self._sim.faulty_links
+
+    def next_hop(self, packet, node) -> Hashable | None:
+        plan = self._plans.get(packet.ident)
+        if plan and plan[0] == node and len(plan) >= 2:
+            self._plans[packet.ident] = plan[1:]
+            return plan[1]
+        node_faults, link_faults = self._current_faults()
+        try:
+            outcome = self.router.route_ex(
+                node, packet.target,
+                node_faults=node_faults, link_faults=link_faults,
+            )
+        except RoutingError:  # includes Disconnected/DegradedRouteError
+            return None
+        path = outcome.path
+        if len(path) < 2:
+            return None
+        self._plans[packet.ident] = path[1:]
         return path[1]

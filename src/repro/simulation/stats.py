@@ -19,6 +19,8 @@ class LatencyStats:
     max_latency: float
     mean_hops: float
     makespan: float  # last delivery time
+    retransmissions: int = 0  # reliable transport: total resends
+    duplicates: int = 0  # reliable transport: suppressed duplicate arrivals
 
     @classmethod
     def from_packets(cls, packets: Sequence) -> "LatencyStats":
@@ -34,6 +36,8 @@ class LatencyStats:
             max_latency=max(latencies) if latencies else 0.0,
             mean_hops=sum(hops) / len(hops) if hops else 0.0,
             makespan=max((p.delivered_at for p in delivered), default=0.0),
+            retransmissions=sum(getattr(p, "retransmissions", 0) for p in packets),
+            duplicates=sum(getattr(p, "duplicates", 0) for p in packets),
         )
 
     @property

@@ -58,6 +58,14 @@ class TestStrategies:
         with pytest.raises(RoutingError):
             router.route((0, (0, 0)), (1, (0, 0)), [], strategy="psychic")
 
+    def test_unknown_strategy_fails_fast(self, hb23):
+        """The strategy check runs before any routing shortcut: even the
+        trivial ``u == u`` route must reject a typo'd strategy."""
+        router = FaultTolerantRouter(hb23)
+        u = hb23.identity_node()
+        with pytest.raises(RoutingError, match="unknown strategy"):
+            router.route(u, u, [], strategy="disjoit")
+
     def test_faulty_endpoint_rejected(self, hb23):
         router = FaultTolerantRouter(hb23)
         u, v = (0, (0, 0)), (1, (0, 0))

@@ -1,0 +1,140 @@
+"""Dynamic fault schedule tests: generation, determinism, replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.faults.dynamic import FaultEvent, FaultSchedule, FaultState
+from repro.topologies.hypercube import Hypercube
+
+
+class TestFaultState:
+    def test_depth_counting(self):
+        state = FaultState()
+        assert state.apply(FaultEvent(0.0, "fail", "node", 3)) is True
+        # overlapping second failure: no visible flip
+        assert state.apply(FaultEvent(1.0, "fail", "node", 3)) is False
+        assert state.apply(FaultEvent(2.0, "repair", "node", 3)) is False
+        assert state.node_faulty(3)
+        assert state.apply(FaultEvent(3.0, "repair", "node", 3)) is True
+        assert not state.node_faulty(3)
+
+    def test_spurious_repair_is_noop(self):
+        state = FaultState()
+        assert state.apply(FaultEvent(0.0, "repair", "node", 1)) is False
+
+    def test_link_faults_orientation_free(self):
+        state = FaultState()
+        state.apply(FaultEvent(0.0, "fail", "link", (0, 1)))
+        assert state.link_faulty(0, 1)
+        assert state.link_faulty(1, 0)
+        assert not state.link_faulty(0, 2)
+
+
+class TestScheduleValidation:
+    def test_events_sorted(self):
+        h = Hypercube(3)
+        sched = FaultSchedule(
+            h,
+            [
+                FaultEvent(5.0, "repair", "node", 1),
+                FaultEvent(1.0, "fail", "node", 1),
+            ],
+        )
+        assert [e.time for e in sched] == [1.0, 5.0]
+
+    def test_rejects_bad_node(self):
+        with pytest.raises(Exception):
+            FaultSchedule(Hypercube(2), [FaultEvent(0.0, "fail", "node", 99)])
+
+    def test_rejects_non_edge_link(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSchedule(Hypercube(3), [FaultEvent(0.0, "fail", "link", (0, 3))])
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSchedule.generate(Hypercube(3), rate=1.0, horizon=5.0, mode="nope")
+
+
+class TestGeneration:
+    def test_seeded_determinism(self):
+        h = Hypercube(4)
+        kwargs = dict(
+            rate=1.0,
+            horizon=40.0,
+            seed=7,
+            mode="intermittent",
+            kinds=("node", "link"),
+            repair_time=3.0,
+        )
+        a = FaultSchedule.generate(h, **kwargs)
+        b = FaultSchedule.generate(h, **kwargs)
+        assert a.events == b.events
+        assert len(a) > 0
+        c = FaultSchedule.generate(h, **{**kwargs, "seed": 8})
+        assert c.events != a.events
+
+    def test_permanent_mode_never_repairs(self):
+        h = Hypercube(3)
+        sched = FaultSchedule.generate(
+            h, rate=2.0, horizon=20.0, seed=1, mode="permanent"
+        )
+        assert all(e.action == "fail" for e in sched)
+
+    def test_transient_mode_pairs_fail_repair(self):
+        h = Hypercube(3)
+        sched = FaultSchedule.generate(
+            h, rate=1.0, horizon=20.0, seed=2, mode="transient", repair_time=2.0
+        )
+        fails = sum(1 for e in sched if e.action == "fail")
+        repairs = sum(1 for e in sched if e.action == "repair")
+        assert fails == repairs > 0
+        # every transient outage eventually heals, so the terminal state
+        # (after all events) is fully healthy
+        last = sched.events[-1].time
+        state = sched.state_at(last + 1.0)
+        assert not state.faulty_nodes and not state.faulty_links
+
+    def test_intermittent_flaps(self):
+        h = Hypercube(3)
+        sched = FaultSchedule.generate(
+            h,
+            rate=0.5,
+            horizon=60.0,
+            seed=3,
+            mode="intermittent",
+            repair_time=2.0,
+            uptime=2.0,
+        )
+        # at least one component fails more than once
+        fail_counts: dict = {}
+        for e in sched:
+            if e.action == "fail":
+                fail_counts[e.target] = fail_counts.get(e.target, 0) + 1
+        assert max(fail_counts.values()) >= 2
+
+    def test_exclude_nodes_shielded(self):
+        h = Hypercube(3)
+        sched = FaultSchedule.generate(
+            h,
+            rate=5.0,
+            horizon=20.0,
+            seed=4,
+            mode="permanent",
+            exclude_nodes=[0, 7],
+        )
+        assert all(e.target not in (0, 7) for e in sched)
+
+    def test_state_at_replays_prefix(self):
+        h = Hypercube(3)
+        sched = FaultSchedule(
+            h,
+            [
+                FaultEvent(1.0, "fail", "node", 2),
+                FaultEvent(4.0, "repair", "node", 2),
+            ],
+        )
+        assert not sched.state_at(0.5).node_faulty(2)
+        assert sched.state_at(2.0).node_faulty(2)
+        assert not sched.state_at(4.0).node_faulty(2)

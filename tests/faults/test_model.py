@@ -7,7 +7,12 @@ import random
 import pytest
 
 from repro.errors import InvalidLabelError, InvalidParameterError
-from repro.faults.model import FaultSet, random_node_faults
+from repro.faults.model import (
+    FaultSet,
+    LinkFaultSet,
+    random_link_faults,
+    random_node_faults,
+)
 from repro.topologies.hypercube import Hypercube
 
 
@@ -74,3 +79,83 @@ class TestRandomFaults:
                 hits[v] += 1
         expected = 200 * 2 / 8
         assert all(expected / 3 < c < expected * 3 for c in hits.values())
+
+
+class TestFaultSetHashing:
+    def test_equal_sets_equal_hash(self):
+        h = Hypercube(3)
+        a = FaultSet(h, [1, 2])
+        b = FaultSet(h, [2, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_as_dict_key(self):
+        h = Hypercube(3)
+        cache = {FaultSet(h, [1, 2]): "hit"}
+        assert cache[FaultSet(h, [2, 1])] == "hit"
+        assert FaultSet(h, [3]) not in cache
+
+    def test_independent_topology_instances_compare(self):
+        a = FaultSet(Hypercube(3), [1])
+        b = FaultSet(Hypercube(3), [1])
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_topology_not_equal(self):
+        assert FaultSet(Hypercube(3), [1]) != FaultSet(Hypercube(4), [1])
+
+    def test_dedup_in_set(self):
+        h = Hypercube(3)
+        sets = {FaultSet(h, [0]), FaultSet(h, [0]), FaultSet(h, [1])}
+        assert len(sets) == 2
+
+    def test_algebra_still_intact(self):
+        h = Hypercube(3)
+        fs = FaultSet(h, [0, 1]) | [2]
+        assert set(fs.without([0])) == {1, 2}
+
+
+class TestLinkFaultSet:
+    def test_orientation_free_membership(self):
+        h = Hypercube(3)
+        lfs = LinkFaultSet(h, [(0, 1)])
+        assert (0, 1) in lfs and (1, 0) in lfs
+        assert lfs.blocks(1, 0)
+        assert not lfs.blocks(0, 2)
+
+    def test_rejects_non_edges(self):
+        with pytest.raises(InvalidParameterError):
+            LinkFaultSet(Hypercube(3), [(0, 3)])
+
+    def test_algebra(self):
+        h = Hypercube(3)
+        lfs = LinkFaultSet(h, [(0, 1)]) | [(1, 0), (0, 2)]
+        assert len(lfs) == 2
+        healed = lfs.without([(2, 0)])
+        assert len(healed) == 1 and (0, 1) in healed
+
+    def test_hashable_and_dedup(self):
+        h = Hypercube(3)
+        a = LinkFaultSet(h, [(0, 1)])
+        b = LinkFaultSet(h, [(1, 0)])
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestRandomLinkFaults:
+    def test_count_and_exclusion(self):
+        h = Hypercube(4)
+        rng = random.Random(0)
+        lfs = random_link_faults(h, 6, rng=rng, exclude=[(0, 1)])
+        assert len(lfs) == 6
+        assert (0, 1) not in lfs
+
+    def test_too_many_raises(self):
+        h = Hypercube(2)
+        with pytest.raises(InvalidParameterError):
+            random_link_faults(h, 100, rng=random.Random(0))
+
+    def test_seeded_reproducible(self):
+        h = Hypercube(4)
+        a = random_link_faults(h, 5, rng=random.Random(3))
+        b = random_link_faults(h, 5, rng=random.Random(3))
+        assert a == b

@@ -47,6 +47,33 @@ class TestCommands:
         assert main(["faults", "1", "3", "2", "--trials", "1"]) == 0
         assert "fault sweep" in capsys.readouterr().out
 
+    def test_faults_campaign_quick(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_faults.json"
+        assert (
+            main(
+                [
+                    "faults-campaign",
+                    "2",
+                    "3",
+                    "--quick",
+                    "--trials",
+                    "1",
+                    "--pairs",
+                    "4",
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "HB(2,3)" in out and "transient transport" in out
+        assert out_path.exists()
+        import json
+
+        data = json.loads(out_path.read_text())
+        assert data["networks"][0]["name"] == "HB(2,3)"
+
     def test_broadcast(self, capsys):
         assert main(["broadcast", "1", "3"]) == 0
         out = capsys.readouterr().out
