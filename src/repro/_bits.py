@@ -8,7 +8,9 @@ convention, which is stated once in DESIGN.md and enforced here.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidParameterError
 
 __all__ = [
     "bit",
@@ -89,12 +91,12 @@ def word_to_bits(word: int, width: int) -> tuple[int, ...]:
     return tuple((word >> i) & 1 for i in range(width))
 
 
-def bits_to_word(bits) -> int:
+def bits_to_word(bits: Iterable[int]) -> int:
     """Inverse of :func:`word_to_bits` (accepts any iterable of 0/1)."""
     w = 0
     for i, b in enumerate(bits):
         if b not in (0, 1):
-            raise ValueError(f"bit {i} is {b!r}, expected 0 or 1")
+            raise InvalidParameterError(f"bit {i} is {b!r}, expected 0 or 1")
         w |= b << i
     return w
 

@@ -30,6 +30,7 @@ from repro.analysis.formulas import (
 from repro.analysis.metrics import degree_profile, exact_diameter
 from repro.core.hyperbutterfly import HyperButterfly
 from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
 from repro.topologies.butterfly_cayley import CayleyButterfly
 from repro.topologies.hypercube import Hypercube
 from repro.topologies.hyperdebruijn import HyperDeBruijn
@@ -81,7 +82,7 @@ def _formula_column(f: FamilyFormulas) -> dict[str, Cell]:
     }
 
 
-def _build_topology(family: str, m: int, n: int):
+def _build_topology(family: str, m: int, n: int) -> Topology:
     if family.startswith("H_"):
         return Hypercube(m + n)
     if family.startswith("B_"):
@@ -92,7 +93,7 @@ def _build_topology(family: str, m: int, n: int):
 
 
 def _exactify_column(
-    column: dict[str, Cell], topology, *, connectivity: Callable | None
+    column: dict[str, Cell], topology: Topology, *, connectivity: Callable | None
 ) -> None:
     """Replace size/degree/diameter/FT formula cells with measured values."""
     profile = degree_profile(topology)

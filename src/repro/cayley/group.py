@@ -241,10 +241,10 @@ class DirectProductGroup(Group):
     def identity(self) -> tuple[Hashable, Hashable]:
         return (self.left.identity(), self.right.identity())
 
-    def multiply(self, a, b) -> tuple[Hashable, Hashable]:
+    def multiply(self, a: Hashable, b: Hashable) -> tuple[Hashable, Hashable]:
         return (self.left.multiply(a[0], b[0]), self.right.multiply(a[1], b[1]))
 
-    def inverse(self, a) -> tuple[Hashable, Hashable]:
+    def inverse(self, a: Hashable) -> tuple[Hashable, Hashable]:
         return (self.left.inverse(a[0]), self.right.inverse(a[1]))
 
     def order(self) -> int:

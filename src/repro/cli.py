@@ -11,6 +11,9 @@ Subcommands:
   guarantee (static sweep on HB/HD/hypercube + transient transport
   comparison), emitting ``BENCH_faults.json``.
 * ``broadcast M N``       — broadcast round counts under all three models.
+* ``lint [PATHS]``        — run the reprolint paper-invariant checks
+  (``--format text|json``, ``--baseline``, ``--self-test``,
+  ``--list-rules``); exit 0 clean / 1 findings / 2 linter error.
 """
 
 from __future__ import annotations
@@ -81,10 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc = sub.add_parser("broadcast", help="broadcast rounds on HB(m, n)")
     p_bc.add_argument("m", type=int)
     p_bc.add_argument("n", type=int)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the reprolint paper-invariant static checks"
+    )
+    from repro.devtools.reprolint.cli import configure_parser as _configure_lint
+
+    _configure_lint(p_lint)
     return parser
 
 
-def _cmd_info(args) -> int:
+def _cmd_info(args: argparse.Namespace) -> int:
     from repro import HyperButterfly
 
     hb = HyperButterfly(args.m, args.n)
@@ -99,7 +109,7 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_route(args) -> int:
+def _cmd_route(args: argparse.Namespace) -> int:
     from repro import HBRouter, HyperButterfly, parse_hb_node
 
     hb = HyperButterfly(args.m, args.n)
@@ -113,7 +123,7 @@ def _cmd_route(args) -> int:
     return 0
 
 
-def _cmd_figure1(args) -> int:
+def _cmd_figure1(args: argparse.Namespace) -> int:
     from repro.analysis.compare import figure1_table, render_table
 
     table = figure1_table(args.m, args.n, verify=args.verify)
@@ -121,7 +131,7 @@ def _cmd_figure1(args) -> int:
     return 0
 
 
-def _cmd_figure2(args) -> int:
+def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.analysis.compare import figure2_table, render_table
 
     table = figure2_table(exact_diameters=not args.fast)
@@ -129,7 +139,7 @@ def _cmd_figure2(args) -> int:
     return 0
 
 
-def _cmd_faults(args) -> int:
+def _cmd_faults(args: argparse.Namespace) -> int:
     from repro import HyperButterfly
     from repro.faults.experiments import fault_sweep
 
@@ -147,7 +157,7 @@ def _cmd_faults(args) -> int:
     return 0
 
 
-def _cmd_faults_campaign(args) -> int:
+def _cmd_faults_campaign(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.faults.campaigns import (
@@ -195,7 +205,13 @@ def _cmd_faults_campaign(args) -> int:
     return 0
 
 
-def _cmd_broadcast(args) -> int:
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.reprolint.cli import run
+
+    return run(args)
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
     from repro import HyperButterfly, broadcast_rounds
     from repro.core.broadcast import broadcast_lower_bound
 
@@ -217,6 +233,7 @@ _HANDLERS = {
     "faults": _cmd_faults,
     "faults-campaign": _cmd_faults_campaign,
     "broadcast": _cmd_broadcast,
+    "lint": _cmd_lint,
 }
 
 

@@ -87,11 +87,11 @@ def _cube_graph(hb: HyperButterfly) -> nx.Graph:
     return graph
 
 
-def _lift_cube(path_words: list[int], b) -> list[HBNode]:
+def _lift_cube(path_words: list[int], b: tuple[int, int]) -> list[HBNode]:
     return [(x, b) for x in path_words]
 
 
-def _lift_fly(h: int, path_fly: list) -> list[HBNode]:
+def _lift_fly(h: int, path_fly: list[tuple[int, int]]) -> list[HBNode]:
     return [(h, y) for y in path_fly]
 
 

@@ -24,7 +24,7 @@ Facts implemented/surfaced here:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro.cayley.graph import CayleyGraph, DistanceOracle
 from repro.cayley.group import (
@@ -104,7 +104,7 @@ class HyperButterfly(Topology):
     def nodes(self) -> Iterator[HBNode]:
         return self.group.elements()
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return self.group.contains(v)
 
     def neighbors(self, v: HBNode) -> list[HBNode]:

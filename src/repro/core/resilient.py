@@ -34,6 +34,7 @@ from typing import Hashable, Iterable
 from repro.core.disjoint_paths import disjoint_paths
 from repro.core.hyperbutterfly import HBNode, HyperButterfly
 from repro.errors import DisconnectedError, RoutingError
+from repro.faults.dynamic import FaultEvent
 from repro.faults.model import canonical_link
 
 __all__ = [
@@ -99,7 +100,7 @@ class ResilientRouter:
         self._adaptive.clear()
         self.invalidations += 1
 
-    def on_fault_event(self, event) -> None:
+    def on_fault_event(self, event: FaultEvent) -> None:
         """Fault listener hook for :class:`NetworkSimulator`."""
         self.invalidate()
 

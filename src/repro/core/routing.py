@@ -32,19 +32,19 @@ __all__ = ["RouteResult", "HBRouter"]
 class RouteResult:
     """A computed route: node sequence plus per-hop generator names."""
 
-    path: list
-    generators: list = field(default_factory=list)
+    path: list[HBNode]
+    generators: list[str] = field(default_factory=list)
 
     @property
     def length(self) -> int:
         return len(self.path) - 1
 
     @property
-    def source(self):
+    def source(self) -> HBNode:
         return self.path[0]
 
     @property
-    def target(self):
+    def target(self) -> HBNode:
         return self.path[-1]
 
 
@@ -99,11 +99,11 @@ class HBRouter:
         h1, b1 = u
         h2, b2 = v
 
-        def cube_segment(b_fixed):
+        def cube_segment(b_fixed: tuple[int, int]) -> list[HBNode]:
             words = hypercube_route(self.hb.m, h1, h2)
             return [(w, b_fixed) for w in words]
 
-        def fly_segment(h_fixed):
+        def fly_segment(h_fixed: int) -> list[HBNode]:
             if self.butterfly_backend == "oracle":
                 fly_path = self.hb.butterfly.shortest_path(b1, b2)
             else:

@@ -1,0 +1,9 @@
+"""Developer tooling shipped with the library (not part of the runtime API).
+
+Currently one subsystem lives here: :mod:`repro.devtools.reprolint`, the
+project's paper-invariant lint engine (``hyperbutterfly lint``).
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

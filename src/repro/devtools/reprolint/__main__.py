@@ -1,0 +1,10 @@
+"""``python -m repro.devtools.reprolint`` — standalone linter entry."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Argument wiring and rendering for ``hyperbutterfly lint``.
+
+Exit codes are CI contracts:
+
+* ``0`` — no active findings (suppressed/baselined findings are fine);
+* ``1`` — at least one active finding;
+* ``2`` — the linter itself failed (bad path, broken baseline, rule
+  self-test failure) — distinct so CI can tell "code is dirty" from
+  "linter is broken".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+
+from repro.devtools.reprolint.baseline import DEFAULT_BASELINE, write_baseline
+from repro.devtools.reprolint.engine import LintReport, lint_paths, self_test
+from repro.devtools.reprolint.registry import all_rules
+
+__all__ = ["configure_parser", "run"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Add ``lint`` arguments onto an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help=(
+            f"ignore findings recorded in a baseline file "
+            f"(default path when given bare: {DEFAULT_BASELINE})"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current active findings",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run every rule against its built-in fixtures and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [f.render() for f in report.findings]
+    active = report.active
+    summary = (
+        f"checked {report.checked_files} files with {report.rules_run} rules: "
+        f"{len(active)} finding(s)"
+    )
+    waived = len(report.findings) - len(active)
+    if waived:
+        summary += f" ({waived} suppressed/baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_rule_table() -> str:
+    lines = ["ID      GROUP         TITLE"]
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id:<7} {rule.group:<13} {rule.title}")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    try:
+        if args.list_rules:
+            print(_render_rule_table())
+            return 0
+        if args.self_test:
+            count = self_test()
+            print(f"self-test passed for {count} rules")
+            return 0
+        if args.update_baseline:
+            # don't pre-load the file we are about to replace (it may not
+            # exist yet); record the current findings from scratch
+            report = lint_paths(args.paths)
+            target = args.baseline or DEFAULT_BASELINE
+            count = write_baseline(target, report.findings)
+            print(f"wrote {count} fingerprint(s) to {target}")
+            return 0
+        report = lint_paths(args.paths, baseline_path=args.baseline)
+        if args.format == "json":
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(_render_text(report))
+        return report.exit_code
+    except ReproError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.reprolint``)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="paper-invariant lint engine for the repro codebase",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(list(argv) if argv is not None else None))

@@ -1,0 +1,115 @@
+"""Per-file and whole-project views handed to lint rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from repro.devtools.reprolint.findings import Finding, Severity
+from repro.devtools.reprolint.suppressions import SuppressionIndex, scan_suppressions
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus everything a rule needs to judge it."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: SuppressionIndex = field(default_factory=SuppressionIndex)
+
+    @classmethod
+    def from_source(cls, path: str, text: str) -> "FileContext":
+        """Parse ``text`` (raises :class:`SyntaxError` on broken files)."""
+        lines = text.splitlines()
+        return cls(
+            path=str(PurePosixPath(path)),
+            text=text,
+            tree=ast.parse(text, filename=path),
+            lines=lines,
+            suppressions=scan_suppressions(lines),
+        )
+
+    # -- path classification ------------------------------------------------
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return PurePosixPath(self.path).parts
+
+    @property
+    def is_test(self) -> bool:
+        """Test modules get looser determinism/contract expectations."""
+        name = PurePosixPath(self.path).name
+        return "tests" in self.parts or name.startswith(("test_", "conftest"))
+
+    @property
+    def is_library(self) -> bool:
+        """Whether this file is part of the shipped ``repro`` package."""
+        return "repro" in self.parts and not self.is_test
+
+    @property
+    def is_package_init(self) -> bool:
+        return PurePosixPath(self.path).name == "__init__.py"
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module path (``src/repro/a/b.py`` → ``repro.a.b``)."""
+        parts = list(self.parts)
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1 :]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    # -- finding construction ----------------------------------------------
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(
+        self,
+        rule_id: str,
+        node: ast.AST | int,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` (or a line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=rule_id,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity,
+            line_text=self.line_text(line),
+            suppressed=self.suppressions.is_suppressed(rule_id, line),
+        )
+
+
+@dataclass
+class ProjectContext:
+    """All linted files at once — for cross-file rules (e.g. registries)."""
+
+    files: list[FileContext]
+
+    @property
+    def library_files(self) -> list[FileContext]:
+        return [f for f in self.files if f.is_library]
+
+    def by_module(self, module_name: str) -> FileContext | None:
+        for f in self.files:
+            if f.module_name == module_name:
+                return f
+        return None

@@ -1,0 +1,80 @@
+"""Finding records emitted by lint rules.
+
+A :class:`Finding` is one diagnostic anchored to a file and line.  Its
+*fingerprint* deliberately hashes the rule id, the path, and the stripped
+source line text — **not** the line number — so a baseline entry survives
+unrelated edits above the finding but is invalidated the moment the
+offending line itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class Severity(str, Enum):
+    """How a finding should gate CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    #: stripped text of the offending source line (fingerprint input)
+    line_text: str = ""
+    #: set by the engine when an inline comment suppresses this finding
+    suppressed: bool = field(default=False, compare=False)
+    #: set by the engine when a baseline entry grandfathers this finding
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining (line-number independent)."""
+        payload = f"{self.rule_id}|{self.path}|{self.line_text.strip()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def active(self) -> bool:
+        """Whether this finding should count toward a non-zero exit."""
+        return not (self.suppressed or self.baselined)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (schema asserted by the CLI tests)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col: RULE message`` text rendering."""
+        flags = ""
+        if self.suppressed:
+            flags = " [suppressed]"
+        elif self.baselined:
+            flags = " [baselined]"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}{flags}"
+        )

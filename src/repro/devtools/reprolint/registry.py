@@ -1,0 +1,59 @@
+"""Rule registry: rules self-register at import time via a decorator.
+
+Importing :mod:`repro.devtools.reprolint.rules` pulls in every built-in
+rule module; third parties (or tests) can register additional rules with
+the same decorator before calling the engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, TypeVar
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.devtools.reprolint.rules.base import Rule
+
+__all__ = ["RuleRegistryError", "register_rule", "all_rules", "get_rule"]
+
+_RULES: dict[str, "Rule"] = {}
+
+R = TypeVar("R", bound="type[Rule]")
+
+
+class RuleRegistryError(ReproError):
+    """A rule id collision or lookup failure in the registry."""
+
+
+def register_rule(cls: R) -> R:
+    """Class decorator: instantiate and register a rule by its ``rule_id``."""
+    rule = cls()
+    if not rule.rule_id:
+        raise RuleRegistryError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _RULES:
+        raise RuleRegistryError(
+            f"duplicate rule id {rule.rule_id!r} "
+            f"({type(_RULES[rule.rule_id]).__name__} vs {cls.__name__})"
+        )
+    _RULES[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> list["Rule"]:
+    """Every registered rule, sorted by id (stable report order)."""
+    _load_builtin_rules()
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> "Rule":
+    """Look up one rule by id."""
+    _load_builtin_rules()
+    try:
+        return _RULES[rule_id.upper()]
+    except KeyError:
+        raise RuleRegistryError(f"unknown rule id {rule_id!r}") from None
+
+
+def _load_builtin_rules() -> None:
+    # import for side effect: each rule module registers its rules
+    import repro.devtools.reprolint.rules  # noqa: F401

@@ -1,0 +1,34 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every built-in rule with the registry
+(:mod:`repro.devtools.reprolint.registry`); each rule module groups one
+id block:
+
+* :mod:`~repro.devtools.reprolint.rules.determinism` — HB101–HB105
+* :mod:`~repro.devtools.reprolint.rules.contracts` — HB201–HB203
+* :mod:`~repro.devtools.reprolint.rules.numerics` — HB301–HB302
+"""
+
+from __future__ import annotations
+
+from repro.devtools.reprolint.rules import contracts as contracts
+from repro.devtools.reprolint.rules import determinism as determinism
+from repro.devtools.reprolint.rules import numerics as numerics
+from repro.devtools.reprolint.rules.base import (
+    FileRule,
+    ImportMap,
+    ProjectRule,
+    Rule,
+    dotted_name,
+)
+
+__all__ = [
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "ImportMap",
+    "dotted_name",
+    "contracts",
+    "determinism",
+    "numerics",
+]

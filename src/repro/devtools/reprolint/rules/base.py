@@ -1,0 +1,123 @@
+"""Rule base classes and shared AST helpers.
+
+Every rule declares:
+
+* ``rule_id`` — stable id (``HB1xx`` determinism, ``HB2xx`` API contracts,
+  ``HB3xx`` numerics) used in reports, suppressions, and baselines;
+* ``title`` / ``rationale`` — what is flagged and which paper invariant or
+  repo convention it protects;
+* fixtures — minimal source snippets the engine's :func:`self-test
+  <repro.devtools.reprolint.engine.self_test>` runs every rule against:
+  ``fixture_hits`` must produce at least one finding, ``fixture_clean``
+  none, and the suppressed variant is *derived automatically* by appending
+  an inline ``# reprolint: disable=ID`` to each flagged line, which
+  exercises the suppression machinery for every rule for free.
+
+File rules see one :class:`~repro.devtools.reprolint.context.FileContext`
+at a time; project rules see the whole
+:class:`~repro.devtools.reprolint.context.ProjectContext` once (cross-file
+contracts such as registry completeness).  Project-rule fixtures are
+``{path: source}`` mappings.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Iterator, Mapping
+
+from repro.devtools.reprolint.context import FileContext, ProjectContext
+from repro.devtools.reprolint.findings import Finding
+
+__all__ = [
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "ImportMap",
+    "dotted_name",
+]
+
+
+class Rule(ABC):
+    """Common surface of file- and project-scoped rules."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    @property
+    def group(self) -> str:
+        """Rule group derived from the id block (1xx/2xx/3xx)."""
+        block = self.rule_id[2:3]
+        return {"1": "determinism", "2": "contracts", "3": "numerics"}.get(
+            block, "other"
+        )
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on each file."""
+
+    #: source that must trigger >= 1 finding under a library path
+    fixture_hits: str = ""
+    #: source that must trigger none
+    fixture_clean: str = ""
+
+    @abstractmethod
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over all files (cross-file contracts)."""
+
+    fixture_hits: Mapping[str, str] = {}
+    fixture_clean: Mapping[str, str] = {}
+
+    @abstractmethod
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Resolves local aliases back to canonical module / symbol paths.
+
+    ``import numpy as np`` maps ``np`` → ``numpy``; ``from numpy import
+    random as nprand`` maps ``nprand`` → ``numpy.random``; ``from random
+    import choice`` maps ``choice`` → ``random.choice``.  Used by rules to
+    recognise calls like ``np.random.shuffle`` regardless of aliasing.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds full path
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, or ``None``."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        canonical_head = self.aliases.get(head, head)
+        return f"{canonical_head}.{rest}" if rest else canonical_head

@@ -1,0 +1,69 @@
+"""Inline suppression comments.
+
+Two forms are recognised, mirroring the conventions of flake8/pylint:
+
+* line level — append ``# reprolint: disable=HB101`` (or a
+  comma-separated list, or ``all``) to the offending line;
+* file level — a comment line ``# reprolint: disable-file=HB203`` anywhere
+  at column 0 in the first 20 lines silences a rule for the whole file.
+
+Suppressions are *visible* in reports (findings are marked, not dropped),
+so a reviewer can grep for what has been waived and why — the convention
+in this repo is that every suppression carries a trailing justification,
+e.g. ``# reprolint: disable=HB301 -- exact float round-trip is the point``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s\*]+?)(?:\s*--.*)?$"
+)
+_FILE_RE = re.compile(
+    r"^#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s\*]+?)(?:\s*--.*)?$"
+)
+
+#: how far into a file a ``disable-file`` pragma is honoured
+_FILE_PRAGMA_WINDOW = 20
+
+
+def _parse_ids(raw: str) -> frozenset[str]:
+    return frozenset(
+        token.strip().upper() for token in raw.split(",") if token.strip()
+    )
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of which rule ids are disabled where."""
+
+    #: line number (1-based) -> rule ids disabled on that line
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file
+    file_wide: frozenset[str] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rule_id = rule_id.upper()
+        for ids in (self.file_wide, self.by_line.get(line, frozenset())):
+            if rule_id in ids or "ALL" in ids or "*" in ids:
+                return True
+        return False
+
+
+def scan_suppressions(source_lines: list[str]) -> SuppressionIndex:
+    """Build the :class:`SuppressionIndex` for one file's source lines."""
+    index = SuppressionIndex()
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(source_lines, start=1):
+        if lineno <= _FILE_PRAGMA_WINDOW:
+            file_match = _FILE_RE.match(text.strip())
+            if file_match:
+                file_wide |= _parse_ids(file_match.group(1))
+                continue
+        line_match = _LINE_RE.search(text)
+        if line_match:
+            index.by_line[lineno] = _parse_ids(line_match.group(1))
+    index.file_wide = frozenset(file_wide)
+    return index

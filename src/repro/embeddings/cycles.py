@@ -32,11 +32,14 @@ for every ``n``; :func:`hb_even_cycle_max_length` reports the range.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro._bits import gray_code, set_bits
 from repro.errors import EmbeddingError, InvalidParameterError
 from repro.topologies.butterfly_cayley import classic_to_cayley
+
+if TYPE_CHECKING:
+    from repro.core.hyperbutterfly import HyperButterfly
 
 __all__ = [
     "hypercube_cycle",
@@ -106,7 +109,9 @@ class _CycleBuilder:
     def __len__(self) -> int:
         return len(self.cycle)
 
-    def _find_straight_edge(self, predicate) -> tuple[int, int, int] | None:
+    def _find_straight_edge(
+        self, predicate: Callable[[int, int], bool]
+    ) -> tuple[int, int, int] | None:
         """First cycle index with a straight edge whose hook satisfies
         ``predicate(hook_word)``; returns ``(index, word, position)``."""
         n = self.n
@@ -356,7 +361,7 @@ def _best_even_butterfly_length(n: int, *, at_least: int = 0) -> int | None:
     return best
 
 
-def hb_even_cycle_max_length(hb) -> int:
+def hb_even_cycle_max_length(hb: HyperButterfly) -> int:
     """The largest even cycle length :func:`hb_even_cycle` can construct.
 
     Equals the paper's full ``n·2^{m+n}`` (Lemma 2) for every ``(m, n)``,
@@ -370,7 +375,7 @@ def hb_even_cycle_max_length(hb) -> int:
     return (1 << hb.m) * best_fly
 
 
-def hb_even_cycle(hb, k: int) -> list:
+def hb_even_cycle(hb: HyperButterfly, k: int) -> list:
     """An even ``k``-cycle in ``HB(m, n)`` (Lemma 2), as an HB node list.
 
     Strategy: pick an even butterfly cycle length ``n2`` and a hypercube

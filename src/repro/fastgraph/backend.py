@@ -13,9 +13,16 @@ indirectly by calling the ``_python`` implementations directly).
 from __future__ import annotations
 
 import os
-from typing import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
 from repro.errors import DisconnectedError, InvalidLabelError
+
+if TYPE_CHECKING:  # runtime imports stay lazy (numpy optional, cycle-free)
+    import numpy as np
+
+    from repro.fastgraph.codecs import NodeCodec
+    from repro.fastgraph.csr import CSRAdjacency
+    from repro.topologies.base import Topology
 
 __all__ = ["FastGraph", "get_fastgraph"]
 
@@ -43,13 +50,13 @@ class FastGraph:
     object (which is itself memoized on the topology instance).
     """
 
-    def __init__(self, topology, codec) -> None:
+    def __init__(self, topology: Topology, codec: NodeCodec) -> None:
         self.topology = topology
         self.codec = codec
-        self._csr = None
+        self._csr: CSRAdjacency | None = None
 
     @property
-    def csr(self):
+    def csr(self) -> CSRAdjacency:
         if self._csr is None:
             from repro.fastgraph.csr import build_csr
 
@@ -64,7 +71,9 @@ class FastGraph:
     def unrank(self, idx: int) -> Hashable:
         return self.codec.unrank(idx)
 
-    def _forbidden_mask(self, blocked: Iterable[Hashable] | None):
+    def _forbidden_mask(
+        self, blocked: Iterable[Hashable] | None
+    ) -> np.ndarray | None:
         if not blocked:
             return None
         import numpy as np
@@ -78,7 +87,9 @@ class FastGraph:
 
     # -- BFS services ------------------------------------------------------
 
-    def distances_array(self, source: Hashable, *, blocked=None):
+    def distances_array(
+        self, source: Hashable, *, blocked: Iterable[Hashable] | None = None
+    ) -> np.ndarray:
         """``int32`` distance array indexed by rank (-1 = unreached)."""
         from repro.fastgraph.kernels import bfs_levels
 
@@ -87,7 +98,9 @@ class FastGraph:
         )
         return dist
 
-    def bfs_distances(self, source: Hashable, blocked=None) -> dict[Hashable, int]:
+    def bfs_distances(
+        self, source: Hashable, blocked: Iterable[Hashable] | None = None
+    ) -> dict[Hashable, int]:
         """Distance dict keyed by label — drop-in for the pure-Python BFS."""
         dist = self.distances_array(source, blocked=blocked)
         import numpy as np
@@ -106,7 +119,11 @@ class FastGraph:
         return int(dist.max())
 
     def shortest_path(
-        self, source: Hashable, target: Hashable, *, blocked=None
+        self,
+        source: Hashable,
+        target: Hashable,
+        *,
+        blocked: Iterable[Hashable] | None = None,
     ) -> list[Hashable] | None:
         """A shortest label path, or ``None`` when unreachable."""
         from repro.fastgraph.kernels import bfs_levels, path_from_parents
@@ -143,7 +160,9 @@ class FastGraph:
                     yield (u, unrank(int(j)))
 
 
-def get_fastgraph(topology, *, allow_enumeration: bool = False) -> FastGraph | None:
+def get_fastgraph(
+    topology: Topology, *, allow_enumeration: bool = False
+) -> FastGraph | None:
     """The memoized :class:`FastGraph` for ``topology``, or ``None``.
 
     With ``allow_enumeration=True`` an

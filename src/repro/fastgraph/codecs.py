@@ -30,9 +30,12 @@ codec never imports topology modules (no import cycles) and any external
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
 from repro.errors import InvalidLabelError
+
+if TYPE_CHECKING:  # numpy stays a lazy import at runtime
+    import numpy as np
 
 __all__ = [
     "NodeCodec",
@@ -68,9 +71,9 @@ class NodeCodec:
     # Optional vectorized services ----------------------------------------
 
     #: generator labels (Cayley families) used to build the neighbor table
-    generators: tuple | None = None
+    generators: tuple[Any, ...] | None = None
 
-    def apply_generator(self, idx, gen):
+    def apply_generator(self, idx: np.ndarray, gen: Any) -> np.ndarray:
         """Vectorized right-multiplication of ranked nodes by ``gen``.
 
         ``idx`` is a numpy integer array; returns the ranked images.  Only
@@ -78,7 +81,7 @@ class NodeCodec:
         """
         raise NotImplementedError
 
-    def neighbor_table(self):
+    def neighbor_table(self) -> np.ndarray | None:
         """``(num_nodes, degree)`` int array of ranked neighbors, or ``None``.
 
         Column ``i`` of a Cayley codec's table is generator ``i`` applied to
@@ -98,7 +101,9 @@ class NodeCodec:
 class IntRangeCodec(NodeCodec):
     """Identity codec for families whose labels already are dense ints."""
 
-    def __init__(self, num_nodes: int, *, offset: int = 0, cache_key: str | None = None):
+    def __init__(
+        self, num_nodes: int, *, offset: int = 0, cache_key: str | None = None
+    ) -> None:
         self.num_nodes = num_nodes
         self.offset = offset
         self.cache_key = cache_key
@@ -113,21 +118,23 @@ class IntRangeCodec(NodeCodec):
 class HypercubeCodec(IntRangeCodec):
     """``H_m`` / ``(Z_2)^m`` — int labels, generators act by XOR."""
 
-    def __init__(self, m: int, generators: Iterable[int] | None = None):
+    def __init__(self, m: int, generators: Iterable[int] | None = None) -> None:
         super().__init__(1 << m, cache_key=f"hypercube:{m}")
         self.m = m
         self.generators = (
             tuple(generators) if generators is not None else tuple(1 << i for i in range(m))
         )
 
-    def apply_generator(self, idx, gen: int):
+    def apply_generator(self, idx: np.ndarray, gen: int) -> np.ndarray:
         return idx ^ gen
 
 
 class ButterflyElementCodec(NodeCodec):
     """Butterfly group ``Z_n ⋉ (Z_2)^n`` elements ``(x, c)`` → ``x << n | c``."""
 
-    def __init__(self, n: int, generators: Iterable[tuple[int, int]] | None = None):
+    def __init__(
+        self, n: int, generators: Iterable[tuple[int, int]] | None = None
+    ) -> None:
         self.n = n
         self.num_nodes = n << n
         self.cache_key = f"butterfly:{n}"
@@ -143,7 +150,7 @@ class ButterflyElementCodec(NodeCodec):
     def unrank(self, idx: int) -> tuple[int, int]:
         return (idx >> self.n, idx & ((1 << self.n) - 1))
 
-    def apply_generator(self, idx, gen: tuple[int, int]):
+    def apply_generator(self, idx: np.ndarray, gen: tuple[int, int]) -> np.ndarray:
         # (x, c) · (dx, dc) = ((x + dx) mod n, c ^ rot_left(dc, x))
         n = self.n
         word_mask = (1 << n) - 1
@@ -170,7 +177,7 @@ class ProductCodec(NodeCodec):
         right: NodeCodec,
         *,
         generators: Iterable[tuple] | None = None,
-    ):
+    ) -> None:
         self.left = left
         self.right = right
         self.num_nodes = left.num_nodes * right.num_nodes
@@ -186,14 +193,14 @@ class ProductCodec(NodeCodec):
         a, b = divmod(idx, self.right.num_nodes)
         return (self.left.unrank(a), self.right.unrank(b))
 
-    def apply_generator(self, idx, gen: tuple):
+    def apply_generator(self, idx: np.ndarray, gen: tuple) -> np.ndarray:
         ga, gb = gen
         nr = self.right.num_nodes
         a = idx // nr
         b = idx % nr
         return self.left.apply_generator(a, ga) * nr + self.right.apply_generator(b, gb)
 
-    def neighbor_table(self):
+    def neighbor_table(self) -> np.ndarray | None:
         if self.generators is not None:
             return super().neighbor_table()
         # Cartesian product: (u, x) ~ (u', x) for u~u' plus (u, x') for x~x'
@@ -214,7 +221,9 @@ class ProductCodec(NodeCodec):
 class PairRadixCodec(NodeCodec):
     """Plain mixed-radix pair labels ``(a, b)`` with ``0 <= b < radix``."""
 
-    def __init__(self, num_left: int, radix: int, *, cache_key: str | None = None):
+    def __init__(
+        self, num_left: int, radix: int, *, cache_key: str | None = None
+    ) -> None:
         self.radix = radix
         self.num_nodes = num_left * radix
         self.cache_key = cache_key
@@ -230,11 +239,11 @@ class PairRadixCodec(NodeCodec):
 class WrappedButterflyCodec(PairRadixCodec):
     """Classic ``⟨word, level⟩`` butterfly ``B_n`` — ``idx = word * n + level``."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         super().__init__(1 << n, n, cache_key=f"wrapped-butterfly:{n}")
         self.n = n
 
-    def neighbor_table(self):
+    def neighbor_table(self) -> np.ndarray:
         import numpy as np
 
         n = self.n
@@ -260,7 +269,7 @@ class EnumerationCodec(NodeCodec):
     example the batched all-eccentricity diameter of irregular graphs).
     """
 
-    def __init__(self, labels: Iterable[Hashable]):
+    def __init__(self, labels: Iterable[Hashable]) -> None:
         self._labels = list(labels)
         self._index = {v: i for i, v in enumerate(self._labels)}
         self.num_nodes = len(self._labels)
@@ -320,19 +329,19 @@ def codec_for_group(group: Any) -> NodeCodec | None:
 # Built-in families --------------------------------------------------------
 
 
-def _hypercube_factory(t) -> NodeCodec:
+def _hypercube_factory(t: Any) -> NodeCodec:
     return HypercubeCodec(t.m)
 
 
-def _cayley_butterfly_factory(t) -> NodeCodec:
+def _cayley_butterfly_factory(t: Any) -> NodeCodec:
     return ButterflyElementCodec(t.n, generators=t.gens.generators)
 
 
-def _wrapped_butterfly_factory(t) -> NodeCodec:
+def _wrapped_butterfly_factory(t: Any) -> NodeCodec:
     return WrappedButterflyCodec(t.n)
 
 
-def _hyper_butterfly_factory(t) -> NodeCodec:
+def _hyper_butterfly_factory(t: Any) -> NodeCodec:
     codec = ProductCodec(
         HypercubeCodec(t.m),
         ButterflyElementCodec(t.n),
@@ -342,14 +351,14 @@ def _hyper_butterfly_factory(t) -> NodeCodec:
     return codec
 
 
-def _debruijn_factory(t) -> NodeCodec:
+def _debruijn_factory(t: Any) -> NodeCodec:
     return IntRangeCodec(t.num_nodes, cache_key=f"debruijn:{t.n}")
 
 
-def _cycle_factory(t) -> NodeCodec:
+def _cycle_factory(t: Any) -> NodeCodec:
     codec = IntRangeCodec(t.k, cache_key=f"cycle:{t.k}")
 
-    def table():
+    def table() -> np.ndarray:
         import numpy as np
 
         idx = np.arange(t.k, dtype=np.int64)
@@ -359,10 +368,10 @@ def _cycle_factory(t) -> NodeCodec:
     return codec
 
 
-def _torus_factory(t) -> NodeCodec:
+def _torus_factory(t: Any) -> NodeCodec:
     codec = PairRadixCodec(t.n1, t.n2, cache_key=f"torus:{t.n1},{t.n2}")
 
-    def table():
+    def table() -> np.ndarray:
         import numpy as np
 
         idx = np.arange(codec.num_nodes, dtype=np.int64)
@@ -380,16 +389,16 @@ def _torus_factory(t) -> NodeCodec:
     return codec
 
 
-def _mesh_factory(t) -> NodeCodec:
+def _mesh_factory(t: Any) -> NodeCodec:
     # open mesh: boundary irregularity → rank only, generic CSR build
     return PairRadixCodec(t.n1, t.n2, cache_key=f"mesh:{t.n1},{t.n2}")
 
 
-def _tree_factory(t) -> NodeCodec:
+def _tree_factory(t: Any) -> NodeCodec:
     return IntRangeCodec(t.num_nodes, offset=1, cache_key=f"tree:{t.k}")
 
 
-def _product_factory(t) -> NodeCodec | None:
+def _product_factory(t: Any) -> NodeCodec | None:
     left = codec_for(t.left)
     right = codec_for(t.right)
     if left is None or right is None:

@@ -24,10 +24,14 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.fastgraph.codecs import NodeCodec
+
+if TYPE_CHECKING:  # runtime import would cycle through topologies.base
+    from repro.topologies.base import Topology
 
 __all__ = ["CSRAdjacency", "build_csr", "cache_dir", "cache_path"]
 
@@ -60,8 +64,9 @@ class CSRAdjacency:
             return None
         return self.indices.reshape(self.num_nodes, self.uniform_degree)
 
-    def to_scipy(self):
-        """The adjacency as a ``scipy.sparse.csr_matrix`` of uint8 ones."""
+    def to_scipy(self) -> Any:
+        """The adjacency as a ``scipy.sparse.csr_matrix`` of uint8 ones
+        (``Any``: scipy is an optional dependency imported lazily)."""
         from scipy import sparse
 
         n = self.num_nodes
@@ -117,7 +122,9 @@ def _store_cached(path: str, csr: CSRAdjacency) -> None:
         pass  # read-only cache dir etc. — the in-memory CSR is still good
 
 
-def build_csr(topology, codec: NodeCodec, *, use_disk_cache: bool = True) -> CSRAdjacency:
+def build_csr(
+    topology: Topology, codec: NodeCodec, *, use_disk_cache: bool = True
+) -> CSRAdjacency:
     """Build (or load) the CSR adjacency of ``topology`` under ``codec``."""
     table = codec.neighbor_table()
     if table is not None:

@@ -56,7 +56,7 @@ def dump_paths(
         "meta": meta or {},
         "paths": [[node_to_jsonable(v) for v in p] for p in paths],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
 
 
 def load_paths(
@@ -84,7 +84,7 @@ def dump_embedding(embedding: Embedding, path: str | Path) -> None:
             for g, h in embedding.mapping.items()
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
 
 
 def load_embedding_mapping(

@@ -52,7 +52,9 @@ def _split_digraph(
 _SUPER = "__super_source__"
 
 
-def _decompose_paths(flow: dict, source_out, target_in) -> list[list[Hashable]]:
+def _decompose_paths(
+    flow: dict, source_out: tuple, target_in: tuple
+) -> list[list[Hashable]]:
     """Walk unit flow from ``source_out`` greedily, yielding node paths.
 
     Each walk collects the underlying graph node of every split vertex it
@@ -64,7 +66,7 @@ def _decompose_paths(flow: dict, source_out, target_in) -> list[list[Hashable]]:
         u: {v: f for v, f in nbrs.items() if f > 0} for u, nbrs in flow.items()
     }
 
-    def take_step(cur):
+    def take_step(cur: tuple) -> tuple | None:
         nbrs = residual.get(cur, {})
         nxt = next((v for v, f in nbrs.items() if f > 0), None)
         if nxt is not None:

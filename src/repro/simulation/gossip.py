@@ -44,7 +44,9 @@ def gossip_lower_bound(topology: Topology) -> int:
     return math.ceil(math.log2(topology.num_nodes))
 
 
-def _verify_matching(topology: Topology, pairs: list[tuple[Hashable, Hashable]]):
+def _verify_matching(
+    topology: Topology, pairs: list[tuple[Hashable, Hashable]]
+) -> None:
     used: set[Hashable] = set()
     for a, b in pairs:
         if a in used or b in used or a == b:

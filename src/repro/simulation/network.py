@@ -30,7 +30,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable
 
 from repro.errors import SimulationError
 from repro.fastgraph.backend import get_fastgraph
@@ -39,6 +39,9 @@ from repro.faults.model import canonical_link
 from repro.simulation.events import EventQueue
 from repro.simulation.stats import LatencyStats
 from repro.topologies.base import Topology
+
+if TYPE_CHECKING:  # protocols imports the simulator types lazily; mirror that
+    from repro.simulation.protocols import RoutingProtocol
 
 __all__ = ["Packet", "TransportConfig", "NetworkSimulator"]
 
@@ -96,7 +99,7 @@ class NetworkSimulator:
     def __init__(
         self,
         topology: Topology,
-        protocol,
+        protocol: RoutingProtocol,
         *,
         link_time: float = 1.0,
         hop_time: float = 0.0,
@@ -120,7 +123,7 @@ class NetworkSimulator:
         self._rng = random.Random(seed)
         # live health state: static faults are applied as depth-1 failures
         self._state = FaultState()
-        for v in frozenset(faults):
+        for v in dict.fromkeys(faults):  # ordered de-duplication
             topology.validate_node(v)
             self._state.apply(FaultEvent(0.0, "fail", "node", v))
         for u, v in link_faults:

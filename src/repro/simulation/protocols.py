@@ -22,7 +22,7 @@ its fault events — that is how adaptive protocols see mid-run failures.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Hashable, Protocol
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Protocol, Sequence
 
 from repro._bits import mask, set_bits
 from repro.core.hyperbutterfly import HyperButterfly
@@ -32,6 +32,11 @@ from repro.routing.base import loop_erase
 from repro.routing.butterfly import butterfly_route_walk
 from repro.topologies.base import Topology
 from repro.topologies.hyperdebruijn import HyperDeBruijn
+
+if TYPE_CHECKING:  # simulator imports protocols' consumers; keep runtime lazy
+    from repro.core.resilient import RouteOutcome  # noqa: F401
+    from repro.faults.dynamic import FaultEvent
+    from repro.simulation.network import NetworkSimulator, Packet
 
 __all__ = [
     "RoutingProtocol",
@@ -46,18 +51,20 @@ __all__ = [
 class RoutingProtocol(Protocol):
     """Anything that can pick the next hop for a packet at a node."""
 
-    def next_hop(self, packet, node: Hashable) -> Hashable | None:
+    def next_hop(self, packet: Packet, node: Hashable) -> Hashable | None:
         """The neighbor to forward to, or ``None`` to drop."""
 
 
 class PrecomputedPathProtocol:
     """Source routing: a path is computed at injection and followed."""
 
-    def __init__(self, path_fn) -> None:
+    def __init__(
+        self, path_fn: Callable[[Hashable, Hashable], Sequence[Hashable] | None]
+    ) -> None:
         self._path_fn = path_fn
         self._progress: dict[int, list] = {}
 
-    def next_hop(self, packet, node: Hashable) -> Hashable | None:
+    def next_hop(self, packet: Packet, node: Hashable) -> Hashable | None:
         remaining = self._progress.get(packet.ident)
         if remaining is None:
             path = self._path_fn(packet.source, packet.target)
@@ -80,7 +87,7 @@ class HBObliviousProtocol:
     def __init__(self, hb: HyperButterfly) -> None:
         self.hb = hb
 
-    def next_hop(self, packet, node) -> Hashable | None:
+    def next_hop(self, packet: Packet, node: Hashable) -> Hashable | None:
         h, b = node
         h2, b2 = packet.target
         if h != h2:
@@ -91,12 +98,16 @@ class HBObliviousProtocol:
             return (h, step)
         return None
 
-    def _butterfly_step(self, b, b2):
+    def _butterfly_step(
+        self, b: tuple[int, int], b2: tuple[int, int]
+    ) -> tuple[int, int]:
         return _cached_butterfly_route(self.hb.n, b, b2)[1]
 
 
 @lru_cache(maxsize=65536)
-def _cached_butterfly_route(n: int, b, b2) -> tuple:
+def _cached_butterfly_route(
+    n: int, b: tuple[int, int], b2: tuple[int, int]
+) -> tuple[tuple[int, int], ...]:
     return tuple(butterfly_route_walk(n, b, b2))
 
 
@@ -112,7 +123,7 @@ class HDObliviousProtocol:
     def __init__(self, hd: HyperDeBruijn) -> None:
         self.hd = hd
 
-    def next_hop(self, packet, node) -> Hashable | None:
+    def next_hop(self, packet: Packet, node: Hashable) -> Hashable | None:
         h, d = node
         h2, d2 = packet.target
         if h != h2:
@@ -163,17 +174,19 @@ class BFSProtocol:
     whenever a fault event fires, so mid-run failures reroute packets.
     """
 
-    def __init__(self, topology: Topology, faults=()) -> None:
+    def __init__(
+        self, topology: Topology, faults: Iterable[Hashable] = ()
+    ) -> None:
         self.topology = topology
         self.faults = frozenset(faults)
         self._cache: dict[tuple, tuple | None] = {}
-        self._sim = None
+        self._sim: NetworkSimulator | None = None
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: NetworkSimulator) -> None:
         self._sim = sim
         sim.add_fault_listener(self._on_fault)
 
-    def _on_fault(self, event) -> None:
+    def _on_fault(self, event: FaultEvent) -> None:
         self._cache.clear()
 
     def _blocked(self) -> frozenset:
@@ -181,7 +194,7 @@ class BFSProtocol:
             return self.faults
         return self.faults | self._sim.faults
 
-    def next_hop(self, packet, node) -> Hashable | None:
+    def next_hop(self, packet: Packet, node: Hashable) -> Hashable | None:
         key = (node, packet.target)
         path = self._cache.get(key)
         if key not in self._cache:
@@ -207,15 +220,15 @@ class ResilientProtocol:
 
     def __init__(self, router: ResilientRouter) -> None:
         self.router = router
-        self._sim = None
+        self._sim: NetworkSimulator | None = None
         # packet ident -> remaining planned path (starting at current node)
         self._plans: dict[int, tuple] = {}
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: NetworkSimulator) -> None:
         self._sim = sim
         sim.add_fault_listener(self._on_fault)
 
-    def _on_fault(self, event) -> None:
+    def _on_fault(self, event: FaultEvent) -> None:
         self.router.on_fault_event(event)
         self._plans.clear()
 
@@ -224,7 +237,7 @@ class ResilientProtocol:
             return frozenset(), frozenset()
         return self._sim.faults, self._sim.faulty_links
 
-    def next_hop(self, packet, node) -> Hashable | None:
+    def next_hop(self, packet: Packet, node: Hashable) -> Hashable | None:
         plan = self._plans.get(packet.ident)
         if plan and plan[0] == node and len(plan) >= 2:
             self._plans[packet.ident] = plan[1:]

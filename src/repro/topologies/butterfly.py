@@ -17,7 +17,7 @@ isomorphism onto :class:`repro.topologies.butterfly_cayley.CayleyButterfly`
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro._bits import format_word
 from repro.errors import InvalidParameterError
@@ -53,7 +53,7 @@ class WrappedButterfly(Topology):
             for level in range(self.n):
                 yield (w, level)
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return (
             isinstance(v, tuple)
             and len(v) == 2

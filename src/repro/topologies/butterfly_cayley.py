@@ -23,7 +23,7 @@ expose it and the tests verify edge preservation exhaustively.
 from __future__ import annotations
 
 import string
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro._bits import bit
 from repro.cayley.graph import CayleyGraph, DistanceOracle
@@ -75,7 +75,7 @@ class CayleyButterfly(Topology):
     def nodes(self) -> Iterator[tuple[int, int]]:
         return self.group.elements()
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return self.group.contains(v)
 
     def neighbors(self, v: tuple[int, int]) -> list[tuple[int, int]]:
@@ -146,16 +146,16 @@ class CayleyButterfly(Topology):
 
     # Generator applications ----------------------------------------------
 
-    def apply_g(self, v):
+    def apply_g(self, v: tuple[int, int]) -> tuple[int, int]:
         return self.group.multiply(v, self.group.g())
 
-    def apply_f(self, v):
+    def apply_f(self, v: tuple[int, int]) -> tuple[int, int]:
         return self.group.multiply(v, self.group.f())
 
-    def apply_g_inv(self, v):
+    def apply_g_inv(self, v: tuple[int, int]) -> tuple[int, int]:
         return self.group.multiply(v, self.group.g_inv())
 
-    def apply_f_inv(self, v):
+    def apply_f_inv(self, v: tuple[int, int]) -> tuple[int, int]:
         return self.group.multiply(v, self.group.f_inv())
 
     # Exact routing services ---------------------------------------------
@@ -164,10 +164,10 @@ class CayleyButterfly(Topology):
     def oracle(self) -> DistanceOracle:
         return self.cayley.oracle
 
-    def distance(self, u, v) -> int:
+    def distance(self, u: tuple[int, int], v: tuple[int, int]) -> int:
         return self.cayley.distance(u, v)
 
-    def shortest_path(self, u, v) -> list[tuple[int, int]]:
+    def shortest_path(self, u: tuple[int, int], v: tuple[int, int]) -> list[tuple[int, int]]:
         return self.cayley.shortest_path(u, v)
 
     def diameter(self) -> int:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
@@ -30,7 +30,7 @@ class Cycle(Topology):
     def nodes(self) -> Iterator[int]:
         return iter(range(self.k))
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return isinstance(v, int) and 0 <= v < self.k
 
     def neighbors(self, v: int) -> list[int]:

@@ -13,7 +13,7 @@ shortcoming the hyper-butterfly paper sets out to fix.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro._bits import format_word, mask
 from repro.errors import InvalidParameterError
@@ -38,7 +38,7 @@ class DeBruijn(Topology):
     def nodes(self) -> Iterator[int]:
         return iter(range(1 << self.n))
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return isinstance(v, int) and 0 <= v < (1 << self.n)
 
     def neighbors(self, v: int) -> list[int]:

@@ -12,7 +12,7 @@ Known facts restated by the paper and surfaced as methods here:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro._bits import flip, format_word, popcount
 from repro.errors import InvalidParameterError
@@ -48,7 +48,7 @@ class Hypercube(Topology):
         self.validate_node(v)
         return [flip(v, i) for i in range(self.m)]
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return isinstance(v, int) and 0 <= v < (1 << self.m)
 
     # Hypercube-specific services --------------------------------------------

@@ -7,7 +7,7 @@ The paper's ``M(n1, n2)`` is the *wrap-around* mesh ``C(n1) × C(n2)``
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
@@ -40,7 +40,7 @@ class Torus(Topology):
             for j in range(self.n2):
                 yield (i, j)
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return (
             isinstance(v, tuple)
             and len(v) == 2
@@ -50,7 +50,7 @@ class Torus(Topology):
             and 0 <= v[1] < self.n2
         )
 
-    def neighbors(self, v) -> list[tuple[int, int]]:
+    def neighbors(self, v: tuple[int, int]) -> list[tuple[int, int]]:
         self.validate_node(v)
         i, j = v
         return [
@@ -84,7 +84,7 @@ class Mesh(Topology):
             for j in range(self.n2):
                 yield (i, j)
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return (
             isinstance(v, tuple)
             and len(v) == 2
@@ -94,7 +94,7 @@ class Mesh(Topology):
             and 0 <= v[1] < self.n2
         )
 
-    def neighbors(self, v) -> list[tuple[int, int]]:
+    def neighbors(self, v: tuple[int, int]) -> list[tuple[int, int]]:
         self.validate_node(v)
         i, j = v
         out = []

@@ -18,7 +18,7 @@ Vertex labels:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
@@ -26,7 +26,7 @@ from repro.topologies.base import Topology
 __all__ = ["MeshOfTrees"]
 
 
-class MeshOfTrees(Topology):
+class MeshOfTrees(Topology):  # reprolint: disable=HB201 -- three node kinds (grid/row-tree/col-tree) with irregular degrees defeat a dense packing; the EnumerationCodec fallback is the intended substrate
     """``MT(rows, cols)`` with power-of-two side lengths."""
 
     def __init__(self, rows: int, cols: int) -> None:
@@ -58,7 +58,7 @@ class MeshOfTrees(Topology):
             for v in range(1, self.rows):
                 yield ("col", j, v)
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         if not (isinstance(v, tuple) and len(v) == 3):
             return False
         kind, a, b = v
@@ -82,7 +82,7 @@ class MeshOfTrees(Topology):
                 out.append((True, c - leaf_count))
         return out
 
-    def neighbors(self, v) -> list[tuple]:
+    def neighbors(self, v: tuple) -> list[tuple]:
         self.validate_node(v)
         kind, a, b = v
         out: list[tuple] = []

@@ -41,7 +41,7 @@ class CartesianProduct(Topology):
             for x in self.right.nodes():
                 yield (u, x)
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return (
             isinstance(v, tuple)
             and len(v) == 2
@@ -49,7 +49,7 @@ class CartesianProduct(Topology):
             and self.right.has_node(v[1])
         )
 
-    def neighbors(self, v) -> list[tuple[Hashable, Hashable]]:
+    def neighbors(self, v: tuple[Hashable, Hashable]) -> list[tuple[Hashable, Hashable]]:
         self.validate_node(v)
         u, x = v
         out = [(w, x) for w in self.left.neighbors(u)]

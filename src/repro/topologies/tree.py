@@ -7,7 +7,7 @@ heap indices ``1 … 2^k - 1``: node ``v`` has children ``2v`` and ``2v + 1``.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
@@ -35,7 +35,7 @@ class CompleteBinaryTree(Topology):
     def nodes(self) -> Iterator[int]:
         return iter(range(1, 1 << self.k))
 
-    def has_node(self, v) -> bool:
+    def has_node(self, v: Hashable) -> bool:
         return isinstance(v, int) and 1 <= v < (1 << self.k)
 
     def neighbors(self, v: int) -> list[int]:

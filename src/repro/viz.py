@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Hashable, Sequence
 
 from repro.core.hyperbutterfly import HyperButterfly
+from repro.embeddings.base import Embedding
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
 
@@ -123,7 +124,7 @@ def path_family_to_dot(
     return "\n".join(lines)
 
 
-def embedding_to_dot(embedding, *, name: str | None = None) -> str:
+def embedding_to_dot(embedding: Embedding, *, name: str | None = None) -> str:
     """Render a host graph with an embedding's image emphasised.
 
     Image nodes are filled; image edges (images of guest edges) are bold.

@@ -87,7 +87,7 @@ class TestStructuredFailure:
         router = ResilientRouter(hb13)
         report = router.reachability(hb13.identity_node())
         assert report.reachable == report.healthy == hb13.num_nodes
-        assert report.fraction == 1.0
+        assert report.fraction == 1.0  # reprolint: disable=HB301 -- reachable/healthy is exactly n/n here
 
     def test_reachability_with_link_cut(self, hb13):
         router = ResilientRouter(hb13)

@@ -1,0 +1,160 @@
+"""Engine-level behaviour: suppression, baselines, fingerprints, reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.reprolint import (
+    BaselineError,
+    lint_paths,
+    lint_sources,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.reprolint.engine import PARSE_ERROR_ID
+from repro.devtools.reprolint.suppressions import scan_suppressions
+from repro.errors import ReproError
+
+LIB_PATH = "src/repro/_fixture.py"
+
+DIRTY = "import random\nx = random.random()\n"
+CLEAN = "import random\nrng = random.Random(0)\n"
+
+
+class TestSuppression:
+    def test_line_suppression_deactivates(self):
+        src = (
+            "import random\n"
+            "x = random.random()  # reprolint: disable=HB101 -- test vector\n"
+        )
+        report = lint_sources({LIB_PATH: src})
+        hits = [f for f in report.findings if f.rule_id == "HB101"]
+        assert len(hits) == 1  # still reported ...
+        assert hits[0].suppressed and not hits[0].active  # ... but inert
+        assert report.exit_code == 0
+
+    def test_file_suppression_covers_whole_file(self):
+        src = (
+            "# reprolint: disable-file=HB101\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.random()\n"
+        )
+        report = lint_sources({LIB_PATH: src})
+        assert report.exit_code == 0
+        assert all(f.suppressed for f in report.findings)
+
+    def test_suppressing_all(self):
+        src = "import random\nx = random.random()  # reprolint: disable=ALL\n"
+        assert lint_sources({LIB_PATH: src}).exit_code == 0
+
+    def test_wrong_id_does_not_suppress(self):
+        src = "import random\nx = random.random()  # reprolint: disable=HB999\n"
+        assert lint_sources({LIB_PATH: src}).exit_code == 1
+
+    def test_scan_grammar(self):
+        index = scan_suppressions(
+            [
+                "x = 1  # reprolint: disable=HB101,HB102 -- why",
+                "y = 2",
+            ]
+        )
+        assert index.is_suppressed("HB101", 1)
+        assert index.is_suppressed("HB102", 1)
+        assert not index.is_suppressed("HB103", 1)
+        assert not index.is_suppressed("HB101", 2)
+
+
+class TestFingerprint:
+    def test_stable_across_line_moves(self):
+        before = lint_sources({LIB_PATH: DIRTY}).active[0]
+        after = lint_sources({LIB_PATH: "import random\n\n\n" + DIRTY.splitlines()[1]}).active[0]
+        assert before.line != after.line
+        assert before.fingerprint == after.fingerprint
+
+    def test_distinct_per_rule_and_text(self):
+        src = "import random\nx = random.random()\ny = random.uniform(0, 1)\n"
+        prints = {f.fingerprint for f in lint_sources({LIB_PATH: src}).active}
+        assert len(prints) == 2
+
+
+class TestBaseline:
+    def test_roundtrip_waives_findings(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        report = lint_sources({LIB_PATH: DIRTY})
+        assert report.exit_code == 1
+        write_baseline(target, report.findings)
+        fingerprints = load_baseline(target)
+        waived = lint_sources({LIB_PATH: DIRTY}, baseline_fingerprints=fingerprints)
+        assert waived.exit_code == 0
+        assert waived.findings and all(f.baselined for f in waived.findings)
+
+    def test_baseline_file_is_sorted_json(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        report = lint_sources({LIB_PATH: DIRTY})
+        write_baseline(target, report.findings)
+        payload = json.loads(target.read_text())
+        assert payload["version"] == 1
+        assert payload["fingerprints"] == sorted(payload["fingerprints"])
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99}')
+        with pytest.raises(BaselineError):
+            load_baseline(target)
+
+
+class TestLintPaths:
+    def test_directory_walk(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "dirty.py").write_text(DIRTY)
+        (pkg / "clean.py").write_text(CLEAN)
+        report = lint_paths([tmp_path / "src"])
+        assert report.checked_files == 2
+        assert report.exit_code == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = lint_paths([bad])
+        assert report.exit_code == 1
+        assert report.active[0].rule_id == PARSE_ERROR_ID
+
+
+class TestReport:
+    def test_json_shape(self):
+        payload = lint_sources({LIB_PATH: DIRTY}).to_dict()
+        assert set(payload) == {
+            "version",
+            "checked_files",
+            "rules_run",
+            "counts",
+            "findings",
+        }
+        finding = payload["findings"][0]
+        assert set(finding) == {
+            "rule",
+            "path",
+            "line",
+            "col",
+            "severity",
+            "message",
+            "fingerprint",
+            "suppressed",
+            "baselined",
+        }
+
+    def test_counts_only_active(self):
+        suppressed = (
+            "import random\n"
+            "x = random.random()  # reprolint: disable=HB101 -- waived\n"
+        )
+        assert lint_sources({LIB_PATH: suppressed}).counts_by_rule() == {}
+        assert lint_sources({LIB_PATH: DIRTY}).counts_by_rule() == {"HB101": 1}

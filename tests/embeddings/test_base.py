@@ -19,7 +19,7 @@ class TestEmbeddingVerify:
         )
         emb.verify()
         assert emb.dilation == 1
-        assert emb.expansion == 1.0
+        assert emb.expansion == 1.0  # reprolint: disable=HB301 -- 4 host / 4 guest nodes is exactly 1.0
 
     def test_detects_unmapped_guest(self):
         emb = Embedding(guest=Cycle(4), host=Hypercube(2), mapping={0: 0})

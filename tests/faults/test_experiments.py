@@ -13,8 +13,8 @@ class TestFaultSweep:
             hb13, [0, 2, hb13.m + 3], trials=3, pairs_per_trial=6, seed=5
         )
         for r in results:
-            assert r.connected_fraction == 1.0
-            assert r.disjoint_success_rate == 1.0
+            assert r.connected_fraction == 1.0  # reprolint: disable=HB301 -- trials/trials is exactly 1.0 below the guarantee
+            assert r.disjoint_success_rate == 1.0  # reprolint: disable=HB301 -- same: exact trials/trials ratio
             assert r.total_pairs == 18
 
     def test_overhead_at_least_one(self, hb13):

@@ -17,7 +17,7 @@ class TestEventQueue:
         q.schedule(2.0, lambda: log.append("b"))
         assert q.run() == 3
         assert log == ["a", "b", "c"]
-        assert q.now == 3.0
+        assert q.now == 3.0  # reprolint: disable=HB301 -- clock is set to the literal scheduled time, no arithmetic
 
     def test_ties_break_by_insertion_order(self):
         q = EventQueue()

@@ -77,7 +77,7 @@ class TestEmbeddingRoundTrip:
         dump_embedding(emb, file)
         payload = json.loads(file.read_text())
         payload["mapping"][0][1] = payload["mapping"][1][1]  # duplicate image
-        file.write_text(json.dumps(payload))
+        file.write_text(json.dumps(payload, sort_keys=True))
         with pytest.raises(EmbeddingError):
             load_embedding_mapping(
                 file, guest=CompleteBinaryTree(emb.guest.k), host=hb23
