@@ -22,8 +22,6 @@ import networkx as nx
 
 from repro.cayley.group import Group, GeneratorSet
 from repro.errors import InvalidLabelError
-from repro.fastgraph.backend import enabled as fastgraph_enabled
-from repro.fastgraph.codecs import codec_for_group
 
 __all__ = ["CayleyGraph", "DistanceOracle", "build_cayley_graph"]
 
@@ -54,6 +52,10 @@ class DistanceOracle:
         self._dist_arr = None  # int32[order]  distance from identity, by rank
         self._via_arr = None  # int64[order]  reaching generator index, by rank
         self._parent_arr = None  # int64[order] BFS-tree parent rank, by rank
+        # deferred: cayley sits below fastgraph in the layer DAG (HB401)
+        from repro.fastgraph.backend import enabled as fastgraph_enabled
+        from repro.fastgraph.codecs import codec_for_group
+
         if backend == "auto" and fastgraph_enabled():
             self._codec = codec_for_group(group)
         if self._codec is not None:

@@ -14,6 +14,9 @@ Subcommands:
 * ``lint [PATHS]``        — run the reprolint paper-invariant checks
   (``--format text|json``, ``--baseline``, ``--self-test``,
   ``--list-rules``); exit 0 clean / 1 findings / 2 linter error.
+* ``sanitize``            — dynamic determinism check: run JSON-emitting
+  targets twice under different ``PYTHONHASHSEED`` values and structurally
+  diff the artefacts; exit 0 reproducible / 1 divergent / 2 error.
 """
 
 from __future__ import annotations
@@ -91,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.devtools.reprolint.cli import configure_parser as _configure_lint
 
     _configure_lint(p_lint)
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="dynamic determinism check: A/B runs under two PYTHONHASHSEEDs",
+    )
+    from repro.devtools.sanitize import configure_parser as _configure_sanitize
+
+    _configure_sanitize(p_san)
     return parser
 
 
@@ -211,6 +222,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.devtools.sanitize import run
+
+    return run(args)
+
+
 def _cmd_broadcast(args: argparse.Namespace) -> int:
     from repro import HyperButterfly, broadcast_rounds
     from repro.core.broadcast import broadcast_lower_bound
@@ -234,6 +251,7 @@ _HANDLERS = {
     "faults-campaign": _cmd_faults_campaign,
     "broadcast": _cmd_broadcast,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
 }
 
 

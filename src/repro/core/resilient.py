@@ -29,13 +29,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.core.disjoint_paths import disjoint_paths
 from repro.core.hyperbutterfly import HBNode, HyperButterfly
 from repro.errors import DisconnectedError, RoutingError
-from repro.faults.dynamic import FaultEvent
-from repro.faults.model import canonical_link
+
+if TYPE_CHECKING:
+    from repro.faults.dynamic import FaultEvent
 
 __all__ = [
     "RouteOutcome",
@@ -80,8 +81,17 @@ class DegradedRouteError(DisconnectedError):
         self.report = report
 
 
+def _canonical_link(u: Hashable, v: Hashable) -> tuple[Hashable, Hashable]:
+    """Deferred :func:`repro.faults.model.canonical_link` — core sits below
+    faults in the layer DAG, so the dependency must not bind at import time
+    (reprolint HB401)."""
+    from repro.faults.model import canonical_link
+
+    return canonical_link(u, v)
+
+
 def _normalize_links(links: Iterable) -> frozenset:
-    return frozenset(canonical_link(u, v) for u, v in links)
+    return frozenset(_canonical_link(u, v) for u, v in links)
 
 
 class ResilientRouter:
@@ -126,7 +136,7 @@ class ResilientRouter:
             return False
         if links:
             for a, b in zip(path, path[1:]):
-                if canonical_link(a, b) in links:
+                if _canonical_link(a, b) in links:
                     return False
         return True
 
@@ -155,7 +165,7 @@ class ResilientRouter:
             for b in self.hb.neighbors(a):
                 if b in parent or b in nodes:
                     continue
-                if canonical_link(a, b) in links:
+                if _canonical_link(a, b) in links:
                     continue
                 parent[b] = a
                 if b == v:
@@ -252,7 +262,7 @@ class ResilientRouter:
                 for b in self.hb.neighbors(a):
                     if b in seen or b in nodes:
                         continue
-                    if canonical_link(a, b) in links:
+                    if _canonical_link(a, b) in links:
                         continue
                     seen.add(b)
                     queue.append(b)

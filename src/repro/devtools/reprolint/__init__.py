@@ -4,9 +4,18 @@ The repo's correctness rests on conventions no generic tool checks:
 seeded-only randomness, byte-reproducible JSON artefacts, codec-registry
 coverage of every :class:`~repro.topologies.base.Topology` family, a
 single error hierarchy, and tolerance-based float comparison.  reprolint
-encodes them as ~10 AST rules (``hyperbutterfly lint --list-rules``) with
+encodes them as AST rules (``hyperbutterfly lint --list-rules``) with
 inline suppression (``# reprolint: disable=HB101 -- why``), a baseline
 for grandfathered findings, and a per-rule fixture self-test.
+
+Beyond per-file rules, the engine builds a whole-program view
+(:mod:`repro.devtools.reprolint.project`): a module import graph, symbol
+tables, and a conservative call graph.  The HB4xx block enforces the
+layer DAG and flags import cycles and dead exports; the HB5xx block
+traces unseeded RNG construction interprocedurally to public APIs.  The
+dynamic complement is ``hyperbutterfly sanitize``
+(:mod:`repro.devtools.sanitize`), which A/B-runs JSON-emitting targets
+under two ``PYTHONHASHSEED`` values.
 
 Programmatic use::
 
@@ -31,6 +40,7 @@ from repro.devtools.reprolint.engine import (
     lint_paths,
     lint_sources,
     self_test,
+    self_test_rule,
 )
 from repro.devtools.reprolint.findings import Finding, Severity
 from repro.devtools.reprolint.registry import (
@@ -61,5 +71,6 @@ __all__ = [
     "load_baseline",
     "register_rule",
     "self_test",
+    "self_test_rule",
     "write_baseline",
 ]

@@ -19,8 +19,15 @@ from typing import Sequence
 from repro.errors import ReproError
 
 from repro.devtools.reprolint.baseline import DEFAULT_BASELINE, write_baseline
-from repro.devtools.reprolint.engine import LintReport, lint_paths, self_test
+from repro.devtools.reprolint.engine import (
+    LintReport,
+    SelfTestError,
+    lint_paths,
+    self_test,
+    self_test_rule,
+)
 from repro.devtools.reprolint.registry import all_rules
+from repro.devtools.reprolint.rules.base import Rule
 
 __all__ = ["configure_parser", "run"]
 
@@ -81,10 +88,26 @@ def _render_text(report: LintReport) -> str:
     return "\n".join(lines)
 
 
+def _rule_self_test_status(rule: Rule) -> str:
+    try:
+        self_test_rule(rule)
+    except SelfTestError as exc:
+        return f"FAIL ({exc})"
+    return "ok"
+
+
 def _render_rule_table() -> str:
-    lines = ["ID      GROUP         TITLE"]
+    """Rules grouped by block, each with its fixture self-test status."""
+    by_group: dict[str, list[Rule]] = {}
     for rule in all_rules():
-        lines.append(f"{rule.rule_id:<7} {rule.group:<13} {rule.title}")
+        by_group.setdefault(rule.group, []).append(rule)
+    lines: list[str] = []
+    for group in sorted(by_group, key=lambda g: by_group[g][0].rule_id):
+        block = by_group[group][0].rule_id[:3] + "xx"
+        lines.append(f"{block} {group}")
+        for rule in by_group[group]:
+            status = _rule_self_test_status(rule)
+            lines.append(f"  {rule.rule_id:<7} [{status:>4}] {rule.title}")
     return "\n".join(lines)
 
 

@@ -5,9 +5,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
+from typing import TYPE_CHECKING
 
 from repro.devtools.reprolint.findings import Finding, Severity
 from repro.devtools.reprolint.suppressions import SuppressionIndex, scan_suppressions
+
+if TYPE_CHECKING:  # deferred: project.py needs rules.base which needs us
+    from repro.devtools.reprolint.project import ProjectGraph
 
 
 @dataclass
@@ -103,6 +107,7 @@ class ProjectContext:
     """All linted files at once — for cross-file rules (e.g. registries)."""
 
     files: list[FileContext]
+    _graph: "ProjectGraph | None" = field(default=None, repr=False, compare=False)
 
     @property
     def library_files(self) -> list[FileContext]:
@@ -113,3 +118,12 @@ class ProjectContext:
             if f.module_name == module_name:
                 return f
         return None
+
+    @property
+    def graph(self) -> "ProjectGraph":
+        """The whole-program graph, built lazily on first access."""
+        if self._graph is None:
+            from repro.devtools.reprolint.project import ProjectGraph
+
+            self._graph = ProjectGraph(self.files)
+        return self._graph

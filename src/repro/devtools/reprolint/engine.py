@@ -27,7 +27,14 @@ from repro.devtools.reprolint.findings import Finding, Severity
 from repro.devtools.reprolint.registry import all_rules
 from repro.devtools.reprolint.rules.base import FileRule, ProjectRule, Rule
 
-__all__ = ["LintReport", "SelfTestError", "lint_paths", "lint_sources", "self_test"]
+__all__ = [
+    "LintReport",
+    "SelfTestError",
+    "lint_paths",
+    "lint_sources",
+    "self_test",
+    "self_test_rule",
+]
 
 #: pseudo-rule id for files the engine cannot parse
 PARSE_ERROR_ID = "HB000"
@@ -126,7 +133,9 @@ def lint_sources(
     parse_failures: list[Finding] = []
     for path in sorted(sources):
         try:
-            contexts.append(FileContext.from_source(path, sources[path]))
+            contexts.append(
+                FileContext.from_source(path, _normalize_source(sources[path]))
+            )
         except SyntaxError as exc:
             parse_failures.append(
                 Finding(
@@ -141,6 +150,28 @@ def lint_sources(
             )
     report = _run_rules(contexts, parse_failures, rules or all_rules())
     return _apply_baseline(report, baseline_fingerprints)
+
+
+def _normalize_source(source: str) -> str:
+    """Collapse CRLF/CR line endings to LF.
+
+    Finding fingerprints hash the flagged line's text; without this a
+    Windows checkout (or ``core.autocrlf``) would produce different
+    fingerprints for byte-identical code and silently invalidate a shared
+    ``.reprolint-baseline.json``.
+    """
+    return source.replace("\r\n", "\n").replace("\r", "\n")
+
+
+#: files whose presence marks the repository root for display paths
+_ROOT_MARKERS = ("pyproject.toml", ".git")
+
+
+def _repo_root(start: Path) -> Path | None:
+    for candidate in (start, *start.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return None
 
 
 def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -167,6 +198,20 @@ def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
 
 
 def _display_path(path: Path) -> str:
+    """Stable display form: repo-root-relative POSIX, independent of cwd.
+
+    Fingerprints hash this path, so it must not vary with where the linter
+    was invoked from.  Preference order: relative to the repository root
+    (nearest ancestor holding a root marker), then relative to the cwd,
+    then absolute — always with forward slashes.
+    """
+    resolved = path.resolve()
+    root = _repo_root(resolved.parent)
+    if root is not None:
+        try:
+            return resolved.relative_to(root).as_posix()
+        except ValueError:  # pragma: no cover - resolve() makes this unlikely
+            pass
     try:
         relative = os.path.relpath(path)
     except ValueError:  # different drive (windows) — keep absolute
@@ -215,10 +260,10 @@ def _suppress_lines(source: str, rule_id: str, lines: set[int]) -> str:
     return "\n".join(out) + "\n"
 
 
-def self_test(rules: Sequence[Rule] | None = None) -> int:
-    """Run every rule against its own fixtures; returns the rule count.
+def self_test_rule(rule: Rule) -> None:
+    """Run one rule against its own fixtures.
 
-    For each rule this checks three properties:
+    Checks three properties:
 
     1. ``fixture_hits`` produces at least one active finding of that rule;
     2. ``fixture_clean`` produces none;
@@ -227,42 +272,49 @@ def self_test(rules: Sequence[Rule] | None = None) -> int:
 
     Raises :class:`SelfTestError` on the first violated property.
     """
+    hits = _as_sources(rule.fixture_hits, _FIXTURE_HIT_PATH)
+    clean = _as_sources(rule.fixture_clean, _FIXTURE_CLEAN_PATH)
+    if not hits or not clean:
+        raise SelfTestError(f"{rule.rule_id} is missing self-test fixtures")
+
+    hit_report = lint_sources(hits, rules=[rule])
+    mine = [f for f in hit_report.active if f.rule_id == rule.rule_id]
+    if not mine:
+        raise SelfTestError(f"{rule.rule_id} fixture_hits produced no findings")
+
+    clean_report = lint_sources(clean, rules=[rule])
+    if clean_report.active:
+        raise SelfTestError(
+            f"{rule.rule_id} fixture_clean produced findings: "
+            f"{[f.render() for f in clean_report.active]}"
+        )
+
+    suppressed_sources = {
+        path: _suppress_lines(
+            text,
+            rule.rule_id,
+            {f.line for f in mine if f.path == str(PurePosixPath(path))},
+        )
+        for path, text in hits.items()
+    }
+    suppressed_report = lint_sources(suppressed_sources, rules=[rule])
+    still_active = [
+        f for f in suppressed_report.active if f.rule_id == rule.rule_id
+    ]
+    if still_active:
+        raise SelfTestError(
+            f"{rule.rule_id} inline suppression failed: "
+            f"{[f.render() for f in still_active]}"
+        )
+
+
+def self_test(rules: Sequence[Rule] | None = None) -> int:
+    """Run every rule's fixture self-test; returns the rule count.
+
+    See :func:`self_test_rule` for the per-rule contract.  Raises
+    :class:`SelfTestError` on the first violation.
+    """
     rules = list(rules or all_rules())
     for rule in rules:
-        hits = _as_sources(rule.fixture_hits, _FIXTURE_HIT_PATH)
-        clean = _as_sources(rule.fixture_clean, _FIXTURE_CLEAN_PATH)
-        if not hits or not clean:
-            raise SelfTestError(f"{rule.rule_id} is missing self-test fixtures")
-
-        hit_report = lint_sources(hits, rules=[rule])
-        mine = [f for f in hit_report.active if f.rule_id == rule.rule_id]
-        if not mine:
-            raise SelfTestError(
-                f"{rule.rule_id} fixture_hits produced no findings"
-            )
-
-        clean_report = lint_sources(clean, rules=[rule])
-        if clean_report.active:
-            raise SelfTestError(
-                f"{rule.rule_id} fixture_clean produced findings: "
-                f"{[f.render() for f in clean_report.active]}"
-            )
-
-        suppressed_sources = {
-            path: _suppress_lines(
-                text,
-                rule.rule_id,
-                {f.line for f in mine if f.path == str(PurePosixPath(path))},
-            )
-            for path, text in hits.items()
-        }
-        suppressed_report = lint_sources(suppressed_sources, rules=[rule])
-        still_active = [
-            f for f in suppressed_report.active if f.rule_id == rule.rule_id
-        ]
-        if still_active:
-            raise SelfTestError(
-                f"{rule.rule_id} inline suppression failed: "
-                f"{[f.render() for f in still_active]}"
-            )
+        self_test_rule(rule)
     return len(rules)

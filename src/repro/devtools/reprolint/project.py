@@ -1,0 +1,531 @@
+"""Whole-program views: import graph, symbol tables, conservative call graph.
+
+PR 3's rules judge one file at a time, so an unseeded RNG constructed in
+``simulation/`` and consumed in ``faults/campaigns.py`` — or ``topologies/``
+growing an import on ``simulation/`` — is invisible to them.  This module
+builds the cross-file structures the HB4xx (architecture) and HB5xx
+(determinism taint) rule blocks need:
+
+* a **module-level import graph** over every linted file, with each edge
+  classified as *eager* (executed at import time), *deferred* (inside a
+  function body) or *type-checking-only* (under ``if TYPE_CHECKING:``);
+* **per-module symbol tables** — top-level definitions, ``__all__``
+  declarations, and import aliases (so re-exports through package
+  ``__init__`` files resolve back to the defining module);
+* a **conservative call graph** keyed by dotted function name
+  (``repro.faults.model.random_node_faults``,
+  ``repro.core.resilient.ResilientRouter.route``).  Only calls the AST can
+  resolve statically are recorded (local names, imported names,
+  ``self``-method calls); everything else is dropped, so reachability
+  queries under-approximate call edges but every recorded edge is real.
+
+The graph is built lazily by :class:`~repro.devtools.reprolint.context.
+ProjectContext` the first time a project rule asks for it, so per-file
+rules pay nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.devtools.reprolint.context import FileContext
+from repro.devtools.reprolint.rules.base import ImportMap
+
+__all__ = [
+    "ImportEdge",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "LAYERS",
+    "layer_of",
+    "layer_title",
+]
+
+#: architecture layer of each first-level package under ``repro`` — the
+#: DAG ``_bits/errors ← topologies/cayley ← routing/core/embeddings ←
+#: fastgraph/analysis ← faults/simulation ← cli/viz`` from
+#: ``docs/architecture.md``; higher layers may import lower ones eagerly,
+#: never the reverse (upward needs a deferred import or a redesign).
+LAYERS: dict[str, int] = {
+    "_bits": 0,
+    "errors": 0,
+    "topologies": 1,
+    "cayley": 1,
+    "routing": 2,
+    "core": 2,
+    "embeddings": 2,
+    "fastgraph": 3,
+    "analysis": 3,
+    "faults": 4,
+    "simulation": 4,
+    "io": 5,
+    "viz": 5,
+    "cli": 5,
+    "__main__": 5,
+    "devtools": 5,
+}
+
+_LAYER_TITLES = {
+    0: "_bits/errors",
+    1: "topologies/cayley",
+    2: "routing/core/embeddings",
+    3: "fastgraph/analysis",
+    4: "faults/simulation",
+    5: "cli/viz",
+}
+
+#: modules whose functions count as CLI entry points for liveness/taint
+_ENTRYPOINT_SUFFIXES = ("cli", "__main__")
+
+
+def layer_of(module: str) -> int | None:
+    """Layer index of a dotted ``repro`` module, or ``None`` if unmapped."""
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return 5  # the root facade re-exports the public API
+    return LAYERS.get(parts[1])
+
+
+def layer_title(layer: int) -> str:
+    """Human name of a layer index (for findings)."""
+    return _LAYER_TITLES.get(layer, f"layer {layer}")
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One ``import`` statement, resolved to an in-project target module."""
+
+    src: str
+    dst: str
+    lineno: int
+    #: executed when ``src`` is imported (module top level, incl. try/if)
+    eager: bool
+    #: guarded by ``if TYPE_CHECKING:`` — never executed at runtime
+    type_checking: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its statically-resolvable call sites."""
+
+    dotted: str  # e.g. repro.faults.model.random_node_faults
+    module: str
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: resolved dotted callee names with call-site line numbers
+    calls: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one linted module."""
+
+    name: str
+    ctx: FileContext
+    #: names declared in ``__all__`` (None when no ``__all__`` exists)
+    all_names: list[str] | None = None
+    #: top-level *definitions* (def/class/assignment) — not import aliases
+    public_defs: dict[str, int] = field(default_factory=dict)
+    #: top-level import aliases: local name -> canonical dotted target
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    #: functions and methods defined here, keyed by local qualname
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def is_entrypoint(self) -> bool:
+        return self.name.split(".")[-1] in _ENTRYPOINT_SUFFIXES
+
+
+def _declared_all(tree: ast.Module) -> list[str] | None:
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    return [
+                        el.value
+                        for el in value.elts
+                        if isinstance(el, ast.Constant) and isinstance(el.value, str)
+                    ]
+    return None
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    name = None
+    if isinstance(test, ast.Name):
+        name = test.id
+    elif isinstance(test, ast.Attribute):
+        name = test.attr
+    return name == "TYPE_CHECKING"
+
+
+def _resolve_relative(module: str, raw: str | None, level: int) -> str | None:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if level == 0:
+        return raw
+    # package of `module`: drop `level` trailing components (a module's own
+    # package is one level up; __init__ module names already lack it)
+    base_parts = module.split(".")[:-level]
+    if not base_parts:
+        return None
+    prefix = ".".join(base_parts)
+    return f"{prefix}.{raw}" if raw else prefix
+
+
+class ProjectGraph:
+    """Import graph + symbol tables + call graph over the linted files."""
+
+    def __init__(self, files: Iterable[FileContext]) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.edges: list[ImportEdge] = []
+        self.functions: dict[str, FunctionInfo] = {}
+        self._callers: dict[str, list[tuple[str, int]]] = {}
+        for ctx in files:
+            if ctx.module_name:
+                self.modules[ctx.module_name] = ModuleInfo(ctx.module_name, ctx)
+        for info in self.modules.values():
+            self._scan_module(info)
+        self._build_call_graph()
+
+    # -- construction -------------------------------------------------------
+
+    def _known_module(self, dotted: str | None) -> str | None:
+        """``dotted`` itself if it names a linted module, else ``None``."""
+        if dotted is not None and dotted in self.modules:
+            return dotted
+        return None
+
+    def _scan_module(self, info: ModuleInfo) -> None:
+        tree = info.ctx.tree
+        info.all_names = _declared_all(tree)
+        self._scan_imports(info, tree.body, eager=True, type_checking=False)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.public_defs.setdefault(node.name, node.lineno)
+                self._add_function(info, node, qual=node.name)
+            elif isinstance(node, ast.ClassDef):
+                info.public_defs.setdefault(node.name, node.lineno)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(
+                            info, item, qual=f"{node.name}.{item.name}"
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        info.public_defs.setdefault(target.id, node.lineno)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                info.public_defs.setdefault(node.target.id, node.lineno)
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        qual: str,
+    ) -> None:
+        fn = FunctionInfo(
+            dotted=f"{info.name}.{qual}",
+            module=info.name,
+            lineno=node.lineno,
+            node=node,
+        )
+        info.functions[qual] = fn
+        self.functions[fn.dotted] = fn
+
+    def _scan_imports(
+        self,
+        info: ModuleInfo,
+        body: Iterable[ast.stmt],
+        *,
+        eager: bool,
+        type_checking: bool,
+    ) -> None:
+        """Record in-project import edges, classifying execution context."""
+        for node in body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    dst = self._known_module(alias.name)
+                    if dst is not None:
+                        self._add_edge(info, dst, node.lineno, eager, type_checking)
+                    if eager and not type_checking:
+                        local = (alias.asname or alias.name).split(".")[0]
+                        info.import_aliases.setdefault(
+                            local, alias.name if alias.asname else local
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_relative(info.name, node.module, node.level)
+                if target is None:
+                    continue
+                for alias in node.names:
+                    # `from a import b` may import module a.b or symbol b of a
+                    dst = self._known_module(f"{target}.{alias.name}")
+                    if dst is None:
+                        dst = self._known_module(target)
+                    if dst is not None and target != "__future__":
+                        self._add_edge(info, dst, node.lineno, eager, type_checking)
+                    if eager and not type_checking and target != "__future__":
+                        info.import_aliases.setdefault(
+                            alias.asname or alias.name,
+                            f"{target}.{alias.name}",
+                        )
+            elif isinstance(node, ast.If):
+                guarded = _is_type_checking_test(node.test)
+                self._scan_imports(
+                    info,
+                    node.body,
+                    eager=eager,
+                    type_checking=type_checking or guarded,
+                )
+                self._scan_imports(
+                    info, node.orelse, eager=eager, type_checking=type_checking
+                )
+            elif isinstance(node, ast.Try):
+                for sub in (node.body, node.orelse, node.finalbody):
+                    self._scan_imports(
+                        info, sub, eager=eager, type_checking=type_checking
+                    )
+                for handler in node.handlers:
+                    self._scan_imports(
+                        info, handler.body, eager=eager, type_checking=type_checking
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_imports(
+                    info, node.body, eager=False, type_checking=type_checking
+                )
+            elif isinstance(node, ast.ClassDef):
+                # class bodies execute at import time
+                self._scan_imports(
+                    info, node.body, eager=eager, type_checking=type_checking
+                )
+            elif isinstance(node, (ast.With, ast.For, ast.While)):
+                self._scan_imports(
+                    info, node.body, eager=eager, type_checking=type_checking
+                )
+
+    def _add_edge(
+        self, info: ModuleInfo, dst: str, lineno: int, eager: bool, tc: bool
+    ) -> None:
+        if dst != info.name:
+            self.edges.append(
+                ImportEdge(info.name, dst, lineno, eager=eager, type_checking=tc)
+            )
+
+    # -- call graph ---------------------------------------------------------
+
+    def _build_call_graph(self) -> None:
+        for info in self.modules.values():
+            imports = ImportMap(info.ctx.tree)
+            for qual, fn in info.functions.items():
+                self._scan_calls(info, imports, qual, fn)
+        for fn in self.functions.values():
+            for callee, lineno in fn.calls:
+                self._callers.setdefault(callee, []).append((fn.dotted, lineno))
+
+    def _scan_calls(
+        self, info: ModuleInfo, imports: ImportMap, qual: str, fn: FunctionInfo
+    ) -> None:
+        class_prefix = qual.rsplit(".", 1)[0] if "." in qual else None
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve_call(info, imports, class_prefix, node.func)
+            if resolved is not None:
+                fn.calls.append((resolved, node.lineno))
+
+    def _resolve_call(
+        self,
+        info: ModuleInfo,
+        imports: ImportMap,
+        class_prefix: str | None,
+        func: ast.expr,
+    ) -> str | None:
+        # self.method() / cls.method() within the same class
+        if (
+            class_prefix is not None
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            candidate = f"{info.name}.{class_prefix}.{func.attr}"
+            if candidate in self.functions:
+                return candidate
+            return None
+        # plain local name
+        if isinstance(func, ast.Name):
+            local = f"{info.name}.{func.id}"
+            if local in self.functions:
+                return local
+        # imported / dotted name
+        canonical = imports.resolve(func)
+        if canonical is not None:
+            return self.resolve_function(canonical)
+        return None
+
+    def resolve_function(self, dotted: str, *, _depth: int = 0) -> str | None:
+        """Resolve ``dotted`` to a known function, following re-exports."""
+        if _depth > 8:
+            return None
+        if dotted in self.functions:
+            return dotted
+        # follow one re-export hop: longest module prefix, then its alias
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            info = self.modules.get(module)
+            if info is None:
+                continue
+            head, rest = parts[cut], parts[cut + 1 :]
+            target = info.import_aliases.get(head)
+            if target is None:
+                return None
+            return self.resolve_function(
+                ".".join([target, *rest]), _depth=_depth + 1
+            )
+        return None
+
+    # -- queries ------------------------------------------------------------
+
+    def eager_edges(self) -> Iterator[ImportEdge]:
+        """Edges executed at import time (not deferred, not TYPE_CHECKING)."""
+        for edge in self.edges:
+            if edge.eager and not edge.type_checking:
+                yield edge
+
+    def import_cycles(self) -> list[list[str]]:
+        """Strongly connected components (size > 1) of the eager graph."""
+        graph: dict[str, set[str]] = {name: set() for name in self.modules}
+        for edge in self.eager_edges():
+            graph[edge.src].add(edge.dst)
+        # iterative Tarjan
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = 0
+        for root in sorted(graph):
+            if root in index:
+                continue
+            work: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(graph[root])))]
+            index[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                v, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = low[w] = counter
+                        counter += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(sorted(graph[w]))))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[v] = min(low[v], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[v])
+                if low[v] == index[v]:
+                    component = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == v:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+        return sorted(sccs)
+
+    def public_functions(self) -> dict[str, str]:
+        """Functions on the public surface: ``{dotted: why}``.
+
+        A function is public when its name appears in its own module's
+        ``__all__``, when a package ``__init__`` re-exports it through its
+        ``__all__``, or when it is defined in a CLI entry-point module.
+        """
+        public: dict[str, str] = {}
+        for info in self.modules.values():
+            if info.is_entrypoint:
+                for qual, fn in info.functions.items():
+                    public.setdefault(fn.dotted, f"CLI entry point {info.name}")
+                continue
+            if info.all_names is None:
+                continue
+            for name in info.all_names:
+                local = info.functions.get(name)
+                if local is not None:
+                    public.setdefault(
+                        local.dotted, f"__all__ of {info.name}"
+                    )
+                    continue
+                target = info.import_aliases.get(name)
+                if target is not None:
+                    resolved = self.resolve_function(target)
+                    if resolved is not None:
+                        public.setdefault(resolved, f"__all__ of {info.name}")
+                # __all__-listed classes: every method is reachable
+                if local is None and name in info.public_defs:
+                    prefix = f"{info.name}.{name}."
+                    for fn in self.functions.values():
+                        if fn.dotted.startswith(prefix):
+                            public.setdefault(
+                                fn.dotted, f"__all__ of {info.name}"
+                            )
+        return public
+
+    def callers_of(self, dotted: str) -> list[tuple[str, int]]:
+        """``(caller, call lineno)`` pairs for a function."""
+        return list(self._callers.get(dotted, ()))
+
+    def reverse_reachable(self, roots: Iterable[str]) -> dict[str, tuple[str, int]]:
+        """All functions that can transitively call one of ``roots``.
+
+        Returns ``{function: (callee-it-calls-on-the-path, lineno)}`` so a
+        witness call chain can be rebuilt by walking the map.
+        """
+        parent: dict[str, tuple[str, int]] = {}
+        frontier = [r for r in roots if r in self.functions]
+        seen = set(frontier)
+        while frontier:
+            nxt: list[str] = []
+            for callee in frontier:
+                for caller, lineno in self.callers_of(callee):
+                    if caller not in seen:
+                        seen.add(caller)
+                        parent[caller] = (callee, lineno)
+                        nxt.append(caller)
+            frontier = nxt
+        return parent
+
+    def call_chain(
+        self, start: str, targets: set[str], parent: dict[str, tuple[str, int]]
+    ) -> list[str]:
+        """Witness chain ``start -> ... -> target`` from a reverse BFS map."""
+        chain = [start]
+        current = start
+        while current not in targets:
+            step = parent.get(current)
+            if step is None:
+                break
+            current = step[0]
+            chain.append(current)
+        return chain

@@ -7,13 +7,17 @@ id block:
 * :mod:`~repro.devtools.reprolint.rules.determinism` — HB101–HB105
 * :mod:`~repro.devtools.reprolint.rules.contracts` — HB201–HB203
 * :mod:`~repro.devtools.reprolint.rules.numerics` — HB301–HB302
+* :mod:`~repro.devtools.reprolint.rules.architecture` — HB401–HB403
+* :mod:`~repro.devtools.reprolint.rules.taint` — HB501–HB502
 """
 
 from __future__ import annotations
 
+from repro.devtools.reprolint.rules import architecture as architecture
 from repro.devtools.reprolint.rules import contracts as contracts
 from repro.devtools.reprolint.rules import determinism as determinism
 from repro.devtools.reprolint.rules import numerics as numerics
+from repro.devtools.reprolint.rules import taint as taint
 from repro.devtools.reprolint.rules.base import (
     FileRule,
     ImportMap,
@@ -28,7 +32,9 @@ __all__ = [
     "ProjectRule",
     "ImportMap",
     "dotted_name",
+    "architecture",
     "contracts",
     "determinism",
     "numerics",
+    "taint",
 ]

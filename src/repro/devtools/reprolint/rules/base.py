@@ -47,11 +47,15 @@ class Rule(ABC):
 
     @property
     def group(self) -> str:
-        """Rule group derived from the id block (1xx/2xx/3xx)."""
+        """Rule group derived from the id block (1xx/2xx/3xx/4xx/5xx)."""
         block = self.rule_id[2:3]
-        return {"1": "determinism", "2": "contracts", "3": "numerics"}.get(
-            block, "other"
-        )
+        return {
+            "1": "determinism",
+            "2": "contracts",
+            "3": "numerics",
+            "4": "architecture",
+            "5": "taint",
+        }.get(block, "other")
 
 
 class FileRule(Rule):

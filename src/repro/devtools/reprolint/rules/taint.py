@@ -1,0 +1,231 @@
+"""Interprocedural determinism-taint rules (HB5xx) — whole-program.
+
+HB1xx bans *ambient* randomness (``random.shuffle()``, ``time.time()``)
+per file, but a seeded-looking construction can still poison an artefact
+across module boundaries: ``random.Random()`` built with no seed in one
+helper and consumed by a campaign runner three call-edges away is exactly
+as unreproducible as a module-level call, and no per-file rule can see it.
+
+These rules track RNG *construction sites* through the conservative call
+graph of :class:`~repro.devtools.reprolint.project.ProjectGraph`:
+
+* **HB501** — an unseeded ``random.Random()`` / ``numpy.random.
+  default_rng()`` construction that a public API function, CLI entry
+  point, or ``__all__``-exported class can transitively execute;
+* **HB502** — a generator seeded from the wall clock (``random.Random(
+  time.time())``), anywhere: the seed is recorded nowhere, so the run can
+  never be replayed — this bites in tests and benchmarks too, which is
+  why, unlike HB102, it is not limited to library code.
+
+The call graph under-approximates (only statically-resolvable calls are
+recorded), so HB501 can miss paths through dynamic dispatch — the dynamic
+``hyperbutterfly sanitize`` subcommand exists to catch what static taint
+cannot prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.reprolint.context import FileContext, ProjectContext
+from repro.devtools.reprolint.findings import Finding
+from repro.devtools.reprolint.registry import register_rule
+from repro.devtools.reprolint.rules.base import FileRule, ImportMap, ProjectRule
+
+__all__ = ["UnseededTaintRule", "WallClockSeedRule"]
+
+#: RNG constructors that are deterministic *only* when given a seed
+_SEEDABLE = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+}
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    """A seedable constructor called with no seed (or an explicit None)."""
+    if not node.args and not node.keywords:
+        return True
+    if len(node.args) == 1 and not node.keywords:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    return False
+
+
+def _unseeded_sites(
+    imports: ImportMap, root: ast.AST
+) -> Iterator[tuple[ast.Call, str]]:
+    for node in ast.walk(root):
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = imports.resolve(node.func)
+        if canonical in _SEEDABLE and _is_unseeded(node):
+            yield node, canonical
+
+
+@register_rule
+class UnseededTaintRule(ProjectRule):
+    rule_id = "HB501"
+    title = "no unseeded RNG reachable from the public surface"
+    rationale = (
+        "random.Random() / numpy.random.default_rng() with no seed draws "
+        "its state from the OS, so every artefact downstream of it — "
+        "BENCH_*.json curves, campaign tables, figure numbers — stops "
+        "being a function of the declared experiment seed; this rule "
+        "follows call edges, so a construction three helpers deep is "
+        "flagged the moment a public API, CLI handler, or exported class "
+        "can execute it"
+    )
+
+    fixture_hits = {
+        "src/repro/faults/helper.py": (
+            "import random\n"
+            "\n"
+            "__all__ = ['draw_faults']\n"
+            "\n"
+            "def _fresh_rng():\n"
+            "    return random.Random()\n"
+            "\n"
+            "def draw_faults(count):\n"
+            "    rng = _fresh_rng()\n"
+            "    return [rng.random() for _ in range(count)]\n"
+        ),
+    }
+    fixture_clean = {
+        "src/repro/faults/helper.py": (
+            "import random\n"
+            "\n"
+            "__all__ = ['draw_faults']\n"
+            "\n"
+            "def _scratch_rng():\n"
+            "    return random.Random()\n"
+            "\n"
+            "def draw_faults(count, seed=0):\n"
+            "    rng = random.Random(seed)\n"
+            "    return [rng.random() for _ in range(count)]\n"
+        ),
+    }
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        graph = ctx.graph
+        public = graph.public_functions()
+        #: dotted function -> its unseeded construction sites
+        tainted_fns: dict[str, list[tuple[ast.Call, str]]] = {}
+        for name, info in sorted(graph.modules.items()):
+            if not info.ctx.is_library:
+                continue
+            imports = ImportMap(info.ctx.tree)
+            in_function: set[ast.Call] = set()
+            for qual in sorted(info.functions):
+                fn = info.functions[qual]
+                sites = list(_unseeded_sites(imports, fn.node))
+                if sites:
+                    tainted_fns[fn.dotted] = sites
+                    in_function.update(node for node, _ in sites)
+            # sites outside every tracked function run at import time and
+            # are therefore reachable unconditionally
+            for node, canonical in _unseeded_sites(imports, info.ctx.tree):
+                if node not in in_function:
+                    yield info.ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"unseeded {canonical}() at module level runs on "
+                        f"every import; thread an explicit seed through",
+                    )
+        if not tainted_fns:
+            return
+        # reverse reachability from the tainted functions up to any caller;
+        # each construction site is reported once, with the first public
+        # sink (in sorted order) that can reach it as witness
+        parent = graph.reverse_reachable(tainted_fns)
+        reported: set[ast.Call] = set()
+        for sink, why in sorted(public.items()):
+            if sink in tainted_fns:
+                tainted, chain = sink, [sink]
+            elif sink in parent:
+                chain = graph.call_chain(sink, set(tainted_fns), parent)
+                tainted = chain[-1]
+                if tainted not in tainted_fns:
+                    continue
+            else:
+                continue
+            info = graph.modules[graph.functions[tainted].module]
+            for node, canonical in tainted_fns[tainted]:
+                if node in reported:
+                    continue
+                reported.add(node)
+                rendered = " -> ".join(c.split(".")[-1] for c in chain)
+                yield info.ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"unseeded {canonical}() reachable from public surface "
+                    f"{sink} ({why}) via {rendered}; thread an explicit "
+                    f"seed through",
+                )
+
+
+@register_rule
+class WallClockSeedRule(FileRule):
+    rule_id = "HB502"
+    title = "no wall-clock-seeded generators"
+    rationale = (
+        "seeding from time.time()/datetime.now() records the seed nowhere, "
+        "so a failing campaign, test, or benchmark run can never be "
+        "replayed; unlike HB102 this applies outside library code too — a "
+        "flaky time-seeded test is exactly as undebuggable as a "
+        "time-seeded benchmark"
+    )
+
+    fixture_hits = (
+        "import random\n"
+        "import time\n"
+        "rng = random.Random(time.time())\n"
+    )
+    fixture_clean = (
+        "import random\n"
+        "rng = random.Random(12345)\n"
+    )
+
+    @staticmethod
+    def _seed_exprs(node: ast.Call) -> Iterator[ast.expr]:
+        yield from node.args
+        for kw in node.keywords:
+            if kw.arg in ("seed", "x"):
+                yield kw.value
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.resolve(node.func)
+            if canonical not in _SEEDABLE:
+                continue
+            for seed in self._seed_exprs(node):
+                for sub in ast.walk(seed):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and imports.resolve(sub.func) in _WALL_CLOCK
+                    ):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"{canonical}() seeded from the wall clock; the "
+                            f"effective seed is unrecorded, so the run can "
+                            f"never be replayed — use an explicit constant "
+                            f"or derived seed",
+                        )

@@ -174,9 +174,11 @@ def random_node_faults(
     """``count`` distinct random faulty nodes, never touching ``exclude``.
 
     Sampling is done by reservoir over the node iterator so the whole node
-    set is never materialised (topologies here can be large).
+    set is never materialised (topologies here can be large).  Without an
+    explicit ``rng`` a fixed-seed ``Random(0)`` is used so the default is
+    reproducible (reprolint HB501).
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     excluded = set(exclude)
     available = topology.num_nodes - len(excluded)
     if count < 0 or count > available:
@@ -209,9 +211,10 @@ def random_link_faults(
 
     Reservoir sampling over the edge iterator, mirroring
     :func:`random_node_faults` (edge streams can be much larger than the
-    node set, so materialising them is avoided the same way).
+    node set, so materialising them is avoided the same way; the seeded
+    default ``Random(0)`` keeps the no-``rng`` path reproducible).
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     excluded = {canonical_link(u, v) for u, v in exclude}
     if count < 0:
         raise InvalidParameterError(f"cannot place {count} link faults")

@@ -12,14 +12,28 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
 import networkx as nx
 
 from repro.errors import DisconnectedError, InvalidLabelError
-from repro.fastgraph.backend import get_fastgraph
+
+if TYPE_CHECKING:
+    from repro.fastgraph.backend import FastGraph
 
 __all__ = ["Topology"]
+
+
+def _fastgraph(topology: "Topology") -> "FastGraph | None":
+    """Fast-backend view of ``topology``, or ``None`` without a codec.
+
+    Deferred import: topologies sit *below* fastgraph in the layer DAG —
+    the acceleration layer knows about topologies, never the reverse
+    (reprolint HB401); binding it here at import time would also cycle.
+    """
+    from repro.fastgraph.backend import get_fastgraph
+
+    return get_fastgraph(topology)
 
 
 class Topology(ABC):
@@ -68,7 +82,7 @@ class Topology(ABC):
         (an edge is emitted from its lower-ranked endpoint), so the walk
         holds O(1) extra state instead of a set of every vertex.
         """
-        fast = get_fastgraph(self)
+        fast = _fastgraph(self)
         if fast is not None:
             yield from fast.edges()
             return
@@ -126,7 +140,7 @@ class Topology(ABC):
         blocked = blocked or frozenset()
         if source in blocked:
             raise InvalidLabelError("source node is blocked")
-        fast = get_fastgraph(self)
+        fast = _fastgraph(self)
         if fast is not None:
             return fast.bfs_distances(source, blocked)
         return self._bfs_distances_python(source, blocked)
@@ -163,7 +177,7 @@ class Topology(ABC):
             return None
         if source == target:
             return [source]
-        fast = get_fastgraph(self)
+        fast = _fastgraph(self)
         if fast is not None:
             return fast.shortest_path(source, target, blocked=blocked)
         return self._bfs_shortest_path_python(source, target, blocked)
@@ -191,7 +205,7 @@ class Topology(ABC):
     def eccentricity(self, v: Hashable) -> int:
         """Eccentricity of ``v`` (max BFS distance; graph must be connected)."""
         self.validate_node(v)
-        fast = get_fastgraph(self)
+        fast = _fastgraph(self)
         if fast is not None:
             # array max — skips materialising a num_nodes-sized label dict
             return fast.eccentricity(v)

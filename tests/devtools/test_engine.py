@@ -79,6 +79,31 @@ class TestFingerprint:
         prints = {f.fingerprint for f in lint_sources({LIB_PATH: src}).active}
         assert len(prints) == 2
 
+    def test_stable_across_line_endings(self):
+        """A CRLF (or CR) checkout must fingerprint like the LF original."""
+        lf = lint_sources({LIB_PATH: DIRTY}).active[0]
+        crlf = lint_sources({LIB_PATH: DIRTY.replace("\n", "\r\n")}).active[0]
+        cr = lint_sources({LIB_PATH: DIRTY.replace("\n", "\r")}).active[0]
+        assert lf.fingerprint == crlf.fingerprint == cr.fingerprint
+
+    def test_stable_across_invocation_directory(self, tmp_path, monkeypatch):
+        """Display paths are repo-root-relative, so fingerprints do not
+        depend on the directory the linter was launched from."""
+        repo = tmp_path / "proj"
+        pkg = repo / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (repo / "pyproject.toml").write_text("[project]\nname = 'proj'\n")
+        (pkg / "dirty.py").write_text(DIRTY)
+
+        monkeypatch.chdir(repo)
+        from_root = lint_paths(["src"]).active[0]
+        monkeypatch.chdir(tmp_path)
+        from_outside = lint_paths([repo / "src"]).active[0]
+
+        assert from_root.path == "src/repro/dirty.py"
+        assert from_outside.path == "src/repro/dirty.py"
+        assert from_root.fingerprint == from_outside.fingerprint
+
 
 class TestBaseline:
     def test_roundtrip_waives_findings(self, tmp_path):

@@ -91,8 +91,22 @@ class TestIntrospection:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("HB101", "HB201", "HB301"):
+        for rule_id in ("HB101", "HB201", "HB301", "HB401", "HB501"):
             assert rule_id in out
+
+    def test_list_rules_grouped_with_self_test_status(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        headers = [ln for ln in lines if not ln.startswith("  ")]
+        assert headers == [
+            "HB1xx determinism",
+            "HB2xx contracts",
+            "HB3xx numerics",
+            "HB4xx architecture",
+            "HB5xx taint",
+        ]
+        rule_lines = [ln for ln in lines if ln.startswith("  ")]
+        assert rule_lines and all("[  ok]" in ln for ln in rule_lines)
 
     def test_self_test(self, capsys):
         assert main(["lint", "--self-test"]) == 0

@@ -60,7 +60,13 @@ class TestGenericFixtureContract:
         for rule in all_rules():
             assert rule.rule_id.startswith("HB")
             assert rule.title and rule.rationale
-            assert rule.group in {"determinism", "contracts", "numerics"}
+            assert rule.group in {
+                "determinism",
+                "contracts",
+                "numerics",
+                "architecture",
+                "taint",
+            }
 
 
 class TestUnseededRandom:
@@ -242,3 +248,210 @@ class TestDivisionEquality:
     def test_floor_division_allowed(self):
         src = "def f(a, b, c):\n    return a // b == c\n"
         assert _active("HB302", src) == []
+
+
+def _lint_project(rule_id: str, sources: dict[str, str]) -> list[Finding]:
+    report = lint_sources(sources, rules=[get_rule(rule_id)])
+    return [f for f in report.active if f.rule_id == rule_id]
+
+
+class TestLayering:
+    def test_upward_eager_import_flagged_at_import_line(self):
+        findings = _lint_project(
+            "HB401",
+            {
+                "src/repro/topologies/widget.py": (
+                    "from repro.simulation.engine import run\n"
+                ),
+                "src/repro/simulation/engine.py": "def run():\n    pass\n",
+            },
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/topologies/widget.py"
+        assert findings[0].line == 1
+
+    def test_downward_and_same_layer_allowed(self):
+        findings = _lint_project(
+            "HB401",
+            {
+                "src/repro/faults/model.py": (
+                    "from repro.topologies.base import Topology\n"
+                    "from repro.simulation.engine import run\n"
+                ),
+                "src/repro/topologies/base.py": "class Topology:\n    pass\n",
+                "src/repro/simulation/engine.py": "def run():\n    pass\n",
+            },
+        )
+        assert findings == []
+
+    def test_type_checking_import_allowed(self):
+        findings = _lint_project(
+            "HB401",
+            {
+                "src/repro/topologies/widget.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.simulation.engine import run\n"
+                ),
+                "src/repro/simulation/engine.py": "def run():\n    pass\n",
+            },
+        )
+        assert findings == []
+
+
+class TestImportCycle:
+    def test_every_cycle_member_reported_once(self):
+        findings = _lint_project(
+            "HB402",
+            {
+                "src/repro/routing/alpha.py": "from repro.routing.beta import b\n",
+                "src/repro/routing/beta.py": "from repro.routing.alpha import a\n",
+            },
+        )
+        assert {f.path for f in findings} == {
+            "src/repro/routing/alpha.py",
+            "src/repro/routing/beta.py",
+        }
+
+    def test_deferred_back_edge_is_fine(self):
+        findings = _lint_project(
+            "HB402",
+            {
+                "src/repro/routing/alpha.py": "from repro.routing.beta import b\n",
+                "src/repro/routing/beta.py": (
+                    "def b():\n"
+                    "    from repro.routing.alpha import a\n"
+                    "    return a\n"
+                ),
+            },
+        )
+        assert findings == []
+
+
+class TestDeadExport:
+    ROOT = "src/repro/__init__.py"
+
+    def test_unreferenced_unexported_symbol_flagged(self):
+        findings = _lint_project(
+            "HB403",
+            {
+                self.ROOT: "",
+                "src/repro/core/stuff.py": (
+                    "__all__ = ['used']\n"
+                    "def used():\n"
+                    "    return 1\n"
+                    "def orphan():\n"
+                    "    return 2\n"
+                ),
+            },
+        )
+        assert len(findings) == 1
+        assert "orphan" in findings[0].message
+
+    def test_referenced_symbol_not_dead(self):
+        findings = _lint_project(
+            "HB403",
+            {
+                self.ROOT: "",
+                "src/repro/core/stuff.py": (
+                    "__all__ = []\n"
+                    "def helper():\n"
+                    "    return 1\n"
+                ),
+                "src/repro/core/user.py": (
+                    "__all__ = []\n"
+                    "from repro.core.stuff import helper\n"
+                    "x = helper()\n"
+                ),
+            },
+        )
+        assert findings == []
+
+    def test_private_names_ignored(self):
+        findings = _lint_project(
+            "HB403",
+            {
+                self.ROOT: "",
+                "src/repro/core/stuff.py": (
+                    "__all__ = []\n"
+                    "def _internal():\n"
+                    "    return 1\n"
+                ),
+            },
+        )
+        assert findings == []
+
+
+class TestUnseededTaint:
+    def test_interprocedural_chain_to_public_api(self):
+        findings = _lint_project(
+            "HB501",
+            {
+                "src/repro/faults/helper.py": (
+                    "import random\n"
+                    "__all__ = []\n"
+                    "def make_rng():\n"
+                    "    return random.Random()\n"
+                ),
+                "src/repro/faults/api.py": (
+                    "from repro.faults.helper import make_rng\n"
+                    "__all__ = ['campaign']\n"
+                    "def campaign():\n"
+                    "    return make_rng().random()\n"
+                ),
+            },
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/faults/helper.py"
+        assert "campaign" in findings[0].message
+
+    def test_private_unreachable_construction_not_flagged(self):
+        findings = _lint_project(
+            "HB501",
+            {
+                "src/repro/faults/helper.py": (
+                    "import random\n"
+                    "__all__ = []\n"
+                    "def _scratch():\n"
+                    "    return random.Random()\n"
+                ),
+            },
+        )
+        assert findings == []
+
+    def test_seeded_construction_is_clean(self):
+        findings = _lint_project(
+            "HB501",
+            {
+                "src/repro/faults/api.py": (
+                    "import random\n"
+                    "__all__ = ['campaign']\n"
+                    "def campaign(seed):\n"
+                    "    return random.Random(seed).random()\n"
+                ),
+            },
+        )
+        assert findings == []
+
+    def test_module_level_construction_flagged(self):
+        findings = _lint_project(
+            "HB501",
+            {
+                "src/repro/faults/helper.py": (
+                    "import random\n"
+                    "_RNG = random.Random()\n"
+                ),
+            },
+        )
+        assert len(findings) == 1
+
+
+class TestWallClockSeed:
+    def test_time_seeded_rng_flagged_even_in_tests(self):
+        src = "import random\nimport time\nrng = random.Random(time.time())\n"
+        assert len(_active("HB502", src)) == 1
+        assert len(_active("HB502", src, path=TEST_PATH)) == 1
+
+    def test_constant_seed_allowed(self):
+        src = "import random\nrng = random.Random(42)\n"
+        assert _active("HB502", src) == []

@@ -78,3 +78,30 @@ class TestCommands:
         assert main(["broadcast", "1", "3"]) == 0
         out = capsys.readouterr().out
         assert "all-port" in out and "structured" in out
+
+    def test_sanitize_list_targets(self, capsys):
+        assert main(["sanitize", "--list-targets"]) == 0
+        out = capsys.readouterr().out
+        assert "faults-campaign-hb23" in out
+        assert "fastgraph-metrics-hb23" in out
+
+    def test_sanitize_custom_deterministic_command(self, capsys):
+        import sys
+
+        cmd = f"{sys.executable} -c \"import json; print(json.dumps([1, 2]))\""
+        assert main(["sanitize", "--cmd", cmd]) == 0
+        assert "reproducible" in capsys.readouterr().out
+
+    def test_sanitize_custom_divergent_command(self, capsys):
+        import sys
+
+        cmd = (
+            f"{sys.executable} -c "
+            "\"import json; print(json.dumps({'h': hash('x')}))\""
+        )
+        assert main(["sanitize", "--cmd", cmd]) == 1
+        assert "DIVERGENT" in capsys.readouterr().out
+
+    def test_sanitize_unknown_target_errors(self, capsys):
+        assert main(["sanitize", "--target", "nope"]) == 2
+        assert "unknown sanitize target" in capsys.readouterr().err

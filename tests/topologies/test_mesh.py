@@ -1,0 +1,75 @@
+"""Torus and open-mesh guests: paper formulas, structure, codec round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidLabelError, InvalidParameterError
+from repro.fastgraph.codecs import codec_for
+from repro.topologies.mesh import Mesh, Torus
+
+
+class TestTorus:
+    @pytest.mark.parametrize("n1,n2", [(3, 3), (3, 5), (4, 6)])
+    def test_node_and_edge_counts(self, n1, n2):
+        t = Torus(n1, n2)
+        assert t.num_nodes == n1 * n2
+        assert t.num_edges == 2 * n1 * n2  # 4-regular: 4·n1·n2/2
+        assert len(list(t.nodes())) == t.num_nodes
+        assert len(list(t.edges())) == t.num_edges
+
+    def test_four_regular(self):
+        t = Torus(3, 4)
+        assert t.is_regular() and t.degree_stats() == (4, 4)
+
+    def test_wraparound_edges(self):
+        t = Torus(3, 5)
+        assert t.has_edge((0, 0), (2, 0))  # row wrap
+        assert t.has_edge((0, 0), (0, 4))  # column wrap
+        assert not t.has_edge((0, 0), (1, 1))
+
+    def test_too_small_sides_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Torus(2, 3)
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            Torus(3, 3).neighbors((3, 0))
+
+    def test_codec_round_trip(self):
+        t = Torus(3, 4)
+        codec = codec_for(t)
+        assert codec is not None and codec.num_nodes == t.num_nodes
+        ranks = sorted(codec.rank(v) for v in t.nodes())
+        assert ranks == list(range(t.num_nodes))
+        for v in t.nodes():
+            assert codec.unrank(codec.rank(v)) == v
+
+
+class TestMesh:
+    @pytest.mark.parametrize("n1,n2", [(1, 1), (1, 5), (3, 4), (5, 5)])
+    def test_node_and_edge_counts(self, n1, n2):
+        m = Mesh(n1, n2)
+        assert m.num_nodes == n1 * n2
+        assert m.num_edges == n1 * (n2 - 1) + n2 * (n1 - 1)
+        assert len(list(m.nodes())) == m.num_nodes
+        assert len(list(m.edges())) == m.num_edges
+
+    def test_no_wraparound(self):
+        m = Mesh(3, 3)
+        assert not m.has_edge((0, 0), (2, 0))
+        assert not m.has_edge((0, 0), (0, 2))
+        assert m.has_edge((0, 0), (0, 1))
+
+    def test_corner_edge_interior_degrees(self):
+        m = Mesh(3, 4)
+        assert m.degree((0, 0)) == 2
+        assert m.degree((0, 1)) == 3
+        assert m.degree((1, 1)) == 4
+
+    def test_codec_round_trip(self):
+        m = Mesh(3, 4)
+        codec = codec_for(m)
+        assert codec is not None and codec.num_nodes == m.num_nodes
+        for v in m.nodes():
+            assert codec.unrank(codec.rank(v)) == v

@@ -1,0 +1,73 @@
+"""Mesh of trees ``MT(a, b)`` (Lemma 4 guest): counts, wiring, codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.fastgraph.codecs import codec_for
+from repro.topologies.mesh_of_trees import MeshOfTrees
+
+
+class TestCounts:
+    @pytest.mark.parametrize("a,b", [(2, 2), (2, 4), (4, 4), (4, 8)])
+    def test_node_count_formula(self, a, b):
+        mt = MeshOfTrees(a, b)
+        # |V| = ab leaves + a(b-1) row-tree + b(a-1) column-tree vertices
+        assert mt.num_nodes == 3 * a * b - a - b
+        assert len(list(mt.nodes())) == mt.num_nodes
+
+    @pytest.mark.parametrize("a,b", [(2, 2), (2, 4), (4, 4)])
+    def test_edge_count_formula(self, a, b):
+        mt = MeshOfTrees(a, b)
+        # each binary tree over L leaves has 2(L-1) edges
+        assert mt.num_edges == a * 2 * (b - 1) + b * 2 * (a - 1)
+        assert len(list(mt.edges())) == mt.num_edges
+
+    @pytest.mark.parametrize("a,b", [(3, 4), (4, 6), (1, 2), (2, 0)])
+    def test_non_power_of_two_sides_rejected(self, a, b):
+        with pytest.raises(InvalidParameterError):
+            MeshOfTrees(a, b)
+
+
+class TestWiring:
+    def test_leaf_joins_exactly_one_row_and_one_column_tree(self):
+        mt = MeshOfTrees(4, 4)
+        for i in range(4):
+            for j in range(4):
+                kinds = sorted(k for k, *_ in mt.neighbors(("leaf", i, j)))
+                assert kinds == ["col", "row"]
+
+    def test_leaf_parents_are_correct_heap_slots(self):
+        mt = MeshOfTrees(4, 8)
+        # leaf (i, j) hangs off heap slot (cols + j) // 2 of row tree i
+        assert ("row", 1, (8 + 5) // 2) in mt.neighbors(("leaf", 1, 5))
+        assert ("col", 5, (4 + 1) // 2) in mt.neighbors(("leaf", 1, 5))
+
+    def test_row_tree_root_has_no_parent(self):
+        mt = MeshOfTrees(4, 4)
+        neigh = mt.neighbors(("row", 0, 1))
+        assert ("row", 0, 0) not in neigh
+        assert len(neigh) == 2  # just its two children
+
+    def test_adjacency_is_symmetric(self):
+        mt = MeshOfTrees(2, 4)
+        for v in mt.nodes():
+            for w in mt.neighbors(v):
+                assert v in mt.neighbors(w)
+
+    def test_connected(self):
+        mt = MeshOfTrees(4, 4)
+        some_leaf = ("leaf", 0, 0)
+        assert len(mt.bfs_distances(some_leaf)) == mt.num_nodes
+
+
+class TestCodec:
+    def test_enumeration_codec_round_trip(self):
+        mt = MeshOfTrees(2, 4)
+        codec = codec_for(mt)
+        if codec is None:
+            pytest.skip("MeshOfTrees intentionally has no dense codec")
+        assert codec.num_nodes == mt.num_nodes
+        for v in mt.nodes():
+            assert codec.unrank(codec.rank(v)) == v
