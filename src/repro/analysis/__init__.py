@@ -1,13 +1,25 @@
 """Graph-property analytics and the paper's comparison tables.
 
-* :mod:`repro.analysis.metrics` — exact diameters (vertex-transitive
-  single-BFS fast path, iFUB otherwise), average distance, regularity.
+* :mod:`repro.analysis.decompose` — the product-decomposition distance
+  engine: exact diameter / average distance / full distance histogram of
+  any Cartesian-product family by factor-histogram convolution.
+* :mod:`repro.analysis.metrics` — exact diameters (product decomposition,
+  vertex-transitive single-BFS, pooled all-sources sweep, iFUB fallback),
+  average distance, regularity.
 * :mod:`repro.analysis.formulas` — closed-form property formulas for the
   four families of Figure 1.
 * :mod:`repro.analysis.compare` — the Figure 1 and Figure 2 table builders
   (experiments E1 and E2).
 """
 
+from repro.analysis.decompose import (
+    convolve_pair_histograms,
+    factor_pair_histogram,
+    leaf_factors,
+    product_average_distance,
+    product_diameter,
+    product_pair_histogram,
+)
 from repro.analysis.metrics import (
     exact_diameter,
     average_distance,
@@ -29,6 +41,7 @@ from repro.analysis.compare import (
 from repro.analysis.distance_stats import (
     DistanceProfile,
     distance_profile,
+    pair_distance_counts,
     profile_table,
 )
 from repro.analysis.bisection import (
@@ -40,6 +53,12 @@ from repro.analysis.bisection import (
 )
 
 __all__ = [
+    "convolve_pair_histograms",
+    "factor_pair_histogram",
+    "leaf_factors",
+    "product_average_distance",
+    "product_diameter",
+    "product_pair_histogram",
     "exact_diameter",
     "average_distance",
     "degree_profile",
@@ -59,5 +78,6 @@ __all__ = [
     "kernighan_lin_upper_bound",
     "DistanceProfile",
     "distance_profile",
+    "pair_distance_counts",
     "profile_table",
 ]

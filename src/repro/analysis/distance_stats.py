@@ -1,20 +1,31 @@
 """Distance-profile analytics (experiment E11).
 
 Diameter is a worst-case number; sustained network performance tracks the
-*average* distance and the full distance distribution.  For the
-vertex-transitive families the identity-rooted oracle gives the exact
-distribution in one BFS; for the irregular hyper-deBruijn we aggregate
-BFS from every node (batched for large instances).
+*average* distance and the full distance distribution.  Route selection,
+cheapest first:
+
+* product families (``HB``, ``HD``, generic Cartesian products) get the
+  exact distribution by factor-histogram convolution
+  (:mod:`repro.analysis.decompose`) — no BFS over the product at all;
+* vertex-transitive families get it from one identity-rooted BFS;
+* irregular non-product families aggregate BFS from every node (batched
+  for large instances, optionally over a process pool with ``jobs``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.decompose import product_pair_histogram
 from repro.fastgraph.backend import get_fastgraph
 from repro.topologies.base import Topology
 
-__all__ = ["DistanceProfile", "distance_profile", "profile_table"]
+__all__ = [
+    "DistanceProfile",
+    "distance_profile",
+    "pair_distance_counts",
+    "profile_table",
+]
 
 
 @dataclass(frozen=True)
@@ -58,10 +69,20 @@ def _transitive_profile(topology: Topology) -> dict[int, int]:
     return {d: c * topology.num_nodes for d, c in counts.items()}
 
 
-def _generic_profile(topology: Topology) -> dict[int, int]:
+def _generic_profile(topology: Topology, *, jobs: int = 1) -> dict[int, int]:
     fast = get_fastgraph(topology, allow_enumeration=True)
     if fast is not None:
         try:
+            if jobs > 1:
+                from repro.fastgraph.parallel import parallel_sweep
+
+                # mirror distance_histogram: count reachable pairs only
+                return parallel_sweep(
+                    fast.csr,
+                    jobs=jobs,
+                    check_connected=False,
+                    name=topology.name,
+                ).histogram
             from repro.fastgraph.kernels import distance_histogram
 
             return distance_histogram(fast.csr)
@@ -74,14 +95,33 @@ def _generic_profile(topology: Topology) -> dict[int, int]:
     return counts
 
 
-def distance_profile(topology: Topology) -> DistanceProfile:
+def pair_distance_counts(
+    topology: Topology, *, jobs: int = 1, force_generic: bool = False
+) -> dict[int, int]:
+    """Exact ``{distance: ordered-pair count}`` (0-diagonal included).
+
+    The single dispatch point for all distance-distribution consumers:
+    product decomposition, then the vertex-transitive single BFS, then
+    the all-sources sweep (process-pooled when ``jobs > 1``).
+    ``force_generic=True`` pins the sweep path — tests and the metrics
+    CLI use it to cross-check the fast paths against brute force.
+    """
+    if not force_generic:
+        decomposed = product_pair_histogram(topology)
+        if decomposed is not None:
+            return decomposed
+        if topology.is_vertex_transitive:
+            return dict(sorted(_transitive_profile(topology).items()))
+    return dict(sorted(_generic_profile(topology, jobs=jobs).items()))
+
+
+def distance_profile(
+    topology: Topology, *, jobs: int = 1, force_generic: bool = False
+) -> DistanceProfile:
     """Exact profile; distances include the 0 self-distance mass."""
-    transitive = (
-        hasattr(topology, "cayley")
-        or hasattr(topology, "group")
-        or type(topology).__name__ == "Hypercube"
+    counts = pair_distance_counts(
+        topology, jobs=jobs, force_generic=force_generic
     )
-    counts = _transitive_profile(topology) if transitive else _generic_profile(topology)
     total = sum(counts.values())
     histogram = {d: c / total for d, c in sorted(counts.items())}
     mean = sum(d * c for d, c in counts.items()) / total

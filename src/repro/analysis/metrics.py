@@ -2,19 +2,23 @@
 
 Diameter:
 
-* vertex-transitive topologies (every Cayley graph here) need a **single
-  BFS** — the eccentricity of any one vertex is the diameter.  This is the
-  trick that makes the Figure 2 instance ``HB(3,8)`` (16384 nodes) exact,
-  and with the :mod:`repro.fastgraph` CSR backend it now runs as one
-  vectorized frontier sweep (65k+-node instances in well under a second).
-* irregular topologies (hyper-deBruijn) use the batched boolean BFS kernel
+* product topologies (hyper-butterfly, hyper-deBruijn, generic Cartesian
+  products) decompose: the diameter is the sum of factor diameters
+  (Remark 6/8), computed by :mod:`repro.analysis.decompose` from factor
+  histograms without touching the product — exact at *any* scale;
+* vertex-transitive topologies (declared via
+  :attr:`repro.topologies.base.Topology.is_vertex_transitive`) need a
+  **single BFS** — the eccentricity of any one vertex is the diameter;
+* irregular non-product topologies use the batched boolean BFS kernel
   (:func:`repro.fastgraph.kernels.batched_eccentricities`) over all
-  sources, falling back to networkx's bound-refining iFUB-style
-  ``diameter(usebounds=True)`` when numpy/scipy are unavailable.
+  sources — spread over a process pool with ``jobs > 1`` — falling back
+  to networkx's bound-refining iFUB-style ``diameter(usebounds=True)``
+  when numpy/scipy are unavailable.
 
-Average distance is exact on small instances and sampled (with a fixed
-seed) beyond a configurable node budget; sampled pairs are grouped by
-source so each unique source costs exactly one BFS.
+Average distance is **exact at any scale** for product topologies (factor
+histogram convolution); for everything else it is exact below a node
+budget and sampled (with a fixed seed) beyond it, sampled pairs grouped
+by source so each unique source costs exactly one BFS.
 """
 
 from __future__ import annotations
@@ -25,45 +29,60 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.analysis.decompose import product_average_distance, product_diameter
 from repro.fastgraph.backend import get_fastgraph
 from repro.topologies.base import Topology
 
 __all__ = ["exact_diameter", "average_distance", "degree_profile"]
 
 
-def _is_vertex_transitive(topology: Topology) -> bool:
-    """Conservative check: all Cayley-graph-backed topologies qualify."""
-    return hasattr(topology, "cayley") or hasattr(topology, "group") or (
-        type(topology).__name__ == "Hypercube"
-    )
-
-
-def exact_diameter(topology: Topology, *, force_generic: bool = False) -> int:
+def exact_diameter(
+    topology: Topology, *, force_generic: bool = False, jobs: int = 1
+) -> int:
     """The exact diameter, using the cheapest valid algorithm.
 
-    ``force_generic=True`` bypasses the vertex-transitivity fast path (used
-    by tests to confirm both paths agree).
+    ``force_generic=True`` bypasses both the product-decomposition and the
+    vertex-transitivity fast paths (used by tests to confirm all paths
+    agree).  ``jobs`` spreads the generic all-sources sweep over a process
+    pool (it has no effect on the decomposition/transitive paths, which
+    are already single-BFS or BFS-free).
     """
-    if not force_generic and _is_vertex_transitive(topology):
-        anchor = next(iter(topology.nodes()))
-        return topology.eccentricity(anchor)
+    if not force_generic:
+        decomposed = product_diameter(topology)
+        if decomposed is not None:
+            return decomposed
+        if topology.is_vertex_transitive:
+            anchor = next(iter(topology.nodes()))
+            return topology.eccentricity(anchor)
     try:
-        return _batched_bfs_diameter(topology)
+        return _batched_bfs_diameter(topology, jobs=jobs)
     except ImportError:
         graph = topology.to_networkx()
-        return nx.diameter(graph, usebounds=True)
+        return int(nx.diameter(graph, usebounds=True))
 
 
-def _batched_bfs_diameter(topology: Topology, *, batch: int = 128) -> int:
+def _batched_bfs_diameter(
+    topology: Topology, *, batch: int = 128, jobs: int = 1
+) -> int:
     """All-eccentricities diameter via the batched boolean BFS kernel.
 
     Any topology qualifies: registered codecs give a vectorized CSR build,
-    everything else gets an enumeration codec.  Raises ``ImportError`` when
-    numpy/scipy are unavailable so callers can fall back to networkx.
+    everything else gets an enumeration codec.  ``jobs > 1`` runs the
+    sweep on a process pool (chunked sources, deterministic reduction —
+    the result is bit-identical for any job count).  Raises
+    ``ImportError`` when numpy/scipy are unavailable so callers can fall
+    back to networkx.
     """
     fast = get_fastgraph(topology, allow_enumeration=True)
     if fast is None:
         raise ImportError("fast graph backend unavailable")
+    if jobs > 1:
+        from repro.fastgraph.parallel import parallel_sweep
+
+        result = parallel_sweep(
+            fast.csr, jobs=jobs, batch=batch, name=topology.name
+        )
+        return int(result.eccentricities.max())
     from repro.fastgraph.kernels import batched_eccentricities
 
     eccentricities = batched_eccentricities(
@@ -79,11 +98,17 @@ def average_distance(
     samples: int = 200,
     seed: int = 0,
 ) -> float:
-    """Mean pairwise distance: exact below the budget, else sampled pairs.
+    """Mean pairwise distance over distinct ordered pairs.
 
-    The sampled path draws all pairs first and groups them by source, so a
-    source drawn ``k`` times costs one BFS instead of ``k``.
+    Product topologies are **exact at any scale** via factor-histogram
+    convolution (bit-identical to brute-force BFS aggregation, at a tiny
+    fraction of the cost).  Non-product topologies are exact below the
+    node budget; beyond it, sampled pairs are drawn first and grouped by
+    source, so a source drawn ``k`` times costs one BFS instead of ``k``.
     """
+    decomposed = product_average_distance(topology)
+    if decomposed is not None:
+        return decomposed
     total_nodes = topology.num_nodes
     if total_nodes <= exact_node_budget:
         total = 0
@@ -106,8 +131,8 @@ def average_distance(
             dist = fast.distances_array(u)
             total += int(sum(dist[fast.rank(v)] for v in targets))
         else:
-            dist = topology.bfs_distances(u)
-            total += sum(dist[v] for v in targets)
+            label_dist = topology.bfs_distances(u)
+            total += sum(label_dist[v] for v in targets)
     return total / samples
 
 

@@ -20,10 +20,72 @@ from typing import Hashable, Iterator, Sequence
 
 import networkx as nx
 
-from repro.cayley.group import Group, GeneratorSet
+from repro.cayley.group import DirectProductGroup, Group, GeneratorSet
 from repro.errors import InvalidLabelError
 
 __all__ = ["CayleyGraph", "DistanceOracle", "build_cayley_graph"]
+
+#: a DirectProductGroup generator set split by acting factor:
+#: (left gens, their parent indices, right gens, their parent indices)
+_ProductSplit = tuple[
+    GeneratorSet, tuple[int, ...], GeneratorSet, tuple[int, ...]
+]
+
+
+def _split_product_generators(
+    group: Group, gens: GeneratorSet
+) -> _ProductSplit | None:
+    """Split a product group's generators by the factor they act on.
+
+    The hyper-butterfly generator set (Definition 3) is exactly of this
+    shape: ``h_i`` acts on the hypercube part only, ``g/f/g⁻¹/f⁻¹`` on
+    the butterfly part only.  Returns ``None`` when the group is not a
+    :class:`DirectProductGroup`, some generator moves both factors at
+    once, or a non-trivial factor is left with no generators (the product
+    graph would be disconnected) — callers then fall back to a whole-group
+    BFS fill.
+    """
+    if not isinstance(group, DirectProductGroup):
+        return None
+    left_identity = group.left.identity()
+    right_identity = group.right.identity()
+    left_gens: list[Hashable] = []
+    left_names: list[str] = []
+    left_index: list[int] = []
+    right_gens: list[Hashable] = []
+    right_names: list[str] = []
+    right_index: list[int] = []
+    for i, s in enumerate(gens.generators):
+        if not (isinstance(s, tuple) and len(s) == 2):
+            return None
+        if s[1] == right_identity:
+            left_gens.append(s[0])
+            left_names.append(gens.names[i])
+            left_index.append(i)
+        elif s[0] == left_identity:
+            right_gens.append(s[1])
+            right_names.append(gens.names[i])
+            right_index.append(i)
+        else:
+            return None  # a mixed generator: not a Cartesian product edge set
+    if not left_gens and group.left.order() > 1:
+        return None
+    if not right_gens and group.right.order() > 1:
+        return None
+    return (
+        GeneratorSet(
+            group=group.left,
+            generators=tuple(left_gens),
+            names=tuple(left_names),
+        ),
+        tuple(left_index),
+        GeneratorSet(
+            group=group.right,
+            generators=tuple(right_gens),
+            names=tuple(right_names),
+        ),
+        tuple(right_index),
+    )
 
 
 class DistanceOracle:
@@ -34,11 +96,22 @@ class DistanceOracle:
     Shortest paths are reconstructed backwards by applying inverse
     generators.
 
-    For the standard groups (hypercube, butterfly, their direct products)
-    the whole oracle lives in three numpy arrays indexed by the
-    :mod:`repro.fastgraph` dense-integer codec — one vectorized BFS fills
-    distances and parent generators for every element at once.  Groups
-    without a codec (or ``backend="python"``) use the original dict BFS.
+    Three backends, picked automatically (``backend="auto"``):
+
+    * **product** — when the group is a :class:`DirectProductGroup` whose
+      generators each act on a single factor (the hyper-butterfly's shape,
+      Definition 3), the oracle holds one *factor* oracle per side and
+      answers every query by combination: distances are sums (Remark 8 —
+      for ``HB`` literally ``hamming + butterfly_table`` O(1) lookups),
+      words are concatenations, the distribution is a convolution.  Build
+      cost collapses from ``O(n·2^{m+n})`` to ``O(2^m + n·2^n)``.
+    * **dense** — for codec-backed groups the whole oracle lives in three
+      numpy arrays indexed by the :mod:`repro.fastgraph` dense-integer
+      codec; one vectorized BFS fills distances and parent generators for
+      every element at once.  ``backend="dense"`` forces this path (used
+      to cross-check the product path).
+    * **python** (``backend="python"``) — the original dict BFS, the
+      reference the other backends are pinned against.
     """
 
     def __init__(
@@ -52,11 +125,22 @@ class DistanceOracle:
         self._dist_arr = None  # int32[order]  distance from identity, by rank
         self._via_arr = None  # int64[order]  reaching generator index, by rank
         self._parent_arr = None  # int64[order] BFS-tree parent rank, by rank
+        self._left: DistanceOracle | None = None  # product path factor oracles
+        self._right: DistanceOracle | None = None
+        self._left_index: tuple[int, ...] = ()
+        self._right_index: tuple[int, ...] = ()
+        if backend == "auto":
+            split = _split_product_generators(group, gens)
+            if split is not None:
+                left_gens, self._left_index, right_gens, self._right_index = split
+                self._left = DistanceOracle(group.left, left_gens)
+                self._right = DistanceOracle(group.right, right_gens)
+                return
         # deferred: cayley sits below fastgraph in the layer DAG (HB401)
         from repro.fastgraph.backend import enabled as fastgraph_enabled
         from repro.fastgraph.codecs import codec_for_group
 
-        if backend == "auto" and fastgraph_enabled():
+        if backend in ("auto", "dense") and fastgraph_enabled() and len(gens):
             self._codec = codec_for_group(group)
         if self._codec is not None:
             self._run_bfs_fast()
@@ -112,6 +196,12 @@ class DistanceOracle:
         return self._codec.rank(delta)
 
     def distance_from_identity(self, delta: Hashable) -> int:
+        if self._left is not None and self._right is not None:
+            if not self.group.contains(delta):
+                raise InvalidLabelError(f"{delta!r} is not a group element")
+            return self._left.distance_from_identity(
+                delta[0]
+            ) + self._right.distance_from_identity(delta[1])
         if self._dist_arr is not None:
             d = int(self._dist_arr[self._rank_checked(delta)])
             if d < 0:  # non-generating set: mirror the dict path's failure
@@ -129,6 +219,19 @@ class DistanceOracle:
         path, and applying the word to any vertex ``u`` traces the shortest
         path from ``u`` to ``u·delta``.
         """
+        if self._left is not None and self._right is not None:
+            if not self.group.contains(delta):
+                raise InvalidLabelError(f"{delta!r} is not a group element")
+            # factor words, lifted to parent generator indices; left factor
+            # first (the paper's cube-then-butterfly concatenation — both
+            # orders are optimal because part distances are independent)
+            return [
+                self._left_index[i]
+                for i in self._left.generator_word(delta[0])
+            ] + [
+                self._right_index[i]
+                for i in self._right.generator_word(delta[1])
+            ]
         if self._dist_arr is not None:
             word_rev: list[int] = []
             v = self._rank_checked(delta)
@@ -168,24 +271,40 @@ class DistanceOracle:
 
         (Vertex transitivity makes every vertex's eccentricity equal.)
         """
+        if self._left is not None and self._right is not None:
+            # max over pairs of sums = sum of factor maxima (Remark 6)
+            return (
+                self._left.eccentricity_of_identity()
+                + self._right.eccentricity_of_identity()
+            )
         if self._dist_arr is not None:
             return int(self._dist_arr.max())
         return max(self._dist.values())
 
     def distance_distribution(self) -> dict[int, int]:
         """Histogram ``{distance: count}`` over all vertices."""
+        if self._left is not None and self._right is not None:
+            # distances add and element counts multiply: a convolution
+            hist: dict[int, int] = {}
+            for d1, c1 in self._left.distance_distribution().items():
+                for d2, c2 in self._right.distance_distribution().items():
+                    hist[d1 + d2] = hist.get(d1 + d2, 0) + c1 * c2
+            return dict(sorted(hist.items()))
         if self._dist_arr is not None:
             import numpy as np
 
             counts = np.bincount(self._dist_arr[self._dist_arr >= 0])
             return {d: int(c) for d, c in enumerate(counts) if c}
-        hist: dict[int, int] = {}
+        hist = {}
         for d in self._dist.values():
             hist[d] = hist.get(d, 0) + 1
         return dict(sorted(hist.items()))
 
     def average_distance(self) -> float:
         """Mean distance from the identity over all vertices (incl. itself)."""
+        if self._left is not None and self._right is not None:
+            hist = self.distance_distribution()
+            return sum(d * c for d, c in hist.items()) / sum(hist.values())
         if self._dist_arr is not None:
             reached = self._dist_arr[self._dist_arr >= 0]
             return float(reached.mean())

@@ -11,6 +11,11 @@ Subcommands:
   guarantee (static sweep on HB/HD/hypercube + transient transport
   comparison), emitting ``BENCH_faults.json``.
 * ``broadcast M N``       — broadcast round counts under all three models.
+* ``metrics FAMILY M [N]`` — exact distance metrics (diameter, average
+  distance, full histogram) via the cheapest valid engine: product
+  decomposition, single transitive BFS, or the all-sources sweep
+  (``--force-bfs`` pins the sweep, ``--jobs`` pools it, ``--output``
+  writes sorted JSON).
 * ``lint [PATHS]``        — run the reprolint paper-invariant checks
   (``--format text|json``, ``--baseline``, ``--self-test``,
   ``--list-rules``); exit 0 clean / 1 findings / 2 linter error.
@@ -23,8 +28,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from repro import __version__
+
+if TYPE_CHECKING:  # runtime imports stay lazy per subcommand
+    from repro.topologies.base import Topology
 
 __all__ = ["main", "build_parser"]
 
@@ -87,6 +96,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc = sub.add_parser("broadcast", help="broadcast rounds on HB(m, n)")
     p_bc.add_argument("m", type=int)
     p_bc.add_argument("n", type=int)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="exact distance metrics (decomposition / transitive / BFS sweep)",
+    )
+    p_metrics.add_argument(
+        "family", choices=("hb", "hd", "hypercube", "butterfly", "debruijn")
+    )
+    p_metrics.add_argument("m", type=int, help="first order parameter")
+    p_metrics.add_argument(
+        "n",
+        type=int,
+        nargs="?",
+        default=None,
+        help="second order parameter (hb/hd only)",
+    )
+    p_metrics.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process count for the all-sources sweep (default: 1)",
+    )
+    p_metrics.add_argument(
+        "--force-bfs",
+        action="store_true",
+        help="bypass the decomposition/transitive fast paths (cross-check)",
+    )
+    p_metrics.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the payload as sorted JSON",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="run the reprolint paper-invariant static checks"
@@ -228,6 +270,91 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def _metrics_topology(args: argparse.Namespace) -> "Topology":
+    """Instantiate the requested family, validating the parameter count."""
+    from repro.errors import InvalidParameterError
+
+    if args.family in ("hb", "hd"):
+        if args.n is None:
+            raise InvalidParameterError(
+                f"family {args.family!r} needs both m and n"
+            )
+        if args.family == "hb":
+            from repro import HyperButterfly
+
+            return HyperButterfly(args.m, args.n)
+        from repro.topologies.hyperdebruijn import HyperDeBruijn
+
+        return HyperDeBruijn(args.m, args.n)
+    if args.n is not None:
+        raise InvalidParameterError(
+            f"family {args.family!r} takes a single order parameter"
+        )
+    if args.family == "hypercube":
+        from repro.topologies.hypercube import Hypercube
+
+        return Hypercube(args.m)
+    if args.family == "butterfly":
+        from repro.topologies.butterfly_cayley import CayleyButterfly
+
+        return CayleyButterfly(args.m)
+    from repro.topologies.debruijn import DeBruijn
+
+    return DeBruijn(args.m)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.decompose import leaf_factors
+    from repro.analysis.distance_stats import pair_distance_counts
+    from repro.errors import ReproError
+
+    try:
+        topology = _metrics_topology(args)
+        if args.force_bfs:
+            engine = "bfs-sweep"
+        elif leaf_factors(topology) is not None:
+            engine = "decomposition"
+        elif topology.is_vertex_transitive:
+            engine = "transitive-bfs"
+        else:
+            engine = "bfs-sweep"
+        counts = pair_distance_counts(
+            topology, jobs=args.jobs, force_generic=args.force_bfs
+        )
+    except ReproError as exc:
+        print(f"metrics: error: {exc}", file=sys.stderr)
+        return 2
+    total = sum(counts.values())
+    distinct = total - topology.num_nodes
+    average = (
+        sum(d * c for d, c in counts.items()) / distinct if distinct > 0 else 0.0
+    )
+    payload = {
+        "name": topology.name,
+        "family": args.family,
+        "engine": engine,
+        "jobs": args.jobs,
+        "num_nodes": topology.num_nodes,
+        "diameter": max(counts),
+        "average_distance": average,
+        "distance_histogram": {str(d): c for d, c in counts.items()},
+    }
+    print(f"{payload['name']}: exact distance metrics ({engine})")
+    print(f"  nodes             {payload['num_nodes']}")
+    print(f"  diameter          {payload['diameter']}")
+    print(f"  average distance  {payload['average_distance']:.6f}")
+    if args.output is not None:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_broadcast(args: argparse.Namespace) -> int:
     from repro import HyperButterfly, broadcast_rounds
     from repro.core.broadcast import broadcast_lower_bound
@@ -250,6 +377,7 @@ _HANDLERS = {
     "faults": _cmd_faults,
     "faults-campaign": _cmd_faults_campaign,
     "broadcast": _cmd_broadcast,
+    "metrics": _cmd_metrics,
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
 }

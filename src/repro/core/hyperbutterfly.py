@@ -87,6 +87,20 @@ class HyperButterfly(Topology):
     # Topology interface ----------------------------------------------------
 
     @property
+    def is_vertex_transitive(self) -> bool:
+        """``True`` — a Cayley graph by construction (Theorem 1)."""
+        return True
+
+    def factors(self) -> tuple[Topology, Topology]:
+        """The Cartesian factors ``(H_m, B_n)`` (Theorem 1 / Remark 6).
+
+        A node ``(h, b)`` of ``HB(m, n)`` is exactly a pair of factor
+        nodes, so the decomposition engine can treat ``HB`` structurally
+        like any :class:`~repro.topologies.product.CartesianProduct`.
+        """
+        return (self.hypercube, self.butterfly)
+
+    @property
     def num_nodes(self) -> int:
         # Theorem 2(2): n * 2^(m+n)
         return self.n << (self.m + self.n)

@@ -16,7 +16,10 @@ Default targets:
 * the HB(2,3) faults campaign (``faults-campaign 2 3 --quick``), the
   artefact CI smokes;
 * a fastgraph metrics dump on HB(2,3) (:func:`metrics_probe` run via
-  ``python -c``), covering the analysis/fastgraph layers.
+  ``python -c``), covering the analysis/fastgraph layers;
+* the metrics CLI on HB(2,3) with ``--force-bfs --jobs 2``, covering the
+  process-pool sweep path end to end (chunked reduction must not leak
+  pool scheduling into the artefact).
 
 A target writes its artefact to the path substituted for ``{out}`` in its
 argv; a target with no ``{out}`` placeholder must print JSON on stdout.
@@ -80,7 +83,7 @@ class SanitizeTarget:
 
 
 def default_targets() -> list[SanitizeTarget]:
-    """The two stock targets: faults campaign + fastgraph metrics dump."""
+    """The stock targets: faults campaign, metrics dump, pooled metrics CLI."""
     py = sys.executable
     return [
         SanitizeTarget(
@@ -94,6 +97,13 @@ def default_targets() -> list[SanitizeTarget]:
         SanitizeTarget(
             name="fastgraph-metrics-hb23",
             argv=(py, "-c", _PROBE_SNIPPET.format(out="{out}")),
+        ),
+        SanitizeTarget(
+            name="metrics-cli-hb23",
+            argv=(
+                py, "-m", "repro", "metrics", "hb", "2", "3",
+                "--force-bfs", "--jobs", "2", "--output", "{out}",
+            ),
         ),
     ]
 

@@ -12,10 +12,17 @@ Three kernels cover every BFS the library runs:
 * :func:`distance_histogram` — the same sweep accumulating per-depth
   newly-visited counts, i.e. the all-ordered-pairs distance histogram.
 
+Both sweeps share :func:`sweep_chunk`, the one-chunk inner kernel that
+:mod:`repro.fastgraph.parallel` also runs inside pool workers — serial
+and pooled sweeps reduce the same per-chunk results, so they are
+bit-identical for any job count.
+
 All distances are ``int32`` with ``-1`` meaning unreached.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
@@ -25,6 +32,7 @@ from repro.fastgraph.csr import CSRAdjacency
 __all__ = [
     "bfs_levels",
     "path_from_parents",
+    "sweep_chunk",
     "batched_eccentricities",
     "distance_histogram",
 ]
@@ -93,6 +101,40 @@ def path_from_parents(parents: np.ndarray, source: int, target: int) -> list[int
     return path
 
 
+def sweep_chunk(
+    adjacency: Any, total: int, chunk: np.ndarray
+) -> tuple[np.ndarray, dict[int, int], bool]:
+    """One batched boolean BFS from the ``chunk`` source ranks.
+
+    The shared inner kernel of every all-sources sweep — serial
+    (:func:`batched_eccentricities`, :func:`distance_histogram`) and
+    process-pooled (:mod:`repro.fastgraph.parallel`) — so the pooled
+    reduction is bit-identical to the serial loop by construction.
+
+    Returns ``(eccentricities, depth_counts, all_visited)``:
+    per-source eccentricities (``int64``, aligned with ``chunk``),
+    ``{depth >= 1: newly-visited count}`` summed over the chunk's sources,
+    and whether every BFS in the chunk reached the whole graph.
+    """
+    width = len(chunk)
+    visited = np.zeros((total, width), dtype=bool)
+    visited[chunk, np.arange(width)] = True
+    frontier = visited.copy()
+    depth = 0
+    ecc = np.zeros(width, dtype=np.int64)
+    depth_counts: dict[int, int] = {}
+    while frontier.any():
+        reached = (adjacency @ frontier.astype(np.uint8)) > 0
+        frontier = reached & ~visited
+        visited |= frontier
+        depth += 1
+        newly = int(frontier.sum())
+        if newly:
+            depth_counts[depth] = newly
+            ecc[frontier.any(axis=0)] = depth
+    return ecc, depth_counts, bool(visited.all())
+
+
 def batched_eccentricities(
     csr: CSRAdjacency,
     *,
@@ -114,21 +156,10 @@ def batched_eccentricities(
     eccentricities = np.empty(len(sources), dtype=np.int64)
     for start in range(0, len(sources), batch):
         chunk = sources[start : start + batch]
-        width = len(chunk)
-        visited = np.zeros((total, width), dtype=bool)
-        visited[chunk, np.arange(width)] = True
-        frontier = visited.copy()
-        depth = 0
-        ecc = np.zeros(width, dtype=np.int64)
-        while frontier.any():
-            reached = (adjacency @ frontier.astype(np.uint8)) > 0
-            frontier = reached & ~visited
-            visited |= frontier
-            depth += 1
-            ecc[frontier.any(axis=0)] = depth
-        if check_connected and not visited.all():
+        ecc, _, all_visited = sweep_chunk(adjacency, total, chunk)
+        if check_connected and not all_visited:
             raise DisconnectedError(f"{name} is disconnected")
-        eccentricities[start : start + width] = ecc
+        eccentricities[start : start + len(chunk)] = ecc
     return eccentricities
 
 
@@ -142,17 +173,8 @@ def distance_histogram(csr: CSRAdjacency, *, batch: int = 128) -> dict[int, int]
     total = csr.num_nodes
     counts: dict[int, int] = {0: total}
     for start in range(0, total, batch):
-        width = min(batch, total - start)
-        visited = np.zeros((total, width), dtype=bool)
-        visited[np.arange(start, start + width), np.arange(width)] = True
-        frontier = visited.copy()
-        depth = 0
-        while frontier.any():
-            reached = (adjacency @ frontier.astype(np.uint8)) > 0
-            frontier = reached & ~visited
-            visited |= frontier
-            depth += 1
-            newly = int(frontier.sum())
-            if newly:
-                counts[depth] = counts.get(depth, 0) + newly
+        chunk = np.arange(start, min(start + batch, total), dtype=np.int64)
+        _, depth_counts, _ = sweep_chunk(adjacency, total, chunk)
+        for depth, newly in depth_counts.items():
+            counts[depth] = counts.get(depth, 0) + newly
     return dict(sorted(counts.items()))

@@ -1,0 +1,132 @@
+"""Process-pool all-sources BFS sweeps over a shared CSR adjacency.
+
+The batched boolean BFS kernel (:func:`repro.fastgraph.kernels.sweep_chunk`)
+is embarrassingly parallel across source chunks, but a single Python
+process keeps scipy's sparse products on one core.  This module spreads
+the chunks over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* the CSR arrays are pickled **once per worker** (pool ``initializer``),
+  not once per chunk — workers rebuild the scipy adjacency lazily on
+  their first chunk and reuse it;
+* chunk boundaries are a pure function of ``(num_nodes, batch)`` and the
+  reduction (``max`` over eccentricities via order-preserving
+  concatenation, integer ``+`` over histogram counts) is associative and
+  order-preserved by ``executor.map`` — the result is **bit-identical**
+  for any ``jobs`` value, including the in-process ``jobs=1`` path, which
+  runs the very same chunk kernel without a pool;
+* consumers (``exact_diameter``/``distance_profile``/the metrics CLI's
+  ``--jobs``) get both reductions from one sweep in a
+  :class:`SweepResult`.
+
+Determinism for any job count is pinned by
+``tests/fastgraph/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DisconnectedError, InvalidParameterError
+from repro.fastgraph.csr import CSRAdjacency
+from repro.fastgraph.kernels import sweep_chunk
+
+__all__ = ["SweepResult", "parallel_sweep", "source_chunks"]
+
+#: per-worker state, populated by the pool initializer (fork or spawn safe)
+_state: dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Both reductions of one all-sources BFS sweep."""
+
+    eccentricities: np.ndarray  # int64, one per node rank
+    histogram: dict[int, int]  # distance -> ordered-pair count (incl. 0)
+
+    def diameter(self) -> int:
+        return int(self.eccentricities.max())
+
+
+def source_chunks(total: int, batch: int) -> list[tuple[int, int]]:
+    """Chunk bounds ``[lo, hi)`` covering ``range(total)`` in ``batch`` steps.
+
+    A pure function of its arguments so serial and pooled sweeps cut the
+    source space identically.
+    """
+    return [(lo, min(lo + batch, total)) for lo in range(0, total, batch)]
+
+
+def _init_worker(
+    indptr: np.ndarray, indices: np.ndarray, uniform_degree: int | None
+) -> None:
+    """Rebuild the CSR once per worker; the scipy matrix is built lazily."""
+    _state["csr"] = CSRAdjacency(
+        indptr=indptr, indices=indices, uniform_degree=uniform_degree
+    )
+    _state["adjacency"] = None
+
+
+def _run_chunk(bounds: tuple[int, int]) -> tuple[np.ndarray, dict[int, int], bool]:
+    """Worker body: sweep one chunk against the worker-cached adjacency."""
+    csr: CSRAdjacency = _state["csr"]
+    if _state["adjacency"] is None:
+        _state["adjacency"] = csr.to_scipy()
+    lo, hi = bounds
+    chunk = np.arange(lo, hi, dtype=np.int64)
+    return sweep_chunk(_state["adjacency"], csr.num_nodes, chunk)
+
+
+def parallel_sweep(
+    csr: CSRAdjacency,
+    *,
+    jobs: int = 1,
+    batch: int = 128,
+    check_connected: bool = True,
+    name: str = "graph",
+) -> SweepResult:
+    """All-sources eccentricities + distance histogram, ``jobs`` processes.
+
+    ``jobs=1`` runs the chunk loop in-process (no pool, no pickling) and
+    is the reference the pooled paths must match bit-for-bit.
+    """
+    if jobs < 1:
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    if batch < 1:
+        raise InvalidParameterError(f"batch must be >= 1, got {batch}")
+    total = csr.num_nodes
+    bounds = source_chunks(total, batch)
+    if jobs == 1 or len(bounds) <= 1:
+        adjacency = csr.to_scipy()
+        results = [
+            sweep_chunk(adjacency, total, np.arange(lo, hi, dtype=np.int64))
+            for lo, hi in bounds
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(bounds)),
+            initializer=_init_worker,
+            initargs=(csr.indptr, csr.indices, csr.uniform_degree),
+        ) as pool:
+            # map preserves submission order -> deterministic reduction
+            results = list(pool.map(_run_chunk, bounds))
+    eccentricities = (
+        np.concatenate([ecc for ecc, _, _ in results])
+        if results
+        else np.zeros(0, dtype=np.int64)
+    )
+    counts: dict[int, int] = {0: total}
+    all_visited = True
+    for _, depth_counts, visited in results:
+        all_visited = all_visited and visited
+        for depth, newly in depth_counts.items():
+            counts[depth] = counts.get(depth, 0) + newly
+    if check_connected and not all_visited:
+        raise DisconnectedError(f"{name} is disconnected")
+    return SweepResult(
+        eccentricities=eccentricities, histogram=dict(sorted(counts.items()))
+    )

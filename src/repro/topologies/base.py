@@ -42,6 +42,20 @@ class Topology(ABC):
     #: short human-readable family name, e.g. ``"H_4"`` or ``"HB(2,3)"``
     name: str = "topology"
 
+    @property
+    def is_vertex_transitive(self) -> bool:
+        """Whether the automorphism group acts transitively on vertices.
+
+        Declared per family (conservative default ``False``) instead of
+        inferred from class names or attribute probing: algorithms such as
+        :func:`repro.analysis.metrics.exact_diameter` use it to collapse
+        all-sources sweeps into a single BFS, so a wrong ``True`` silently
+        produces wrong numbers.  Cayley-backed topologies override this
+        with ``True`` (every Cayley graph is vertex transitive); Cartesian
+        products are transitive exactly when every factor is.
+        """
+        return False
+
     # Core interface -------------------------------------------------------
 
     @property

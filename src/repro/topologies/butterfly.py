@@ -40,6 +40,12 @@ class WrappedButterfly(Topology):
     # Topology interface ----------------------------------------------------
 
     @property
+    def is_vertex_transitive(self) -> bool:
+        """``True`` — isomorphic to the Cayley graph of ``Z_n ⋉ (Z_2)^n``
+        (Remark 2; the identity map onto :class:`CayleyButterfly`)."""
+        return True
+
+    @property
     def num_nodes(self) -> int:
         return self.n << self.n
 

@@ -65,6 +65,11 @@ class CayleyButterfly(Topology):
     # Topology interface ----------------------------------------------------
 
     @property
+    def is_vertex_transitive(self) -> bool:
+        """``True`` — a Cayley graph by construction."""
+        return True
+
+    @property
     def num_nodes(self) -> int:
         return self.n << self.n
 

@@ -20,6 +20,11 @@ class Cycle(Topology):
         self.name = f"C({k})"
 
     @property
+    def is_vertex_transitive(self) -> bool:
+        """``True`` — the Cayley graph of ``Z_k`` over ``{±1}``."""
+        return True
+
+    @property
     def num_nodes(self) -> int:
         return self.k
 

@@ -33,6 +33,11 @@ class Hypercube(Topology):
     # Topology interface ----------------------------------------------------
 
     @property
+    def is_vertex_transitive(self) -> bool:
+        """``True`` — ``H_m`` is the Cayley graph of ``(Z_2)^m``."""
+        return True
+
+    @property
     def num_nodes(self) -> int:
         return 1 << self.m
 

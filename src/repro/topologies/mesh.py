@@ -28,6 +28,11 @@ class Torus(Topology):
         self.name = f"M({n1},{n2})"
 
     @property
+    def is_vertex_transitive(self) -> bool:
+        """``True`` — the Cayley graph of ``Z_{n1} × Z_{n2}``."""
+        return True
+
+    @property
     def num_nodes(self) -> int:
         return self.n1 * self.n2
 

@@ -25,6 +25,22 @@ class CartesianProduct(Topology):
         self.right = right
         self.name = name or f"{left.name}x{right.name}"
 
+    def factors(self) -> tuple[Topology, Topology]:
+        """The product's factor topologies ``(G, H)``, in label order.
+
+        The uniform structural accessor the decomposition engine
+        (:mod:`repro.analysis.decompose`) dispatches on: a node of this
+        topology is a pair whose coordinate ``i`` is a node of
+        ``factors()[i]``, and distances are the sums of factor distances
+        (paper Remarks 6 & 8).
+        """
+        return (self.left, self.right)
+
+    @property
+    def is_vertex_transitive(self) -> bool:
+        """A Cartesian product is vertex transitive iff every factor is."""
+        return self.left.is_vertex_transitive and self.right.is_vertex_transitive
+
     @property
     def num_nodes(self) -> int:
         return self.left.num_nodes * self.right.num_nodes

@@ -122,10 +122,17 @@ class TestSanitize:
 class TestDefaultTargets:
     def test_stock_target_shape(self):
         targets = {t.name: t for t in default_targets()}
-        assert set(targets) == {"faults-campaign-hb23", "fastgraph-metrics-hb23"}
+        assert set(targets) == {
+            "faults-campaign-hb23",
+            "fastgraph-metrics-hb23",
+            "metrics-cli-hb23",
+        }
         campaign = targets["faults-campaign-hb23"]
         assert "faults-campaign" in campaign.argv
         assert not campaign.uses_stdout  # writes via {out}
+        pooled = targets["metrics-cli-hb23"]
+        assert "--jobs" in pooled.argv  # exercises the process-pool sweep
+        assert not pooled.uses_stdout
 
     def test_metrics_probe_payload(self, tmp_path):
         out = tmp_path / "metrics.json"

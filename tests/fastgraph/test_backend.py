@@ -154,8 +154,9 @@ class TestOracleBackends:
         hb = HyperButterfly(m, n)
         fast = DistanceOracle(hb.group, hb.gens)
         slow = DistanceOracle(hb.group, hb.gens, backend="python")
-        assert fast._dist_arr is not None
-        assert slow._dist_arr is None
+        # default backend splits HB into factor oracles (product fast path)
+        assert fast._left is not None and fast._right is not None
+        assert slow._left is None and slow._dist_arr is None
         for v in hb.group.elements():
             assert fast.distance_from_identity(v) == slow.distance_from_identity(v)
             word = fast.generator_word(v)

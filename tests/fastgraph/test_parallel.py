@@ -1,0 +1,110 @@
+"""Process-pool sweep tests: bit-identical to the serial kernels.
+
+The pooled sweep is only admissible because its reduction is provably
+order-independent — these tests pin that the result is *exactly* the
+serial one for every job count, batch size, and consumer-facing metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distance_stats import distance_profile
+from repro.analysis.metrics import exact_diameter
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import DisconnectedError, InvalidParameterError
+from repro.fastgraph.backend import get_fastgraph
+from repro.fastgraph.kernels import batched_eccentricities, distance_histogram
+from repro.fastgraph.parallel import SweepResult, parallel_sweep, source_chunks
+from repro.topologies.debruijn import DeBruijn
+from repro.topologies.mesh import Mesh
+
+
+class TestSourceChunks:
+    def test_covers_range_exactly(self):
+        bounds = source_chunks(10, 3)
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_chunk(self):
+        assert source_chunks(5, 128) == [(0, 5)]
+
+    def test_empty(self):
+        assert source_chunks(0, 4) == []
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def csr(self):
+        return get_fastgraph(HyperButterfly(2, 3)).csr
+
+    @pytest.fixture(scope="class")
+    def serial(self, csr):
+        return (
+            batched_eccentricities(csr, name="HB(2,3)"),
+            distance_histogram(csr),
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_matches_serial_kernels_for_any_job_count(
+        self, csr, serial, jobs
+    ):
+        ecc, hist = serial
+        result = parallel_sweep(csr, jobs=jobs, name="HB(2,3)")
+        assert np.array_equal(result.eccentricities, ecc)
+        assert result.histogram == hist
+        assert result.diameter() == int(ecc.max())
+
+    @pytest.mark.parametrize("batch", [1, 7, 96, 128])
+    def test_batch_size_never_changes_the_result(self, csr, serial, batch):
+        ecc, hist = serial
+        result = parallel_sweep(csr, jobs=2, batch=batch, name="HB(2,3)")
+        assert np.array_equal(result.eccentricities, ecc)
+        assert result.histogram == hist
+
+    def test_irregular_topology(self):
+        csr = get_fastgraph(DeBruijn(3), allow_enumeration=True).csr
+        serial = parallel_sweep(csr, jobs=1, check_connected=False)
+        pooled = parallel_sweep(csr, jobs=2, batch=3, check_connected=False)
+        assert np.array_equal(
+            pooled.eccentricities, serial.eccentricities
+        )
+        assert pooled.histogram == serial.histogram
+
+
+class TestValidation:
+    def test_rejects_bad_jobs(self):
+        csr = get_fastgraph(HyperButterfly(2, 3)).csr
+        with pytest.raises(InvalidParameterError):
+            parallel_sweep(csr, jobs=0)
+        with pytest.raises(InvalidParameterError):
+            parallel_sweep(csr, batch=0)
+
+    def test_disconnected_raises(self):
+        # two isolated nodes: indptr [0,0,0], no arcs
+        from repro.fastgraph.csr import CSRAdjacency
+
+        csr = CSRAdjacency(
+            indptr=np.array([0, 0, 0], dtype=np.int64),
+            indices=np.array([], dtype=np.int32),
+        )
+        with pytest.raises(DisconnectedError):
+            parallel_sweep(csr, jobs=1, name="two points")
+        result = parallel_sweep(csr, jobs=1, check_connected=False)
+        assert isinstance(result, SweepResult)
+        assert result.histogram == {0: 2}
+
+
+class TestConsumers:
+    """jobs>1 plumbed through the public metric entry points."""
+
+    def test_exact_diameter_jobs_matches_serial(self):
+        mesh = Mesh(4, 5)  # not vertex transitive, not a product
+        serial = exact_diameter(mesh, force_generic=True)
+        pooled = exact_diameter(mesh, force_generic=True, jobs=2)
+        assert serial == pooled == 7
+
+    def test_distance_profile_jobs_matches_serial(self, hb23):
+        serial = distance_profile(hb23, force_generic=True)
+        pooled = distance_profile(hb23, force_generic=True, jobs=2)
+        assert serial == pooled

@@ -79,11 +79,53 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "all-port" in out and "structured" in out
 
+    def test_metrics_decomposition(self, capsys):
+        assert main(["metrics", "hb", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "HB(2,3)" in out and "decomposition" in out
+
+    def test_metrics_force_bfs_jobs_output(self, capsys, tmp_path):
+        import json
+
+        decomposed = tmp_path / "fast.json"
+        swept = tmp_path / "bfs.json"
+        assert main(["metrics", "hb", "1", "3", "--output", str(decomposed)]) == 0
+        assert (
+            main(
+                [
+                    "metrics", "hb", "1", "3",
+                    "--force-bfs", "--jobs", "2",
+                    "--output", str(swept),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        fast = json.loads(decomposed.read_text())
+        slow = json.loads(swept.read_text())
+        assert fast["engine"] == "decomposition"
+        assert slow["engine"] == "bfs-sweep"
+        for key in ("diameter", "average_distance", "distance_histogram"):
+            assert fast[key] == slow[key]
+
+    def test_metrics_single_parameter_families(self, capsys):
+        assert main(["metrics", "hypercube", "4"]) == 0
+        assert "transitive-bfs" in capsys.readouterr().out
+        assert main(["metrics", "debruijn", "3"]) == 0
+        assert "bfs-sweep" in capsys.readouterr().out
+
+    def test_metrics_parameter_count_errors(self, capsys):
+        assert main(["metrics", "hb", "2"]) == 2
+        assert "needs both" in capsys.readouterr().err
+        assert main(["metrics", "hypercube", "3", "4"]) == 2
+        assert "single order" in capsys.readouterr().err
+
     def test_sanitize_list_targets(self, capsys):
         assert main(["sanitize", "--list-targets"]) == 0
         out = capsys.readouterr().out
         assert "faults-campaign-hb23" in out
         assert "fastgraph-metrics-hb23" in out
+        assert "metrics-cli-hb23" in out
 
     def test_sanitize_custom_deterministic_command(self, capsys):
         import sys

@@ -65,3 +65,44 @@ class TestRemark5Copies:
                 assert node not in seen
                 seen.add(node)
         assert len(seen) == prod.num_nodes
+
+
+class TestDeclaredStructure:
+    """The satellite accessors the decomposition engine dispatches on."""
+
+    def test_factors_accessor(self):
+        prod = CartesianProduct(Hypercube(2), Cycle(5))
+        assert prod.factors() == (prod.left, prod.right)
+
+    def test_transitivity_composes_across_factors(self):
+        from repro.topologies.debruijn import DeBruijn
+
+        assert Hypercube(3).is_vertex_transitive
+        assert Cycle(5).is_vertex_transitive
+        assert not DeBruijn(2).is_vertex_transitive
+        assert CartesianProduct(Hypercube(2), Cycle(5)).is_vertex_transitive
+        assert not CartesianProduct(
+            Hypercube(2), DeBruijn(2)
+        ).is_vertex_transitive
+
+    def test_declared_flags_verified_by_bfs_profile(self):
+        """A vertex-transitive graph has the same distance profile from
+        every vertex — spot-check the declared flags against reality."""
+        from repro.topologies.butterfly_cayley import CayleyButterfly
+        from repro.topologies.mesh import Mesh, Torus
+
+        def profiles(topology):
+            out = set()
+            for v in topology.nodes():
+                counts: dict[int, int] = {}
+                for d in topology.bfs_distances(v).values():
+                    counts[d] = counts.get(d, 0) + 1
+                out.add(tuple(sorted(counts.items())))
+            return out
+
+        for transitive in (Hypercube(3), Cycle(6), CayleyButterfly(3), Torus(3, 4)):
+            assert transitive.is_vertex_transitive
+            assert len(profiles(transitive)) == 1, transitive.name
+        mesh = Mesh(3, 4)
+        assert not mesh.is_vertex_transitive
+        assert len(profiles(mesh)) > 1
