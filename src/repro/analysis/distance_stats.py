@@ -48,37 +48,39 @@ class DistanceProfile:
         return self.diameter
 
 
-def _transitive_profile(topology: Topology) -> dict[int, int]:
+def _transitive_profile(
+    topology: Topology, *, backend: str | None = None
+) -> dict[int, int]:
     """One BFS suffices when the graph is vertex transitive."""
     anchor = next(iter(topology.nodes()))
-    fast = get_fastgraph(topology)
+    fast = get_fastgraph(topology) if backend != "python" else None
     if fast is not None:
-        import numpy as np
-
-        dist = fast.distances_array(anchor)
-        counts = {
-            d: int(c)
-            for d, c in enumerate(np.bincount(dist[dist >= 0]))
-            if c
-        }
+        counts = fast.source_histogram(anchor, backend=backend)
     else:
         counts = {}
-        for dist in topology.bfs_distances(anchor).values():
+        for dist in topology.bfs_distances(anchor, backend=backend).values():
             counts[dist] = counts.get(dist, 0) + 1
     # scale single-source counts up to ordered-pair counts
     return {d: c * topology.num_nodes for d, c in counts.items()}
 
 
-def _generic_profile(topology: Topology, *, jobs: int = 1) -> dict[int, int]:
-    fast = get_fastgraph(topology, allow_enumeration=True)
+def _generic_profile(
+    topology: Topology, *, jobs: int = 1, backend: str | None = None
+) -> dict[int, int]:
+    fast = (
+        get_fastgraph(topology, allow_enumeration=True)
+        if backend != "python"
+        else None
+    )
     if fast is not None:
+        resolved = fast.select_backend(backend)
         try:
-            if jobs > 1:
+            if resolved == "implicit" or jobs > 1:
                 from repro.fastgraph.parallel import parallel_sweep
 
                 # mirror distance_histogram: count reachable pairs only
                 return parallel_sweep(
-                    fast.csr,
+                    fast.codec if resolved == "implicit" else fast.csr,
                     jobs=jobs,
                     check_connected=False,
                     name=topology.name,
@@ -87,16 +89,28 @@ def _generic_profile(topology: Topology, *, jobs: int = 1) -> dict[int, int]:
 
             return distance_histogram(fast.csr)
         except ImportError:
+            if backend in ("csr", "implicit"):
+                raise  # pinned engine can't run: don't silently degrade
             pass  # no scipy: per-source label BFS below
+    elif backend in ("csr", "implicit"):
+        from repro.errors import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"fastgraph is unavailable; cannot pin backend={backend!r}"
+        )
     counts: dict[int, int] = {}
     for v in topology.nodes():
-        for dist in topology.bfs_distances(v).values():
+        for dist in topology.bfs_distances(v, backend=backend).values():
             counts[dist] = counts.get(dist, 0) + 1
     return counts
 
 
 def pair_distance_counts(
-    topology: Topology, *, jobs: int = 1, force_generic: bool = False
+    topology: Topology,
+    *,
+    jobs: int = 1,
+    force_generic: bool = False,
+    backend: str | None = None,
 ) -> dict[int, int]:
     """Exact ``{distance: ordered-pair count}`` (0-diagonal included).
 
@@ -105,22 +119,34 @@ def pair_distance_counts(
     the all-sources sweep (process-pooled when ``jobs > 1``).
     ``force_generic=True`` pins the sweep path — tests and the metrics
     CLI use it to cross-check the fast paths against brute force.
+    ``backend`` pins the BFS substrate and (like ``force_generic``) skips
+    the BFS-free decomposition so the requested engine actually runs.
     """
+    pinned = backend not in (None, "auto")
     if not force_generic:
-        decomposed = product_pair_histogram(topology)
-        if decomposed is not None:
-            return decomposed
+        if not pinned:
+            decomposed = product_pair_histogram(topology)
+            if decomposed is not None:
+                return decomposed
         if topology.is_vertex_transitive:
-            return dict(sorted(_transitive_profile(topology).items()))
-    return dict(sorted(_generic_profile(topology, jobs=jobs).items()))
+            return dict(
+                sorted(_transitive_profile(topology, backend=backend).items())
+            )
+    return dict(
+        sorted(_generic_profile(topology, jobs=jobs, backend=backend).items())
+    )
 
 
 def distance_profile(
-    topology: Topology, *, jobs: int = 1, force_generic: bool = False
+    topology: Topology,
+    *,
+    jobs: int = 1,
+    force_generic: bool = False,
+    backend: str | None = None,
 ) -> DistanceProfile:
     """Exact profile; distances include the 0 self-distance mass."""
     counts = pair_distance_counts(
-        topology, jobs=jobs, force_generic=force_generic
+        topology, jobs=jobs, force_generic=force_generic, backend=backend
     )
     total = sum(counts.values())
     histogram = {d: c / total for d, c in sorted(counts.items())}

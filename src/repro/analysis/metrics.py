@@ -37,7 +37,11 @@ __all__ = ["exact_diameter", "average_distance", "degree_profile"]
 
 
 def exact_diameter(
-    topology: Topology, *, force_generic: bool = False, jobs: int = 1
+    topology: Topology,
+    *,
+    force_generic: bool = False,
+    jobs: int = 1,
+    backend: str | None = None,
 ) -> int:
     """The exact diameter, using the cheapest valid algorithm.
 
@@ -45,42 +49,65 @@ def exact_diameter(
     vertex-transitivity fast paths (used by tests to confirm all paths
     agree).  ``jobs`` spreads the generic all-sources sweep over a process
     pool (it has no effect on the decomposition/transitive paths, which
-    are already single-BFS or BFS-free).
+    are already single-BFS or BFS-free).  ``backend`` pins the BFS
+    substrate (``"csr"``, ``"implicit"``, ``"python"``) — pinning skips
+    the BFS-free decomposition path so the requested engine actually
+    runs; the vertex-transitive single-BFS shortcut stays valid (it runs
+    that engine) unless ``force_generic`` disables it too.
     """
+    pinned = backend not in (None, "auto")
     if not force_generic:
-        decomposed = product_diameter(topology)
-        if decomposed is not None:
-            return decomposed
+        if not pinned:
+            decomposed = product_diameter(topology)
+            if decomposed is not None:
+                return decomposed
         if topology.is_vertex_transitive:
             anchor = next(iter(topology.nodes()))
-            return topology.eccentricity(anchor)
+            return topology.eccentricity(anchor, backend=backend)
     try:
-        return _batched_bfs_diameter(topology, jobs=jobs)
+        return _batched_bfs_diameter(topology, jobs=jobs, backend=backend)
     except ImportError:
         graph = topology.to_networkx()
         return int(nx.diameter(graph, usebounds=True))
 
 
 def _batched_bfs_diameter(
-    topology: Topology, *, batch: int = 128, jobs: int = 1
+    topology: Topology,
+    *,
+    batch: int = 128,
+    jobs: int = 1,
+    backend: str | None = None,
 ) -> int:
     """All-eccentricities diameter via the batched boolean BFS kernel.
 
     Any topology qualifies: registered codecs give a vectorized CSR build,
     everything else gets an enumeration codec.  ``jobs > 1`` runs the
     sweep on a process pool (chunked sources, deterministic reduction —
-    the result is bit-identical for any job count).  Raises
-    ``ImportError`` when numpy/scipy are unavailable so callers can fall
-    back to networkx.
+    the result is bit-identical for any job count); the implicit substrate
+    (resolved or pinned by ``backend``) sweeps CSR-free through the same
+    chunk/reduce path.  Raises ``ImportError`` when numpy/scipy are
+    unavailable so callers can fall back to networkx.
     """
+    if backend == "python":
+        return max(
+            topology.eccentricity(v, backend="python") for v in topology.nodes()
+        )
     fast = get_fastgraph(topology, allow_enumeration=True)
     if fast is None:
+        if backend in ("csr", "implicit"):
+            from repro.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"fastgraph is unavailable; cannot pin backend={backend!r}"
+            )
         raise ImportError("fast graph backend unavailable")
-    if jobs > 1:
+    resolved = fast.select_backend(backend)
+    if resolved == "implicit" or jobs > 1:
         from repro.fastgraph.parallel import parallel_sweep
 
+        payload = fast.codec if resolved == "implicit" else fast.csr
         result = parallel_sweep(
-            fast.csr, jobs=jobs, batch=batch, name=topology.name
+            payload, jobs=jobs, batch=batch, name=topology.name
         )
         return int(result.eccentricities.max())
     from repro.fastgraph.kernels import batched_eccentricities

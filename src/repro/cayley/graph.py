@@ -16,7 +16,7 @@ pairs.  The paper leans on exactly this (Remark 7) to reduce routing in
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterator, Sequence
+from typing import Hashable, Iterator
 
 import networkx as nx
 
@@ -96,7 +96,7 @@ class DistanceOracle:
     Shortest paths are reconstructed backwards by applying inverse
     generators.
 
-    Three backends, picked automatically (``backend="auto"``):
+    Four backends, picked automatically (``backend="auto"``):
 
     * **product** — when the group is a :class:`DirectProductGroup` whose
       generators each act on a single factor (the hyper-butterfly's shape,
@@ -110,6 +110,11 @@ class DistanceOracle:
       codec; one vectorized BFS fills distances and parent generators for
       every element at once.  ``backend="dense"`` forces this path (used
       to cross-check the product path).
+    * **implicit** — the same three arrays, filled by the CSR-free
+      implicit kernel (:mod:`repro.fastgraph.implicit`): frontiers expand
+      directly from packed ranks, so no ``order × degree`` neighbor table
+      is ever materialized.  ``"auto"`` picks this over ``dense`` past
+      the implicit node threshold; ``backend="implicit"`` forces it.
     * **python** (``backend="python"``) — the original dict BFS, the
       reference the other backends are pinned against.
     """
@@ -140,12 +145,36 @@ class DistanceOracle:
         from repro.fastgraph.backend import enabled as fastgraph_enabled
         from repro.fastgraph.codecs import codec_for_group
 
-        if backend in ("auto", "dense") and fastgraph_enabled() and len(gens):
+        if backend in ("auto", "dense", "implicit") and fastgraph_enabled() and len(gens):
             self._codec = codec_for_group(group)
         if self._codec is not None:
-            self._run_bfs_fast()
-        else:
+            # oracle adjacency is *this* generator set, in *this* order (via
+            # indices point into it) — never the codec's family default
+            self._codec.generators = tuple(gens.generators)
+        if self._codec is None:
             self._run_bfs()
+        elif self._use_implicit(backend):
+            self._run_bfs_implicit()
+        else:
+            self._run_bfs_fast()
+
+    def _use_implicit(self, backend: str) -> bool:
+        """Whether to fill the oracle arrays CSR-free (never a full table)."""
+        assert self._codec is not None
+        if backend == "implicit":
+            from repro.errors import InvalidParameterError
+
+            if not self._codec.supports_implicit():
+                raise InvalidParameterError(
+                    f"group codec {type(self._codec).__name__} has no "
+                    "implicit adjacency; use backend='dense'"
+                )
+            return True
+        if backend != "auto" or not self._codec.supports_implicit():
+            return False
+        from repro.fastgraph.backend import implicit_threshold
+
+        return self._codec.num_nodes >= implicit_threshold()
 
     def _run_bfs(self) -> None:
         identity = self.group.identity()
@@ -186,6 +215,26 @@ class DistanceOracle:
         # the reaching generator of v is v's column in its parent's table row
         via = np.argmax(table[parents] == np.arange(order)[:, None], axis=1)
         via[root] = -1
+        self._dist_arr = dist
+        self._via_arr = via
+        self._parent_arr = parents
+
+    def _run_bfs_implicit(self) -> None:
+        """CSR-free oracle fill — no ``order × degree`` table, ever.
+
+        Frontiers expand straight from packed ranks
+        (:func:`repro.fastgraph.implicit.implicit_bfs_levels`), so peak
+        memory is the three output arrays plus a visited bitset instead of
+        the dense path's full neighbor table; results are bit-identical
+        (same first-occurrence parent and reaching-generator tie-break).
+        """
+        from repro.fastgraph.implicit import implicit_bfs_levels
+
+        codec = self._codec
+        root = codec.rank(self.group.identity())
+        dist, parents, via = implicit_bfs_levels(
+            codec, root, want_parents=True, want_via=True
+        )
         self._dist_arr = dist
         self._via_arr = via
         self._parent_arr = parents

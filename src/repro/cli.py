@@ -14,8 +14,9 @@ Subcommands:
 * ``metrics FAMILY M [N]`` — exact distance metrics (diameter, average
   distance, full histogram) via the cheapest valid engine: product
   decomposition, single transitive BFS, or the all-sources sweep
-  (``--force-bfs`` pins the sweep, ``--jobs`` pools it, ``--output``
-  writes sorted JSON).
+  (``--force-bfs`` pins the sweep, ``--backend`` pins the BFS substrate
+  — csr, implicit, or python — ``--jobs`` pools it, ``--output`` writes
+  sorted JSON).
 * ``lint [PATHS]``        — run the reprolint paper-invariant checks
   (``--format text|json``, ``--baseline``, ``--self-test``,
   ``--list-rules``); exit 0 clean / 1 findings / 2 linter error.
@@ -122,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--force-bfs",
         action="store_true",
         help="bypass the decomposition/transitive fast paths (cross-check)",
+    )
+    p_metrics.add_argument(
+        "--backend",
+        choices=("auto", "csr", "implicit", "python"),
+        default="auto",
+        help="pin the BFS substrate (default auto; csr/implicit/python also "
+        "bypass the BFS-free decomposition so the engine actually runs)",
     )
     p_metrics.add_argument(
         "--output",
@@ -312,16 +320,20 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     try:
         topology = _metrics_topology(args)
+        pinned = args.backend != "auto"
         if args.force_bfs:
             engine = "bfs-sweep"
-        elif leaf_factors(topology) is not None:
+        elif not pinned and leaf_factors(topology) is not None:
             engine = "decomposition"
         elif topology.is_vertex_transitive:
             engine = "transitive-bfs"
         else:
             engine = "bfs-sweep"
         counts = pair_distance_counts(
-            topology, jobs=args.jobs, force_generic=args.force_bfs
+            topology,
+            jobs=args.jobs,
+            force_generic=args.force_bfs,
+            backend=args.backend,
         )
     except ReproError as exc:
         print(f"metrics: error: {exc}", file=sys.stderr)
@@ -335,6 +347,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         "name": topology.name,
         "family": args.family,
         "engine": engine,
+        "backend": args.backend,
         "jobs": args.jobs,
         "num_nodes": topology.num_nodes,
         "diameter": max(counts),

@@ -83,7 +83,8 @@ class SanitizeTarget:
 
 
 def default_targets() -> list[SanitizeTarget]:
-    """The stock targets: faults campaign, metrics dump, pooled metrics CLI."""
+    """The stock targets: faults campaign, metrics dump, pooled metrics CLI
+    on both the CSR and the implicit (CSR-free) BFS substrates."""
     py = sys.executable
     return [
         SanitizeTarget(
@@ -103,6 +104,14 @@ def default_targets() -> list[SanitizeTarget]:
             argv=(
                 py, "-m", "repro", "metrics", "hb", "2", "3",
                 "--force-bfs", "--jobs", "2", "--output", "{out}",
+            ),
+        ),
+        SanitizeTarget(
+            name="metrics-cli-implicit-hb23",
+            argv=(
+                py, "-m", "repro", "metrics", "hb", "2", "3",
+                "--backend", "implicit", "--force-bfs", "--jobs", "2",
+                "--output", "{out}",
             ),
         ),
     ]

@@ -3,13 +3,16 @@
 See :mod:`repro.fastgraph.codecs` for the node ↔ dense-int codecs and the
 registry, :mod:`repro.fastgraph.csr` for CSR adjacency construction and
 the disk cache, :mod:`repro.fastgraph.kernels` for the vectorized BFS
-kernels, :mod:`repro.fastgraph.parallel` for the process-pool all-sources
-sweep, and :mod:`repro.fastgraph.backend` for the per-topology
-integration point (:func:`get_fastgraph`).
+kernels, :mod:`repro.fastgraph.implicit` for the CSR-free kernels that
+expand frontiers straight from packed ranks, :mod:`repro.fastgraph.parallel`
+for the process-pool all-sources sweep (either substrate), and
+:mod:`repro.fastgraph.backend` for the per-topology integration point
+(:func:`get_fastgraph`).
 
 Only the numpy-optional modules are re-exported here; the numpy-eager
-ones (``csr``, ``kernels``, ``parallel``) are imported lazily by their
-consumers so ``import repro.fastgraph`` works without numpy.
+ones (``csr``, ``kernels``, ``implicit``, ``parallel``) are imported
+lazily by their consumers so ``import repro.fastgraph`` works without
+numpy.
 
 The "Fast backend" section of ``docs/architecture.md`` documents when the
 backend engages and when pure-Python label BFS remains in charge.

@@ -1,9 +1,27 @@
-"""Topology-facing fast backend: codec + CSR + kernels, memoized per instance.
+"""Topology-facing fast backend: codec + CSR/implicit kernels, memoized.
 
 :func:`get_fastgraph` is the single integration point the rest of the
 library uses: it returns a :class:`FastGraph` when the topology's family
 has a registered codec (and numpy is importable), else ``None`` — callers
 keep their pure-Python label-walking fallback for arbitrary topologies.
+
+A :class:`FastGraph` now carries **two** array substrates and picks per
+call:
+
+* ``csr`` — materialized ``O(edges)`` adjacency; fastest per BFS once
+  built, required for the batched boolean multi-source kernels.
+* ``implicit`` — no adjacency at all; each frontier is expanded directly
+  from the packed integer ranks via the codec's ``neighbors_block``
+  (:mod:`repro.fastgraph.implicit`), so memory is ``O(frontier)`` and
+  instances far past CSR's reach (HB(10,12), 49M nodes) stay exact.
+
+``backend=None``/``"auto"`` prefers the CSR once one exists, otherwise
+switches to implicit when the codec supports it and the instance exceeds
+:func:`implicit_threshold` nodes (per-edge probes such as ``has_edge``
+prefer implicit whenever no CSR is built — a probe should never trigger
+an ``O(edges)`` build).  ``backend="csr"``/``"implicit"`` force a
+substrate; forcing ``implicit`` on a codec without vectorized adjacency
+raises :class:`~repro.errors.InvalidParameterError`.
 
 Set ``REPRO_FASTGRAPH=0`` to disable the backend globally (every consumer
 then exercises its fallback path; the property tests use the same switch
@@ -15,7 +33,7 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
-from repro.errors import DisconnectedError, InvalidLabelError
+from repro.errors import DisconnectedError, InvalidParameterError
 
 if TYPE_CHECKING:  # runtime imports stay lazy (numpy optional, cycle-free)
     import numpy as np
@@ -24,10 +42,15 @@ if TYPE_CHECKING:  # runtime imports stay lazy (numpy optional, cycle-free)
     from repro.fastgraph.csr import CSRAdjacency
     from repro.topologies.base import Topology
 
-__all__ = ["FastGraph", "get_fastgraph"]
+__all__ = ["FastGraph", "get_fastgraph", "implicit_threshold"]
 
 _ATTR = "_fastgraph_backend"
 _ENUM_ATTR = "_fastgraph_backend_enum"
+
+#: below this many nodes, "auto" builds the CSR (batched kernels, faster
+#: repeat BFS); at or above it, implicit expansion avoids the O(edges) build
+_THRESHOLD_ENV = "REPRO_IMPLICIT_THRESHOLD"
+_DEFAULT_THRESHOLD = 1 << 22
 
 
 def _numpy_ok() -> bool:
@@ -43,11 +66,21 @@ def enabled() -> bool:
     return os.environ.get("REPRO_FASTGRAPH", "1") != "0" and _numpy_ok()
 
 
+def implicit_threshold() -> int:
+    """Node count at which ``"auto"`` prefers implicit over building a CSR
+    (``REPRO_IMPLICIT_THRESHOLD`` overrides, default 2^22)."""
+    try:
+        return int(os.environ.get(_THRESHOLD_ENV, _DEFAULT_THRESHOLD))
+    except ValueError:
+        return _DEFAULT_THRESHOLD
+
+
 class FastGraph:
     """Dense-integer view of one topology instance.
 
     The CSR adjacency is built lazily on first use and memoized on this
-    object (which is itself memoized on the topology instance).
+    object (which is itself memoized on the topology instance); the
+    implicit substrate has nothing to build.
     """
 
     def __init__(self, topology: Topology, codec: NodeCodec) -> None:
@@ -62,6 +95,42 @@ class FastGraph:
 
             self._csr = build_csr(self.topology, self.codec)
         return self._csr
+
+    # -- backend selection -------------------------------------------------
+
+    def supports_implicit(self) -> bool:
+        """Whether the codec can expand frontiers without a CSR."""
+        return self.codec.supports_implicit()
+
+    def select_backend(
+        self, backend: str | None = None, *, probe: bool = False
+    ) -> str:
+        """Resolve ``backend`` to ``"csr"`` or ``"implicit"``.
+
+        ``None``/``"auto"``: reuse a built CSR; otherwise go implicit past
+        :func:`implicit_threshold` nodes (or, with ``probe=True`` — per-edge
+        work, not a BFS — whenever the codec supports it, since a probe
+        never amortizes an ``O(edges)`` build).
+        """
+        if backend in (None, "auto"):
+            if self._csr is not None or not self.codec.supports_implicit():
+                return "csr"
+            if probe or self.codec.num_nodes >= implicit_threshold():
+                return "implicit"
+            return "csr"
+        if backend == "csr":
+            return "csr"
+        if backend == "implicit":
+            if not self.codec.supports_implicit():
+                raise InvalidParameterError(
+                    f"{self.topology.name}: codec {type(self.codec).__name__} "
+                    "has no vectorized implicit adjacency; use backend='csr'"
+                )
+            return "implicit"
+        raise InvalidParameterError(
+            f"unknown fastgraph backend {backend!r} "
+            "(expected 'auto', 'csr' or 'implicit')"
+        )
 
     # -- label plumbing ----------------------------------------------------
 
@@ -85,12 +154,36 @@ class FastGraph:
                 mask[self.codec.rank(label)] = True
         return mask
 
+    def _blocked_ranks(
+        self, blocked: Iterable[Hashable] | None
+    ) -> np.ndarray | None:
+        """Blocked labels as a rank array — ``O(len(blocked))``, never
+        ``O(num_nodes)`` (the implicit substrate's memory contract)."""
+        if not blocked:
+            return None
+        import numpy as np
+
+        has_node = self.topology.has_node
+        ranks = [self.codec.rank(v) for v in blocked if has_node(v)]
+        return np.array(sorted(ranks), dtype=np.int64) if ranks else None
+
     # -- BFS services ------------------------------------------------------
 
     def distances_array(
-        self, source: Hashable, *, blocked: Iterable[Hashable] | None = None
+        self,
+        source: Hashable,
+        *,
+        blocked: Iterable[Hashable] | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """``int32`` distance array indexed by rank (-1 = unreached)."""
+        if self.select_backend(backend) == "implicit":
+            from repro.fastgraph.implicit import implicit_bfs_levels
+
+            dist, _, _ = implicit_bfs_levels(
+                self.codec, self.rank(source), forbidden=self._blocked_ranks(blocked)
+            )
+            return dist
         from repro.fastgraph.kernels import bfs_levels
 
         dist, _ = bfs_levels(
@@ -99,24 +192,58 @@ class FastGraph:
         return dist
 
     def bfs_distances(
-        self, source: Hashable, blocked: Iterable[Hashable] | None = None
+        self,
+        source: Hashable,
+        blocked: Iterable[Hashable] | None = None,
+        *,
+        backend: str | None = None,
     ) -> dict[Hashable, int]:
         """Distance dict keyed by label — drop-in for the pure-Python BFS."""
-        dist = self.distances_array(source, blocked=blocked)
+        dist = self.distances_array(source, blocked=blocked, backend=backend)
         import numpy as np
 
         unrank = self.codec.unrank
         reached = np.nonzero(dist >= 0)[0]
         return {unrank(int(i)): int(dist[i]) for i in reached}
 
-    def eccentricity(self, source: Hashable) -> int:
-        """Max BFS distance without materialising a label dict."""
-        dist = self.distances_array(source)
+    def eccentricity(
+        self, source: Hashable, *, backend: str | None = None
+    ) -> int:
+        """Max BFS distance without materialising a label dict.
+
+        On the implicit substrate this runs in ``O(num_nodes / 8)`` memory
+        — the per-source exact question that motivates the backend."""
+        if self.select_backend(backend) == "implicit":
+            from repro.fastgraph.implicit import implicit_source_stats
+
+            ecc, _, reached = implicit_source_stats(self.codec, self.rank(source))
+            if reached != self.codec.num_nodes:
+                raise DisconnectedError(
+                    f"{self.topology.name} is not connected from {source!r}"
+                )
+            return ecc
+        dist = self.distances_array(source, backend="csr")
         if int((dist < 0).sum()):
             raise DisconnectedError(
                 f"{self.topology.name} is not connected from {source!r}"
             )
         return int(dist.max())
+
+    def source_histogram(
+        self, source: Hashable, *, backend: str | None = None
+    ) -> dict[int, int]:
+        """``{distance: node count}`` from one source (0 included)."""
+        if self.select_backend(backend) == "implicit":
+            from repro.fastgraph.implicit import implicit_source_stats
+
+            _, depth_counts, _ = implicit_source_stats(self.codec, self.rank(source))
+            return {0: 1, **depth_counts}
+        import numpy as np
+
+        dist = self.distances_array(source, backend="csr")
+        return {
+            d: int(c) for d, c in enumerate(np.bincount(dist[dist >= 0])) if c
+        }
 
     def shortest_path(
         self,
@@ -124,27 +251,51 @@ class FastGraph:
         target: Hashable,
         *,
         blocked: Iterable[Hashable] | None = None,
+        backend: str | None = None,
     ) -> list[Hashable] | None:
         """A shortest label path, or ``None`` when unreachable."""
-        from repro.fastgraph.kernels import bfs_levels, path_from_parents
+        from repro.fastgraph.kernels import path_from_parents
 
         src, dst = self.rank(source), self.rank(target)
-        dist, parents = bfs_levels(
-            self.csr,
-            src,
-            forbidden=self._forbidden_mask(blocked),
-            want_parents=True,
-            target=dst,
-        )
+        if self.select_backend(backend) == "implicit":
+            from repro.fastgraph.implicit import implicit_bfs_levels
+
+            dist, parents, _ = implicit_bfs_levels(
+                self.codec,
+                src,
+                forbidden=self._blocked_ranks(blocked),
+                want_parents=True,
+                target=dst,
+            )
+        else:
+            from repro.fastgraph.kernels import bfs_levels
+
+            dist, parents = bfs_levels(
+                self.csr,
+                src,
+                forbidden=self._forbidden_mask(blocked),
+                want_parents=True,
+                target=dst,
+            )
         if dist[dst] < 0:
             return None
+        assert parents is not None
         return [self.unrank(i) for i in path_from_parents(parents, src, dst)]
 
     # -- adjacency services ------------------------------------------------
 
-    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+    def has_edge(
+        self, u: Hashable, v: Hashable, *, backend: str | None = None
+    ) -> bool:
         if not (self.topology.has_node(u) and self.topology.has_node(v)):
             return False
+        if self.select_backend(backend, probe=True) == "implicit":
+            import numpy as np
+
+            row = self.codec.neighbors_block(
+                np.array([self.rank(u)], dtype=np.int64)
+            )[0]
+            return bool((row == self.rank(v)).any())
         row = self.csr.neighbors_of(self.rank(u))
         return bool((row == self.rank(v)).any())
 

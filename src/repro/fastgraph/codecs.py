@@ -45,6 +45,9 @@ __all__ = [
     "ProductCodec",
     "PairRadixCodec",
     "WrappedButterflyCodec",
+    "DeBruijnCodec",
+    "CycleCodec",
+    "TorusCodec",
     "EnumerationCodec",
     "register_codec",
     "codec_for",
@@ -95,6 +98,38 @@ class NodeCodec:
         if not self.generators:
             return np.zeros((self.num_nodes, 0), dtype=np.int64)
         idx = np.arange(self.num_nodes, dtype=np.int64)
+        return np.column_stack([self.apply_generator(idx, s) for s in self.generators])
+
+    # Implicit adjacency ---------------------------------------------------
+
+    def supports_implicit(self) -> bool:
+        """Whether :meth:`neighbors_block` works on arbitrary rank arrays.
+
+        True for Cayley-element codecs (the default implementation applies
+        every generator) and for codecs that override
+        :meth:`neighbors_block` with direct bit arithmetic.  Codecs that can
+        only enumerate (:class:`EnumerationCodec`, boundary meshes) return
+        ``False`` and stay CSR-only.
+        """
+        return self.generators is not None
+
+    def neighbors_block(self, idx: np.ndarray) -> np.ndarray:
+        """``(len(idx), width)`` int64 array of ranked neighbors of ``idx``.
+
+        The implicit-adjacency contract behind :mod:`repro.fastgraph.implicit`:
+        adjacency is computed on the fly from the packed integer ranks, so a
+        BFS frontier costs ``O(frontier · degree)`` memory instead of the
+        ``O(edges)`` a CSR build needs.  Entries ``< 0`` are padding (used by
+        irregular families such as de Bruijn); the valid entries of each row
+        appear in exactly the order the CSR adjacency row lists them, so BFS
+        parent tie-breaking is bit-identical across backends.
+        """
+        if self.generators is None:
+            raise NotImplementedError
+        import numpy as np
+
+        if not self.generators:
+            return np.zeros((len(idx), 0), dtype=np.int64)
         return np.column_stack([self.apply_generator(idx, s) for s in self.generators])
 
 
@@ -217,6 +252,26 @@ class ProductCodec(NodeCodec):
         right_moves = a[:, None] * nr + rt[b]
         return np.concatenate([left_moves, right_moves], axis=1)
 
+    def supports_implicit(self) -> bool:
+        if self.generators is not None:
+            return True
+        return self.left.supports_implicit() and self.right.supports_implicit()
+
+    def neighbors_block(self, idx: np.ndarray) -> np.ndarray:
+        if self.generators is not None:
+            return super().neighbors_block(idx)
+        # Cartesian combination — left-factor moves first, then right-factor
+        # moves, matching both CartesianProduct.neighbors and neighbor_table.
+        import numpy as np
+
+        nr = self.right.num_nodes
+        a, b = np.divmod(idx, nr)
+        lb = self.left.neighbors_block(a)
+        rb = self.right.neighbors_block(b)
+        left_moves = np.where(lb >= 0, lb * nr + b[:, None], np.int64(-1))
+        right_moves = np.where(rb >= 0, a[:, None] * nr + rb, np.int64(-1))
+        return np.concatenate([left_moves, right_moves], axis=1)
+
 
 class PairRadixCodec(NodeCodec):
     """Plain mixed-radix pair labels ``(a, b)`` with ``0 <= b < radix``."""
@@ -246,9 +301,16 @@ class WrappedButterflyCodec(PairRadixCodec):
     def neighbor_table(self) -> np.ndarray:
         import numpy as np
 
+        return self.neighbors_block(np.arange(self.num_nodes, dtype=np.int64))
+
+    def supports_implicit(self) -> bool:
+        return True
+
+    def neighbors_block(self, idx: np.ndarray) -> np.ndarray:
+        import numpy as np
+
         n = self.n
-        idx = np.arange(self.num_nodes, dtype=np.int64)
-        w, level = idx // n, idx % n
+        w, level = np.divmod(idx, n)
         up = (level + 1) % n
         down = (level - 1) % n
         return np.column_stack(
@@ -257,6 +319,97 @@ class WrappedButterflyCodec(PairRadixCodec):
                 (w ^ (1 << level)) * n + up,
                 w * n + down,
                 (w ^ (1 << down)) * n + down,
+            ]
+        )
+
+
+class DeBruijnCodec(IntRangeCodec):
+    """Undirected simple binary de Bruijn ``D_n`` — int labels, padded rows.
+
+    The simple undirected de Bruijn graph is *irregular* (self-loops and
+    shift-pair merges drop edges at ``0…0``/``1…1`` and alternating words),
+    so implicit rows are padded with ``-1`` where a candidate duplicates
+    the vertex itself or an earlier candidate — reproducing exactly the
+    ``seen``-set dedup order of :meth:`repro.topologies.debruijn.DeBruijn.neighbors`.
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(1 << n, cache_key=f"debruijn:{n}")
+        self.n = n
+
+    def supports_implicit(self) -> bool:
+        return True
+
+    def neighbors_block(self, idx: np.ndarray) -> np.ndarray:
+        import numpy as np
+
+        word_mask = (1 << self.n) - 1
+        # candidate order mirrors DeBruijn.neighbors: shift-left b=0,1 then
+        # shift-right b=0,1, each kept only if new w.r.t. v and predecessors
+        c0 = (idx << 1) & word_mask
+        c1 = c0 | 1
+        c2 = idx >> 1
+        c3 = c2 | (1 << (self.n - 1))
+        pad = np.int64(-1)
+        return np.column_stack(
+            [
+                np.where(c0 != idx, c0, pad),
+                np.where(c1 != idx, c1, pad),
+                np.where((c2 != idx) & (c2 != c0) & (c2 != c1), c2, pad),
+                np.where(
+                    (c3 != idx) & (c3 != c0) & (c3 != c1) & (c3 != c2), c3, pad
+                ),
+            ]
+        )
+
+
+class CycleCodec(IntRangeCodec):
+    """Cycle ``C_k`` — int labels, successor/predecessor adjacency."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k, cache_key=f"cycle:{k}")
+        self.k = k
+
+    def neighbor_table(self) -> np.ndarray:
+        import numpy as np
+
+        return self.neighbors_block(np.arange(self.k, dtype=np.int64))
+
+    def supports_implicit(self) -> bool:
+        return True
+
+    def neighbors_block(self, idx: np.ndarray) -> np.ndarray:
+        import numpy as np
+
+        return np.column_stack([(idx + 1) % self.k, (idx - 1) % self.k])
+
+
+class TorusCodec(PairRadixCodec):
+    """2-D torus ``(n1, n2)`` — pair labels, four wrap-around moves."""
+
+    def __init__(self, n1: int, n2: int) -> None:
+        super().__init__(n1, n2, cache_key=f"torus:{n1},{n2}")
+        self.n1 = n1
+        self.n2 = n2
+
+    def neighbor_table(self) -> np.ndarray:
+        import numpy as np
+
+        return self.neighbors_block(np.arange(self.num_nodes, dtype=np.int64))
+
+    def supports_implicit(self) -> bool:
+        return True
+
+    def neighbors_block(self, idx: np.ndarray) -> np.ndarray:
+        import numpy as np
+
+        i, j = np.divmod(idx, self.n2)
+        return np.column_stack(
+            [
+                ((i + 1) % self.n1) * self.n2 + j,
+                ((i - 1) % self.n1) * self.n2 + j,
+                i * self.n2 + (j + 1) % self.n2,
+                i * self.n2 + (j - 1) % self.n2,
             ]
         )
 
@@ -352,41 +505,15 @@ def _hyper_butterfly_factory(t: Any) -> NodeCodec:
 
 
 def _debruijn_factory(t: Any) -> NodeCodec:
-    return IntRangeCodec(t.num_nodes, cache_key=f"debruijn:{t.n}")
+    return DeBruijnCodec(t.n)
 
 
 def _cycle_factory(t: Any) -> NodeCodec:
-    codec = IntRangeCodec(t.k, cache_key=f"cycle:{t.k}")
-
-    def table() -> np.ndarray:
-        import numpy as np
-
-        idx = np.arange(t.k, dtype=np.int64)
-        return np.column_stack([(idx + 1) % t.k, (idx - 1) % t.k])
-
-    codec.neighbor_table = table  # type: ignore[method-assign]
-    return codec
+    return CycleCodec(t.k)
 
 
 def _torus_factory(t: Any) -> NodeCodec:
-    codec = PairRadixCodec(t.n1, t.n2, cache_key=f"torus:{t.n1},{t.n2}")
-
-    def table() -> np.ndarray:
-        import numpy as np
-
-        idx = np.arange(codec.num_nodes, dtype=np.int64)
-        i, j = idx // t.n2, idx % t.n2
-        return np.column_stack(
-            [
-                ((i + 1) % t.n1) * t.n2 + j,
-                ((i - 1) % t.n1) * t.n2 + j,
-                i * t.n2 + (j + 1) % t.n2,
-                i * t.n2 + (j - 1) % t.n2,
-            ]
-        )
-
-    codec.neighbor_table = table  # type: ignore[method-assign]
-    return codec
+    return TorusCodec(t.n1, t.n2)
 
 
 def _mesh_factory(t: Any) -> NodeCodec:

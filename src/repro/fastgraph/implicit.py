@@ -1,0 +1,351 @@
+"""CSR-free BFS kernels over implicit (computed) adjacency.
+
+The CSR kernels in :mod:`repro.fastgraph.kernels` are fast but pay
+``O(edges)`` memory before the first frontier expands — ~3 GB of indices
+(plus build intermediates) for ``HB(10,12)``'s 49M nodes.  For the
+bit-arithmetic families in this repo the neighbor function is pure
+XOR/shift on packed integer ranks, so adjacency can be *computed on the
+fly* instead: each BFS level gathers the neighbor block of the current
+frontier via :meth:`~repro.fastgraph.codecs.NodeCodec.neighbors_block`
+and discards it again.  Peak memory is
+
+* one packed :class:`Bitset` of visited nodes — ``num_nodes / 8`` bytes,
+* the frontier rank array and a bounded ``slice × degree`` gather buffer
+  (the frontier is expanded in slices of :func:`default_slice_nodes`
+  ranks), and
+* the ``int32`` distance array *only when the caller asks for distances*
+  (:func:`implicit_bfs_levels`); the sweep statistics kernels
+  (:func:`implicit_source_stats`, :func:`implicit_sweep_chunk`) never
+  allocate per-node output and run in ``O(num_nodes / 8)`` memory.
+
+Bit-identity contract: for any codec whose ``neighbors_block`` rows list
+valid entries in CSR row order (all built-in codecs), every kernel here
+returns exactly what the CSR kernels return — distances, parent choice
+(first occurrence in the frontier-major flattened neighbor order, with
+the frontier kept in ascending rank order), reaching-generator indices,
+and depth histograms.  ``tests/fastgraph/test_implicit.py`` pins this
+across the family grid, including fault-masked subsets.
+
+When :mod:`numba` is importable (the optional ``repro[speed]`` extra) a
+jitted fused test-and-set kernel replaces the numpy
+test/unique/mark sequence — auto-detected at import, disabled with
+``REPRO_IMPLICIT_NUMBA=0``, and bit-identical to the numpy path by
+construction (both resolve duplicate candidates to their first
+occurrence and sort each new frontier).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.fastgraph.codecs import NodeCodec
+
+__all__ = [
+    "HAVE_NUMBA",
+    "numba_enabled",
+    "default_slice_nodes",
+    "Bitset",
+    "implicit_bfs_levels",
+    "implicit_source_stats",
+    "implicit_sweep_chunk",
+]
+
+#: whether the optional jit is importable — the numpy path is the reference
+HAVE_NUMBA = False
+try:
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised on numba-less installs
+    pass
+
+#: env switch to force the numpy path even when numba is importable
+_NUMBA_ENV = "REPRO_IMPLICIT_NUMBA"
+#: env override for the frontier gather slice (ranks per gather)
+_SLICE_ENV = "REPRO_IMPLICIT_SLICE"
+_DEFAULT_SLICE = 1 << 20
+
+
+def numba_enabled() -> bool:
+    """Whether the jitted fused kernel is active for this process."""
+    return HAVE_NUMBA and os.environ.get(_NUMBA_ENV, "1") != "0"
+
+
+def default_slice_nodes() -> int:
+    """Frontier ranks expanded per gather — bounds the ``slice × degree``
+    scratch buffer (``REPRO_IMPLICIT_SLICE`` overrides, default 2^20)."""
+    try:
+        value = int(os.environ.get(_SLICE_ENV, _DEFAULT_SLICE))
+    except ValueError:
+        return _DEFAULT_SLICE
+    return value if value >= 1 else _DEFAULT_SLICE
+
+
+if HAVE_NUMBA:
+
+    @_njit(cache=True)
+    def _mark_fresh_numba(
+        words: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - requires the [speed] extra
+        """Fused visited test-and-set: mask of first-occurrence fresh ranks."""
+        out = np.zeros(candidates.shape[0], dtype=np.bool_)
+        one = np.uint64(1)
+        for i in range(candidates.shape[0]):
+            v = candidates[i]
+            word = v >> 6
+            bit = one << np.uint64(v & 63)
+            if not (words[word] & bit):
+                words[word] |= bit
+                out[i] = True
+        return out
+
+
+class Bitset:
+    """Packed visited set — one bit per node in ``uint64`` words."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 0:
+            raise InvalidParameterError(f"bitset size must be >= 0, got {num_bits}")
+        self.num_bits = num_bits
+        self.words = np.zeros((num_bits + 63) >> 6, dtype=np.uint64)
+
+    def test(self, idx: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``idx``: which bits are already set."""
+        shifts = (idx & 63).astype(np.uint64)
+        return (self.words[idx >> 6] >> shifts) & np.uint64(1) != 0
+
+    def set_bits(self, idx: np.ndarray) -> None:
+        """Set the bits of ``idx`` (duplicates allowed)."""
+        bits = np.uint64(1) << (idx & 63).astype(np.uint64)
+        np.bitwise_or.at(self.words, idx >> 6, bits)
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+
+
+def _fresh_in_slice(
+    bitset: Bitset, flat: np.ndarray, *, use_numba: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(news, keep_index)`` of one flattened neighbor slice.
+
+    ``news`` are the ranks newly marked visited; ``keep_index`` indexes
+    their first occurrence back into ``flat`` (for parent/generator
+    attribution).  Duplicate candidates always resolve to their first
+    occurrence, so the numba and numpy routes agree exactly.
+    """
+    if use_numba:
+        mask = _mark_fresh_numba(bitset.words, flat)
+        keep = np.nonzero(mask)[0]
+        return flat[keep], keep
+    unseen = np.nonzero(~bitset.test(flat))[0]
+    candidates = flat[unseen]
+    uniq, first = np.unique(candidates, return_index=True)
+    bitset.set_bits(uniq)
+    return uniq, unseen[first]
+
+
+def _expand_level(
+    codec: NodeCodec,
+    frontier: np.ndarray,
+    bitset: Bitset,
+    *,
+    slice_nodes: int,
+    want_origins: bool,
+    use_numba: bool,
+    on_fresh: Callable[[np.ndarray, np.ndarray | None, np.ndarray | None], None],
+) -> tuple[np.ndarray, int]:
+    """Expand one BFS level slice by slice; returns ``(next frontier, newly)``.
+
+    ``on_fresh(news, origins, columns)`` is invoked per slice with the
+    newly visited ranks, the frontier ranks they were reached from, and
+    the neighbor-block column (generator index) used — the latter two are
+    ``None`` unless ``want_origins``.  The next frontier is the ascending
+    sort of all news, which keeps the flattened gather order of the *next*
+    level identical to the CSR kernel's ``np.unique`` frontier.
+    """
+    parts: list[np.ndarray] = []
+    newly = 0
+    for lo in range(0, len(frontier), slice_nodes):
+        part = frontier[lo : lo + slice_nodes]
+        block = codec.neighbors_block(part)
+        width = block.shape[1]
+        if width == 0:
+            continue
+        flat = block.ravel()
+        valid: np.ndarray | None = None
+        if bool((flat < 0).any()):
+            valid = np.nonzero(flat >= 0)[0]
+            flat = flat[valid]
+        news, keep = _fresh_in_slice(bitset, flat, use_numba=use_numba)
+        if news.size == 0:
+            continue
+        newly += int(news.size)
+        parts.append(news)
+        if want_origins:
+            if valid is not None:
+                keep = valid[keep]
+            origins = part[keep // width]
+            columns = keep % width
+            on_fresh(news, origins, columns)
+        else:
+            on_fresh(news, None, None)
+    if not parts:
+        return np.zeros(0, dtype=np.int64), 0
+    if len(parts) == 1 and not use_numba:
+        return parts[0], newly  # already sorted by np.unique
+    merged = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    return np.sort(merged), newly
+
+
+def _seed_bitset(
+    codec: NodeCodec, source: int, forbidden: np.ndarray | None
+) -> Bitset:
+    bitset = Bitset(codec.num_nodes)
+    if forbidden is not None and len(forbidden):
+        bitset.set_bits(np.asarray(forbidden, dtype=np.int64))
+    bitset.set_bits(np.array([source], dtype=np.int64))
+    return bitset
+
+
+def implicit_bfs_levels(
+    codec: NodeCodec,
+    source: int,
+    *,
+    forbidden: np.ndarray | None = None,
+    want_parents: bool = False,
+    want_via: bool = False,
+    target: int | None = None,
+    slice_nodes: int | None = None,
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+    """Single-source BFS → ``(dist, parents, via)`` without any CSR.
+
+    Mirrors :func:`repro.fastgraph.kernels.bfs_levels` bit for bit:
+    ``dist`` is ``int32`` with ``-1`` unreached, ``forbidden`` ranks are
+    never entered, ``target`` stops the sweep once its level is complete,
+    and ``parents`` (when requested) picks the first occurrence in the
+    frontier-major neighbor order.  ``via`` (when requested) additionally
+    records the neighbor-block *column* — for generator codecs, the index
+    of the generator whose edge reached each node (``-1`` at the source
+    and unreached nodes), which is what the identity-rooted
+    :class:`~repro.cayley.graph.DistanceOracle` stores.
+    """
+    dist = np.full(codec.num_nodes, -1, dtype=np.int32)
+    parents = np.full(codec.num_nodes, -1, dtype=np.int64) if want_parents else None
+    via = np.full(codec.num_nodes, -1, dtype=np.int64) if want_via else None
+    bitset = _seed_bitset(codec, source, forbidden)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    slice_nodes = slice_nodes or default_slice_nodes()
+    use_numba = numba_enabled()
+    while frontier.size:
+        if target is not None and dist[target] >= 0:
+            break
+        depth += 1
+
+        def on_fresh(
+            news: np.ndarray,
+            origins: np.ndarray | None,
+            columns: np.ndarray | None,
+        ) -> None:
+            dist[news] = depth
+            if parents is not None and origins is not None:
+                parents[news] = origins
+            if via is not None and columns is not None:
+                via[news] = columns
+
+        frontier, _ = _expand_level(
+            codec,
+            frontier,
+            bitset,
+            slice_nodes=slice_nodes,
+            want_origins=want_parents or want_via,
+            use_numba=use_numba,
+            on_fresh=on_fresh,
+        )
+    return dist, parents, via
+
+
+def implicit_source_stats(
+    codec: NodeCodec,
+    source: int,
+    *,
+    forbidden: np.ndarray | None = None,
+    slice_nodes: int | None = None,
+) -> tuple[int, dict[int, int], int]:
+    """One exact BFS reduced on the fly — ``O(num_nodes / 8)`` memory.
+
+    Returns ``(eccentricity, depth_counts, reached)``: the max depth, the
+    ``{depth >= 1: newly-visited count}`` histogram, and the number of
+    nodes reached (source included) — enough for per-source eccentricity,
+    single-source distance histograms, and connectivity checks, without a
+    per-node output array.
+    """
+    bitset = _seed_bitset(codec, source, forbidden)
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    reached = 1
+    depth_counts: dict[int, int] = {}
+    slice_nodes = slice_nodes or default_slice_nodes()
+    use_numba = numba_enabled()
+
+    def on_fresh(
+        news: np.ndarray,
+        origins: np.ndarray | None,
+        columns: np.ndarray | None,
+    ) -> None:
+        pass  # counts are taken from _expand_level's newly total
+
+    while frontier.size:
+        depth += 1
+        frontier, newly = _expand_level(
+            codec,
+            frontier,
+            bitset,
+            slice_nodes=slice_nodes,
+            want_origins=False,
+            use_numba=use_numba,
+            on_fresh=on_fresh,
+        )
+        if newly:
+            depth_counts[depth] = newly
+            reached += newly
+    return max(depth_counts) if depth_counts else 0, depth_counts, reached
+
+
+def implicit_sweep_chunk(
+    codec: NodeCodec,
+    chunk: np.ndarray,
+    *,
+    forbidden: np.ndarray | None = None,
+    slice_nodes: int | None = None,
+) -> tuple[np.ndarray, dict[int, int], bool]:
+    """Per-source BFS over the ``chunk`` source ranks, reduced like
+    :func:`repro.fastgraph.kernels.sweep_chunk`.
+
+    Returns ``(eccentricities, depth_counts, all_visited)`` with the same
+    contract as the CSR chunk kernel, so
+    :mod:`repro.fastgraph.parallel` reduces both payload kinds through
+    one code path and the results are bit-identical for any job count.
+    Unlike the CSR kernel there is no batched matrix product — each
+    source costs one full implicit BFS — but there is also no ``O(edges)``
+    adjacency to build or ship to workers.
+    """
+    eccentricities = np.zeros(len(chunk), dtype=np.int64)
+    depth_counts: dict[int, int] = {}
+    all_visited = True
+    total = codec.num_nodes - (len(forbidden) if forbidden is not None else 0)
+    for i, source in enumerate(chunk):
+        ecc, counts, reached = implicit_source_stats(
+            codec, int(source), forbidden=forbidden, slice_nodes=slice_nodes
+        )
+        eccentricities[i] = ecc
+        for depth, newly in counts.items():
+            depth_counts[depth] = depth_counts.get(depth, 0) + newly
+        all_visited = all_visited and reached == total
+    return eccentricities, depth_counts, all_visited

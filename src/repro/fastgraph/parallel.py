@@ -1,39 +1,48 @@
-"""Process-pool all-sources BFS sweeps over a shared CSR adjacency.
+"""Process-pool multi-source BFS sweeps over a shared adjacency payload.
 
-The batched boolean BFS kernel (:func:`repro.fastgraph.kernels.sweep_chunk`)
-is embarrassingly parallel across source chunks, but a single Python
-process keeps scipy's sparse products on one core.  This module spreads
-the chunks over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+The chunked sweep is embarrassingly parallel across source chunks, but a
+single Python process keeps the kernels on one core.  This module spreads
+the chunks over a :class:`~concurrent.futures.ProcessPoolExecutor` and is
+**payload-aware** — the first argument picks the worker substrate:
 
-* the CSR arrays are pickled **once per worker** (pool ``initializer``),
-  not once per chunk — workers rebuild the scipy adjacency lazily on
-  their first chunk and reuse it;
-* chunk boundaries are a pure function of ``(num_nodes, batch)`` and the
-  reduction (``max`` over eccentricities via order-preserving
-  concatenation, integer ``+`` over histogram counts) is associative and
-  order-preserved by ``executor.map`` — the result is **bit-identical**
-  for any ``jobs`` value, including the in-process ``jobs=1`` path, which
-  runs the very same chunk kernel without a pool;
-* consumers (``exact_diameter``/``distance_profile``/the metrics CLI's
-  ``--jobs``) get both reductions from one sweep in a
-  :class:`SweepResult`.
+* a :class:`~repro.fastgraph.csr.CSRAdjacency` ships its ``(indptr,
+  indices)`` arrays **once per worker** (pool ``initializer``, not once
+  per chunk); workers rebuild the scipy adjacency lazily and run the
+  batched boolean kernel (:func:`repro.fastgraph.kernels.sweep_chunk`);
+* a :class:`~repro.fastgraph.codecs.NodeCodec` with implicit adjacency
+  ships only the codec itself — a few integers, the whole "spec" of the
+  family — and workers expand frontiers CSR-free
+  (:func:`repro.fastgraph.implicit.implicit_sweep_chunk`).  Nothing
+  ``O(edges)`` ever crosses a process boundary, which is what lets
+  multi-source sweeps run at scales where no CSR fits.
 
-Determinism for any job count is pinned by
+Chunk boundaries are a pure function of ``(num_sources, batch)`` and the
+reduction (``max`` over eccentricities via order-preserving concatenation,
+integer ``+`` over histogram counts) is associative and order-preserved by
+``executor.map`` — the result is **bit-identical** for any ``jobs`` value
+*and* for either payload kind, including the in-process ``jobs=1`` path,
+which runs the very same chunk kernels without a pool.
+
+Determinism for any job count and both payloads is pinned by
 ``tests/fastgraph/test_parallel.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Union
 
 import numpy as np
 
 from repro.errors import DisconnectedError, InvalidParameterError
+from repro.fastgraph.codecs import NodeCodec
 from repro.fastgraph.csr import CSRAdjacency
 from repro.fastgraph.kernels import sweep_chunk
 
 __all__ = ["SweepResult", "parallel_sweep", "source_chunks"]
+
+#: a sweep substrate: materialized CSR arrays, or a tiny picklable codec
+SweepPayload = Union[CSRAdjacency, NodeCodec]
 
 #: per-worker state, populated by the pool initializer (fork or spawn safe)
 _state: dict[str, Any] = {}
@@ -41,9 +50,9 @@ _state: dict[str, Any] = {}
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Both reductions of one all-sources BFS sweep."""
+    """Both reductions of one multi-source BFS sweep."""
 
-    eccentricities: np.ndarray  # int64, one per node rank
+    eccentricities: np.ndarray  # int64, one per source
     histogram: dict[int, int]  # distance -> ordered-pair count (incl. 0)
 
     def diameter(self) -> int:
@@ -59,7 +68,7 @@ def source_chunks(total: int, batch: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + batch, total)) for lo in range(0, total, batch)]
 
 
-def _init_worker(
+def _init_worker_csr(
     indptr: np.ndarray, indices: np.ndarray, uniform_degree: int | None
 ) -> None:
     """Rebuild the CSR once per worker; the scipy matrix is built lazily."""
@@ -67,20 +76,50 @@ def _init_worker(
         indptr=indptr, indices=indices, uniform_degree=uniform_degree
     )
     _state["adjacency"] = None
+    _state["codec"] = None
+
+
+def _init_worker_implicit(codec: NodeCodec) -> None:
+    """Store the codec spec — the only state an implicit worker needs."""
+    _state["codec"] = codec
+    _state["csr"] = None
 
 
 def _run_chunk(bounds: tuple[int, int]) -> tuple[np.ndarray, dict[int, int], bool]:
-    """Worker body: sweep one chunk against the worker-cached adjacency."""
+    """Worker body: sweep one chunk against the worker-cached substrate."""
+    lo, hi = bounds
+    chunk = np.arange(lo, hi, dtype=np.int64)
+    codec: NodeCodec | None = _state.get("codec")
+    if codec is not None:
+        from repro.fastgraph.implicit import implicit_sweep_chunk
+
+        return implicit_sweep_chunk(codec, chunk)
     csr: CSRAdjacency = _state["csr"]
     if _state["adjacency"] is None:
         _state["adjacency"] = csr.to_scipy()
-    lo, hi = bounds
-    chunk = np.arange(lo, hi, dtype=np.int64)
     return sweep_chunk(_state["adjacency"], csr.num_nodes, chunk)
 
 
+def _run_chunks_inline(
+    payload: SweepPayload, bounds: list[tuple[int, int]]
+) -> list[tuple[np.ndarray, dict[int, int], bool]]:
+    """The ``jobs=1`` reference path — same chunk kernels, no pool."""
+    if isinstance(payload, NodeCodec):
+        from repro.fastgraph.implicit import implicit_sweep_chunk
+
+        return [
+            implicit_sweep_chunk(payload, np.arange(lo, hi, dtype=np.int64))
+            for lo, hi in bounds
+        ]
+    adjacency = payload.to_scipy()
+    return [
+        sweep_chunk(adjacency, payload.num_nodes, np.arange(lo, hi, dtype=np.int64))
+        for lo, hi in bounds
+    ]
+
+
 def parallel_sweep(
-    csr: CSRAdjacency,
+    payload: SweepPayload,
     *,
     jobs: int = 1,
     batch: int = 128,
@@ -89,28 +128,37 @@ def parallel_sweep(
 ) -> SweepResult:
     """All-sources eccentricities + distance histogram, ``jobs`` processes.
 
-    ``jobs=1`` runs the chunk loop in-process (no pool, no pickling) and
-    is the reference the pooled paths must match bit-for-bit.
+    ``payload`` selects the substrate (CSR arrays or an implicit codec —
+    see the module docstring); ``jobs=1`` runs the chunk loop in-process
+    (no pool, no pickling) and is the reference the pooled paths must
+    match bit-for-bit.
     """
     if jobs < 1:
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
     if batch < 1:
         raise InvalidParameterError(f"batch must be >= 1, got {batch}")
-    total = csr.num_nodes
+    if isinstance(payload, NodeCodec) and not payload.supports_implicit():
+        raise InvalidParameterError(
+            f"codec {type(payload).__name__} has no implicit adjacency; "
+            "pass its CSRAdjacency instead"
+        )
+    total = payload.num_nodes
     bounds = source_chunks(total, batch)
     if jobs == 1 or len(bounds) <= 1:
-        adjacency = csr.to_scipy()
-        results = [
-            sweep_chunk(adjacency, total, np.arange(lo, hi, dtype=np.int64))
-            for lo, hi in bounds
-        ]
+        results = _run_chunks_inline(payload, bounds)
     else:
         from concurrent.futures import ProcessPoolExecutor
 
+        if isinstance(payload, NodeCodec):
+            initializer: Any = _init_worker_implicit
+            initargs: tuple[Any, ...] = (payload,)
+        else:
+            initializer = _init_worker_csr
+            initargs = (payload.indptr, payload.indices, payload.uniform_degree)
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(bounds)),
-            initializer=_init_worker,
-            initargs=(csr.indptr, csr.indices, csr.uniform_degree),
+            initializer=initializer,
+            initargs=initargs,
         ) as pool:
             # map preserves submission order -> deterministic reduction
             results = list(pool.map(_run_chunk, bounds))

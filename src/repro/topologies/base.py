@@ -87,7 +87,9 @@ class Topology(ABC):
         return len(self.neighbors(v))
 
     def has_edge(self, u: Hashable, v: Hashable) -> bool:
-        return v in set(self.neighbors(u))
+        """Whether ``{u, v}`` is an edge — short-circuit scan of ``u``'s
+        neighbor list, no per-probe set allocation."""
+        return any(w == v for w in self.neighbors(u))
 
     def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
         """Iterate each undirected edge exactly once.
@@ -147,16 +149,35 @@ class Topology(ABC):
     # BFS utilities shared by routing/analysis -------------------------------
 
     def bfs_distances(
-        self, source: Hashable, *, blocked: frozenset | set | None = None
+        self,
+        source: Hashable,
+        *,
+        blocked: frozenset | set | None = None,
+        backend: str | None = None,
     ) -> dict[Hashable, int]:
-        """Unweighted distances from ``source`` (skipping ``blocked`` nodes)."""
+        """Unweighted distances from ``source`` (skipping ``blocked`` nodes).
+
+        ``backend`` pins the BFS substrate: ``"python"`` forces the label
+        BFS, ``"csr"``/``"implicit"`` force a fast-backend substrate
+        (:class:`~repro.errors.InvalidParameterError` when the family has
+        no codec), ``None``/``"auto"`` picks the cheapest valid one.
+        """
         self.validate_node(source)
         blocked = blocked or frozenset()
         if source in blocked:
             raise InvalidLabelError("source node is blocked")
+        if backend == "python":
+            return self._bfs_distances_python(source, blocked)
         fast = _fastgraph(self)
         if fast is not None:
-            return fast.bfs_distances(source, blocked)
+            return fast.bfs_distances(source, blocked, backend=backend)
+        if backend in ("csr", "implicit"):
+            from repro.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"{self.name} has no fastgraph codec; backend={backend!r} "
+                "is unavailable (use backend='python')"
+            )
         return self._bfs_distances_python(source, blocked)
 
     def _bfs_distances_python(
@@ -216,13 +237,25 @@ class Topology(ABC):
                 queue.append(w)
         return None
 
-    def eccentricity(self, v: Hashable) -> int:
-        """Eccentricity of ``v`` (max BFS distance; graph must be connected)."""
+    def eccentricity(self, v: Hashable, *, backend: str | None = None) -> int:
+        """Eccentricity of ``v`` (max BFS distance; graph must be connected).
+
+        ``backend`` as in :meth:`bfs_distances`; the implicit substrate
+        answers this per-source exact question in ``O(num_nodes / 8)``
+        memory, which is what makes it available past CSR scale.
+        """
         self.validate_node(v)
-        fast = _fastgraph(self)
+        fast = _fastgraph(self) if backend != "python" else None
         if fast is not None:
             # array max — skips materialising a num_nodes-sized label dict
-            return fast.eccentricity(v)
+            return fast.eccentricity(v, backend=backend)
+        if backend in ("csr", "implicit"):
+            from repro.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"{self.name} has no fastgraph codec; backend={backend!r} "
+                "is unavailable (use backend='python')"
+            )
         dist = self._bfs_distances_python(v, frozenset())
         if len(dist) != self.num_nodes:
             raise DisconnectedError(f"{self.name} is not connected from {v!r}")

@@ -126,6 +126,37 @@ class TestDistanceOracle:
         # mean Hamming weight over all 3-bit words = 1.5
         assert oracle.average_distance() == pytest.approx(1.5)
 
+    @pytest.mark.parametrize("graph_builder", [cube_graph, butterfly_graph])
+    def test_implicit_backend_bit_identical_to_dense(self, graph_builder):
+        import numpy as np
+
+        cg = graph_builder(3)
+        dense = DistanceOracle(cg.group, cg.gens, backend="dense")
+        implicit = DistanceOracle(cg.group, cg.gens, backend="implicit")
+        assert np.array_equal(dense._dist_arr, implicit._dist_arr)
+        assert np.array_equal(dense._via_arr, implicit._via_arr)
+        assert np.array_equal(dense._parent_arr, implicit._parent_arr)
+        python = DistanceOracle(cg.group, cg.gens, backend="python")
+        for delta in cg.nodes():
+            assert implicit.distance_from_identity(delta) == (
+                python.distance_from_identity(delta)
+            )
+            word = implicit.generator_word(delta)
+            v = cg.group.identity()
+            for i in word:
+                v = cg.gens.apply(v, i)
+            assert v == delta
+
+    def test_auto_backend_goes_implicit_past_threshold(self, monkeypatch):
+        import numpy as np
+
+        monkeypatch.setenv("REPRO_IMPLICIT_THRESHOLD", "1")
+        cg = butterfly_graph(3)
+        auto = DistanceOracle(cg.group, cg.gens, backend="auto")
+        dense = DistanceOracle(cg.group, cg.gens, backend="dense")
+        assert np.array_equal(auto._dist_arr, dense._dist_arr)
+        assert np.array_equal(auto._via_arr, dense._via_arr)
+
     def test_invalid_label_raises(self):
         oracle = cube_graph(2).oracle
         with pytest.raises(InvalidLabelError):

@@ -126,6 +126,7 @@ class TestDefaultTargets:
             "faults-campaign-hb23",
             "fastgraph-metrics-hb23",
             "metrics-cli-hb23",
+            "metrics-cli-implicit-hb23",
         }
         campaign = targets["faults-campaign-hb23"]
         assert "faults-campaign" in campaign.argv
@@ -133,6 +134,11 @@ class TestDefaultTargets:
         pooled = targets["metrics-cli-hb23"]
         assert "--jobs" in pooled.argv  # exercises the process-pool sweep
         assert not pooled.uses_stdout
+        implicit = targets["metrics-cli-implicit-hb23"]
+        # the CSR-free substrate, pooled: pins the codec-payload A/B path
+        assert "implicit" in implicit.argv
+        assert "--jobs" in implicit.argv
+        assert not implicit.uses_stdout
 
     def test_metrics_probe_payload(self, tmp_path):
         out = tmp_path / "metrics.json"

@@ -95,6 +95,52 @@ class TestValidation:
         assert result.histogram == {0: 2}
 
 
+class TestPayloadKinds:
+    """Codec (implicit) payloads vs CSR payloads: bit-identical reductions.
+
+    The pool ships either CSR arrays or a tiny picklable codec; both kinds
+    must reduce to exactly the same result for every job count, and the
+    implicit workers must never require a CSR at all.
+    """
+
+    @pytest.fixture(scope="class")
+    def fast(self):
+        return get_fastgraph(HyperButterfly(2, 3))
+
+    @pytest.fixture(scope="class")
+    def csr_reference(self, fast):
+        return parallel_sweep(fast.csr, jobs=1, batch=16, name="HB(2,3)")
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_codec_payload_matches_csr_payload(self, fast, csr_reference, jobs):
+        result = parallel_sweep(fast.codec, jobs=jobs, batch=16, name="HB(2,3)")
+        assert np.array_equal(
+            result.eccentricities, csr_reference.eccentricities
+        )
+        assert result.histogram == csr_reference.histogram
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_irregular_codec_payload(self, jobs):
+        fast = get_fastgraph(DeBruijn(3))
+        reference = parallel_sweep(fast.csr, jobs=1, batch=3, check_connected=False)
+        pooled = parallel_sweep(
+            fast.codec, jobs=jobs, batch=3, check_connected=False
+        )
+        assert np.array_equal(pooled.eccentricities, reference.eccentricities)
+        assert pooled.histogram == reference.histogram
+
+    def test_rejects_codec_without_implicit_support(self):
+        from repro.topologies.mesh import Torus
+
+        fast = get_fastgraph(Mesh(4, 3))
+        with pytest.raises(InvalidParameterError):
+            parallel_sweep(fast.codec, jobs=1)
+        # a supported codec of the same pair shape sails through
+        torus = get_fastgraph(Torus(3, 4))
+        result = parallel_sweep(torus.codec, jobs=1, name="M(3,4)")
+        assert isinstance(result, SweepResult)
+
+
 class TestConsumers:
     """jobs>1 plumbed through the public metric entry points."""
 

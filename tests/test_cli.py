@@ -108,6 +108,60 @@ class TestCommands:
         for key in ("diameter", "average_distance", "distance_histogram"):
             assert fast[key] == slow[key]
 
+    def test_metrics_backend_pinning_matches_auto(self, capsys, tmp_path):
+        import json
+
+        payloads = {}
+        for backend in ("auto", "csr", "implicit", "python"):
+            path = tmp_path / f"{backend}.json"
+            assert (
+                main(
+                    [
+                        "metrics", "hb", "2", "3",
+                        "--backend", backend, "--output", str(path),
+                    ]
+                )
+                == 0
+            )
+            payloads[backend] = json.loads(path.read_text())
+        capsys.readouterr()
+        # auto keeps the BFS-free decomposition; pinning runs the engine
+        assert payloads["auto"]["engine"] == "decomposition"
+        for backend in ("csr", "implicit", "python"):
+            assert payloads[backend]["engine"] == "transitive-bfs"
+            assert payloads[backend]["backend"] == backend
+        reference = payloads["auto"]
+        for payload in payloads.values():
+            for key in ("diameter", "average_distance", "distance_histogram"):
+                assert payload[key] == reference[key]
+
+    def test_metrics_backend_implicit_pooled_sweep(self, capsys, tmp_path):
+        import json
+
+        csr = tmp_path / "csr.json"
+        implicit = tmp_path / "implicit.json"
+        for backend, path in (("csr", csr), ("implicit", implicit)):
+            assert (
+                main(
+                    [
+                        "metrics", "hb", "2", "3",
+                        "--backend", backend, "--force-bfs", "--jobs", "2",
+                        "--output", str(path),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        a, b = json.loads(csr.read_text()), json.loads(implicit.read_text())
+        assert a["engine"] == b["engine"] == "bfs-sweep"
+        for key in ("diameter", "average_distance", "distance_histogram"):
+            assert a[key] == b[key]
+
+    def test_metrics_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["metrics", "hb", "2", "3", "--backend", "sparse"])
+        assert "invalid choice" in capsys.readouterr().err
+
     def test_metrics_single_parameter_families(self, capsys):
         assert main(["metrics", "hypercube", "4"]) == 0
         assert "transitive-bfs" in capsys.readouterr().out

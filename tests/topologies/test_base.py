@@ -1,0 +1,67 @@
+"""Micro-tests for the shared :class:`Topology` base-class helpers."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.topologies.base import Topology
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.mesh_of_trees import MeshOfTrees
+
+
+class TestHasEdge:
+    def test_agrees_with_neighbor_membership(self):
+        cube = Hypercube(3)
+        for u in cube.nodes():
+            neighbor_set = set(cube.neighbors(u))
+            for v in cube.nodes():
+                assert cube.has_edge(u, v) == (v in neighbor_set)
+
+    def test_no_self_loops(self):
+        mot = MeshOfTrees(2, 2)
+        for v in list(mot.nodes())[:8]:
+            assert not mot.has_edge(v, v)
+
+    def test_scan_never_hashes_the_neighbor_list(self):
+        """The probe is a short-circuit ``==`` scan — building a set per
+        call (the old implementation) would hash every neighbor label and
+        blow up on unhashable ones."""
+
+        class ListLabeled(Topology):
+            name = "toy"
+
+            @property
+            def num_nodes(self) -> int:
+                return 2
+
+            def nodes(self) -> Iterator[Hashable]:
+                yield [0]
+                yield [1]
+
+            def neighbors(self, v: Hashable) -> list:
+                return [[1]] if v == [0] else [[0]]
+
+            def has_node(self, v: Hashable) -> bool:
+                return v in ([0], [1])
+
+        toy = ListLabeled()
+        assert toy.has_edge([0], [1])
+        assert not toy.has_edge([0], [0])
+
+
+class TestBackendKwargValidation:
+    def test_python_backend_is_always_available(self):
+        cube = Hypercube(3)
+        source = next(iter(cube.nodes()))
+        dist = cube.bfs_distances(source, backend="python")
+        assert len(dist) == cube.num_nodes
+
+    def test_codecless_families_reject_fast_backends(self):
+        mot = MeshOfTrees(2, 2)
+        source = next(iter(mot.nodes()))
+        for backend in ("csr", "implicit"):
+            with pytest.raises(InvalidParameterError):
+                mot.bfs_distances(source, backend=backend)
