@@ -10,6 +10,10 @@ Subcommands:
 * ``faults-campaign M N`` — degradation campaign past the ``m + 3``
   guarantee (static sweep on HB/HD/hypercube + transient transport
   comparison), emitting ``BENCH_faults.json``.
+* ``structure-campaign M N`` — correlated structure-fault campaign
+  (kind × size × count sweep on HB/HD/hypercube, seeded cascade with
+  retry-vs-no-retry transport replay, structure-fault diameter probes),
+  emitting ``BENCH_structure.json``.
 * ``broadcast M N``       — broadcast round counts under all three models.
 * ``metrics FAMILY M [N]`` — exact distance metrics (diameter, average
   distance, full histogram) via the cheapest valid engine: product
@@ -89,6 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_faults.json", help="JSON output path"
     )
     p_fc.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-scale sweep (smoke tests / CI)",
+    )
+
+    p_sc = sub.add_parser(
+        "structure-campaign",
+        help="correlated structure-fault campaign: kind x size x count sweep, "
+        "cascade replay, structure-fault diameter probes (JSON output)",
+    )
+    p_sc.add_argument("m", type=int)
+    p_sc.add_argument("n", type=int)
+    p_sc.add_argument("--seed", type=int, default=0)
+    p_sc.add_argument("--trials", type=int, default=None)
+    p_sc.add_argument("--pairs", type=int, default=None)
+    p_sc.add_argument(
+        "--output", default="BENCH_structure.json", help="JSON output path"
+    )
+    p_sc.add_argument(
         "--quick",
         action="store_true",
         help="seconds-scale sweep (smoke tests / CI)",
@@ -266,6 +289,59 @@ def _cmd_faults_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_structure_campaign(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults.campaigns import (
+        StructureCampaignConfig,
+        run_structure_campaign,
+        write_campaign_json,
+    )
+
+    if args.quick:
+        config = StructureCampaignConfig.quick(args.m, args.n, seed=args.seed)
+    else:
+        config = StructureCampaignConfig(m=args.m, n=args.n, seed=args.seed)
+    overrides = {}
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.pairs is not None:
+        overrides["pairs"] = args.pairs
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    results = run_structure_campaign(config)
+    write_campaign_json(results, args.output)
+    for network in results["networks"]:
+        print(f"{network['name']}: {network['num_nodes']} nodes ({network['scheme']})")
+        print("  kind     size  count  faulted  delivery  connected")
+        for row in network["rows"]:
+            delivery = row["delivery_ratio"]
+            print(
+                f"  {row['kind']:<8} {row['size']:4d}  {row['count']:5d}  "
+                f"{row['mean_faulted']:7.1f}  "
+                f"{delivery if delivery is not None else float('nan'):8.3f}  "
+                f"{row['connected_fraction']:9.3f}"
+            )
+    cascade = results["cascade"]
+    replay = cascade["transport_replay"]
+    print(
+        f"cascade on {cascade['network']}: {cascade['total_failed']} failed over "
+        f"{len(cascade['epochs'])} epochs; delivery "
+        f"no-retry {replay['no_retry']['delivery']:.3f} "
+        f"vs retry {replay['retry']['delivery']:.3f}"
+    )
+    print("structure-fault diameter probes:")
+    for row in results["structure_fault_diameter"]:
+        mode = "exact" if row["exact"] else "lower bound"
+        print(
+            f"  {row['name']} ({row['num_nodes']} nodes, {row['backend']}): "
+            f"{row['kind']} -> {row['structure_fault_diameter']} "
+            f"(fault-free {row['fault_free_diameter']}, {mode})"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.reprolint.cli import run
 
@@ -389,6 +465,7 @@ _HANDLERS = {
     "figure2": _cmd_figure2,
     "faults": _cmd_faults,
     "faults-campaign": _cmd_faults_campaign,
+    "structure-campaign": _cmd_structure_campaign,
     "broadcast": _cmd_broadcast,
     "metrics": _cmd_metrics,
     "lint": _cmd_lint,

@@ -101,6 +101,8 @@ class ResilientRouter:
         self.hb = hb
         self._families: dict[tuple[HBNode, HBNode], tuple[tuple, ...]] = {}
         self._adaptive: dict[tuple, tuple | None] = {}
+        self._standing_nodes: frozenset = frozenset()
+        self._standing_links: frozenset = frozenset()
         self.invalidations = 0
 
     # -- cache management ----------------------------------------------------
@@ -112,6 +114,44 @@ class ResilientRouter:
 
     def on_fault_event(self, event: FaultEvent) -> None:
         """Fault listener hook for :class:`NetworkSimulator`."""
+        self.invalidate()
+
+    # -- standing faults -----------------------------------------------------
+
+    @property
+    def standing_node_faults(self) -> frozenset:
+        return self._standing_nodes
+
+    @property
+    def standing_link_faults(self) -> frozenset:
+        return self._standing_links
+
+    def apply_faults(
+        self,
+        node_faults: Iterable[HBNode] = (),
+        link_faults: Iterable[tuple[HBNode, HBNode]] = (),
+    ) -> None:
+        """Install a whole fault configuration in one call.
+
+        Accepts any node/link iterables — in particular a
+        :class:`~repro.faults.model.FaultSet` /
+        :class:`~repro.faults.model.LinkFaultSet` or the lowering of a
+        :class:`~repro.faults.structures.StructureFault` — replacing any
+        previously standing configuration.  The adaptive cache is
+        invalidated here, in the same call: per-event listener ticks never
+        fire on this path, so skipping the invalidation would serve routes
+        cached under the previous fault set (the regression this API
+        fixes).  Standing faults merge with the per-call ``node_faults`` /
+        ``link_faults`` of :meth:`route_ex` / :meth:`reachability`.
+        """
+        self._standing_nodes = frozenset(node_faults)
+        self._standing_links = _normalize_links(link_faults)
+        self.invalidate()
+
+    def clear_faults(self) -> None:
+        """Heal the standing fault configuration (invalidates the cache)."""
+        self._standing_nodes = frozenset()
+        self._standing_links = frozenset()
         self.invalidate()
 
     # -- guarantees ----------------------------------------------------------
@@ -186,9 +226,11 @@ class ResilientRouter:
         link_faults: Iterable[tuple[HBNode, HBNode]] = (),
     ) -> RouteOutcome:
         """Escalating route ``u → v``; raises :class:`DegradedRouteError`
-        (with a reachability report) when the faults partition the pair."""
-        nodes = frozenset(node_faults)
-        links = _normalize_links(link_faults)
+        (with a reachability report) when the faults partition the pair.
+        Per-call faults are merged with the standing configuration
+        installed by :meth:`apply_faults`."""
+        nodes = self._standing_nodes | frozenset(node_faults)
+        links = self._standing_links | _normalize_links(link_faults)
         self.hb.validate_node(u)
         self.hb.validate_node(v)
         if u in nodes or v in nodes:
@@ -242,9 +284,10 @@ class ResilientRouter:
         node_faults: Iterable[HBNode] = (),
         link_faults: Iterable[tuple[HBNode, HBNode]] = (),
     ) -> ReachabilityReport:
-        """How much of the healthy network ``u`` can still reach."""
-        nodes = frozenset(node_faults)
-        links = _normalize_links(link_faults)
+        """How much of the healthy network ``u`` can still reach (per-call
+        faults merged with the standing configuration)."""
+        nodes = self._standing_nodes | frozenset(node_faults)
+        links = self._standing_links | _normalize_links(link_faults)
         self.hb.validate_node(u)
         if u in nodes:
             return ReachabilityReport(

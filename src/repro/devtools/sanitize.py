@@ -96,6 +96,14 @@ def default_targets() -> list[SanitizeTarget]:
             ),
         ),
         SanitizeTarget(
+            name="structure-campaign-hb23",
+            argv=(
+                py, "-m", "repro", "structure-campaign", "2", "3",
+                "--quick", "--trials", "1", "--pairs", "4",
+                "--output", "{out}",
+            ),
+        ),
+        SanitizeTarget(
             name="fastgraph-metrics-hb23",
             argv=(py, "-c", _PROBE_SNIPPET.format(out="{out}")),
         ),

@@ -229,6 +229,46 @@ class FastGraph:
             )
         return int(dist.max())
 
+    def masked_source_stats(
+        self,
+        source: Hashable,
+        *,
+        blocked: Iterable[Hashable] | None = None,
+        backend: str | None = None,
+    ) -> tuple[int, int]:
+        """``(eccentricity, reached)`` of one fault-masked BFS.
+
+        The workhorse of structure-fault diameter sweeps: the max distance
+        among *reached survivors* and how many survivors were reached
+        (source included), without materialising a label dict.  Blocked
+        nodes are never counted.  On the implicit substrate this runs in
+        ``O(num_nodes / 8)`` memory, keeping ``HB(9,11)``-class masked
+        eccentricities in reach.
+        """
+        if self.select_backend(backend) == "implicit":
+            from repro.fastgraph.implicit import implicit_source_stats
+
+            ecc, _, reached = implicit_source_stats(
+                self.codec,
+                self.rank(source),
+                forbidden=self._blocked_ranks(blocked),
+            )
+            return ecc, reached
+        dist = self.distances_array(source, blocked=blocked, backend="csr")
+        return int(dist.max()), int((dist >= 0).sum())
+
+    def reachable_count(
+        self,
+        source: Hashable,
+        *,
+        blocked: Iterable[Hashable] | None = None,
+        backend: str | None = None,
+    ) -> int:
+        """How many non-blocked nodes one masked BFS reaches (source
+        included) — the survivability primitive behind
+        :func:`~repro.faults.connectivity.connected_under_faults`."""
+        return self.masked_source_stats(source, blocked=blocked, backend=backend)[1]
+
     def source_histogram(
         self, source: Hashable, *, backend: str | None = None
     ) -> dict[int, int]:

@@ -42,7 +42,13 @@ from repro.topologies.base import Topology
 from repro.topologies.hypercube import Hypercube
 from repro.topologies.hyperdebruijn import HyperDeBruijn
 
-__all__ = ["CampaignConfig", "run_campaign", "write_campaign_json"]
+__all__ = [
+    "CampaignConfig",
+    "run_campaign",
+    "StructureCampaignConfig",
+    "run_structure_campaign",
+    "write_campaign_json",
+]
 
 
 @dataclass(frozen=True)
@@ -270,6 +276,315 @@ def run_campaign(config: CampaignConfig) -> dict:
             "repair_time": config.repair_time,
             "curve": _transient_curve(hb, config),
         },
+    }
+
+
+# -- correlated structure-fault campaigns ------------------------------------
+
+
+@dataclass(frozen=True)
+class StructureCampaignConfig:
+    """Parameters of one correlated structure-fault campaign.
+
+    The static sweep crosses structure ``kinds`` × ``sizes`` × ``counts``
+    on ``HB(m, n)`` and the usual baselines (``HD``, hypercube), kinds
+    filtered per network by applicability (rings need a butterfly factor).
+    ``diameter_probes`` are ``(m, n, backend, kind, source_sample)``
+    tuples: each computes the structure-fault diameter of a single
+    structure on ``HB(m, n)`` — ``source_sample=None`` is exact, an int
+    samples (boundary + reservoir) for instances where exact sweeps are
+    out of reach; ``backend="implicit"`` keeps ``>= 2^20``-node probes in
+    ``O(num_nodes / 8)`` memory per BFS.
+    """
+
+    m: int = 3
+    n: int = 4
+    seed: int = 0
+    trials: int = 3
+    pairs: int = 15
+    kinds: tuple[str, ...] = ("star", "path", "subcube", "ring")
+    sizes: tuple[int, ...] = (1, 2)
+    counts: tuple[int, ...] = (1, 2, 3)
+    cascade_epochs: int = 4
+    cascade_spread: float = 0.35
+    cascade_packets: int = 80
+    horizon: float = 60.0
+    diameter_probes: tuple[tuple[int, int, str, str, int | None], ...] = (
+        (3, 4, "auto", "star", None),
+        (3, 4, "auto", "ring", None),
+        (6, 11, "implicit", "star", 3),
+    )
+
+    @classmethod
+    def quick(cls, m: int, n: int, *, seed: int = 0) -> "StructureCampaignConfig":
+        """A seconds-scale configuration for smoke tests and CI."""
+        return cls(
+            m=m,
+            n=n,
+            seed=seed,
+            trials=2,
+            pairs=6,
+            kinds=("star", "path", "subcube", "ring"),
+            sizes=(1,),
+            counts=(1, 2),
+            cascade_epochs=2,
+            cascade_packets=24,
+            horizon=30.0,
+            diameter_probes=((m, n, "auto", "star", None),),
+        )
+
+
+def _structure_rows(
+    topology: Topology,
+    config: StructureCampaignConfig,
+    *,
+    resilient: bool,
+    seed_offset: int,
+) -> list[dict]:
+    """The kind × size × count sweep on one network, aggregated over trials."""
+    import random
+
+    from repro.core.resilient import DegradedRouteError, ResilientRouter
+    from repro.faults.connectivity import connected_under_faults
+    from repro.faults.structures import (
+        random_structures,
+        structure_kinds,
+        union_fault_set,
+    )
+
+    rng = random.Random(config.seed + seed_offset)
+    router = ResilientRouter(topology) if resilient else None
+    all_nodes = list(topology.nodes())
+    applicable = [k for k in config.kinds if k in structure_kinds(topology)]
+    rows: list[dict] = []
+    for kind in applicable:
+        for size in config.sizes:
+            for count in config.counts:
+                delivered = 0
+                total = 0
+                disjoint_hits = 0
+                length_sum = 0
+                stretch_sum = 0.0
+                stretch_n = 0
+                faulted_sum = 0
+                connected_trials = 0
+                for _ in range(config.trials):
+                    structures = random_structures(
+                        topology, kind, count, size=size, rng=rng
+                    )
+                    faults = union_fault_set(topology, structures)
+                    faulted_sum += len(faults)
+                    if connected_under_faults(topology, faults):
+                        connected_trials += 1
+                    if topology.num_nodes - len(faults) < 2:
+                        continue  # nothing left to route between
+                    if router is not None:
+                        # the whole structure lands at once — exactly the
+                        # standing-fault API (cache invalidated per call)
+                        router.apply_faults(node_faults=faults.nodes)
+                    for _ in range(config.pairs):
+                        while True:
+                            u, v = rng.sample(all_nodes, 2)
+                            if u not in faults and v not in faults:
+                                break
+                        total += 1
+                        path: list | None = None
+                        strategy = "adaptive"
+                        if router is not None:
+                            try:
+                                outcome = router.route_ex(u, v)
+                                path = list(outcome.path)
+                                strategy = outcome.strategy
+                            except (DegradedRouteError, RoutingError):
+                                path = None
+                        else:
+                            path = topology.bfs_shortest_path(
+                                u, v, blocked=faults.nodes
+                            )
+                        if path is None:
+                            continue
+                        delivered += 1
+                        if strategy == "disjoint":
+                            disjoint_hits += 1
+                        length = len(path) - 1
+                        length_sum += length
+                        base = topology.bfs_shortest_path(u, v)
+                        if base is not None and len(base) > 1:
+                            stretch_sum += length / (len(base) - 1)
+                            stretch_n += 1
+                    if router is not None:
+                        router.clear_faults()
+                rows.append(
+                    {
+                        "kind": kind,
+                        "size": size,
+                        "count": count,
+                        "mean_faulted": _round(faulted_sum / config.trials),
+                        "connected_fraction": _round(
+                            connected_trials / config.trials
+                        ),
+                        "delivery_ratio": _round(delivered / total)
+                        if total
+                        else None,
+                        "mean_latency_hops": _round(length_sum / delivered)
+                        if delivered
+                        else None,
+                        "mean_stretch": _round(stretch_sum / stretch_n)
+                        if stretch_n
+                        else None,
+                        "disjoint_share": _round(disjoint_hits / total)
+                        if (total and router is not None)
+                        else None,
+                    }
+                )
+    return rows
+
+
+def _cascade_section(hb: HyperButterfly, config: StructureCampaignConfig) -> dict:
+    """One seeded cascade on HB + retry-vs-no-retry transport replay."""
+    import random
+
+    from repro.faults.connectivity import connected_under_faults
+    from repro.faults.structures import CascadeConfig, random_structures, run_cascade
+    from repro.simulation.network import NetworkSimulator, TransportConfig
+    from repro.simulation.protocols import HBObliviousProtocol
+    from repro.simulation.traffic import uniform_random_traffic
+
+    epoch_time = config.horizon / (config.cascade_epochs + 2)
+    cascade_config = CascadeConfig(
+        kind="star",
+        size=1,
+        epochs=config.cascade_epochs,
+        spread=config.cascade_spread,
+        epoch_time=epoch_time,
+        max_failed=hb.num_nodes // 2,
+    )
+    seeds = random_structures(
+        hb, "star", 1, size=1, rng=random.Random(config.seed + 5)
+    )
+    trace = run_cascade(hb, seeds, cascade_config, seed=config.seed + 6)
+    epochs = []
+    cumulative = 0
+    for i, epoch in enumerate(trace.epochs):
+        cumulative += len(trace.newly_failed[i])
+        epochs.append(
+            {
+                "epoch": i,
+                "structures_ignited": len(epoch),
+                "newly_failed": len(trace.newly_failed[i]),
+                "cumulative_failed": cumulative,
+                "connected": connected_under_faults(hb, trace.fault_set(i)),
+            }
+        )
+
+    schedule = trace.to_schedule()
+    traffic = uniform_random_traffic(hb, config.cascade_packets, seed=config.seed + 7)
+    inject_rng = random.Random(config.seed + 8)
+    inject_times = [inject_rng.uniform(0.0, 0.8 * config.horizon) for _ in traffic]
+    transport = TransportConfig(
+        ack_timeout=2.0,
+        max_retries=10,
+        backoff_base=1.0,
+        backoff_factor=2.0,
+        jitter=0.5,
+    )
+    replay = {}
+    for label, cfg in (("no_retry", None), ("retry", transport)):
+        sim = NetworkSimulator(
+            hb,
+            HBObliviousProtocol(hb),
+            schedule=schedule,
+            transport=cfg,
+            seed=config.seed + 9,
+        )
+        for (s, t), at in zip(traffic, inject_times):
+            sim.inject(s, t, at=at)
+        sim.run()
+        stats = sim.stats()
+        replay[label] = {
+            "delivery": _round(stats.delivery_rate),
+            "mean_latency": _round(stats.mean_latency),
+            "retransmissions": stats.retransmissions,
+            "duplicates": stats.duplicates,
+        }
+    return {
+        "network": hb.name,
+        "spread": _round(config.cascade_spread),
+        "epoch_time": _round(epoch_time),
+        "total_failed": trace.total_failed,
+        "epochs": epochs,
+        "transport_replay": replay,
+    }
+
+
+def _diameter_section(config: StructureCampaignConfig) -> list[dict]:
+    """Structure-fault diameter probes, one structure per row.
+
+    ``HB`` is a Cayley graph, hence vertex-transitive: a single
+    structure's fault diameter does not depend on where its center lands,
+    so anchoring every probe at the first codec-order node loses no
+    generality while keeping the row deterministic.
+    """
+    from repro.faults.structures import build_structure, structure_fault_diameter
+
+    rows: list[dict] = []
+    for m, n, backend, kind, source_sample in config.diameter_probes:
+        hb = HyperButterfly(m, n)
+        anchor = next(iter(hb.nodes()))
+        structure = build_structure(hb, kind, anchor, size=1)
+        result = structure_fault_diameter(
+            hb,
+            structure,
+            backend=None if backend == "auto" else backend,
+            source_sample=source_sample,
+            seed=config.seed + 10,
+        )
+        rows.append(
+            {
+                "name": hb.name,
+                "num_nodes": hb.num_nodes,
+                "backend": backend,
+                "kind": kind,
+                "structure_nodes": len(structure),
+                "fault_free_diameter": hb.diameter_formula(),
+                "structure_fault_diameter": result.diameter,
+                "exact": result.exact,
+                "connected": result.connected,
+                "sources_examined": result.sources_examined,
+            }
+        )
+    return rows
+
+
+def run_structure_campaign(config: StructureCampaignConfig) -> dict:
+    """Correlated sweep on HB/HD/hypercube + cascade + diameter probes."""
+    import math
+
+    hb = HyperButterfly(config.m, config.n)
+    comparisons: list[tuple[Topology, bool, int]] = [
+        (hb, True, 0),
+        (HyperDeBruijn(config.m, config.n), False, 1),
+        (Hypercube(max(2, round(math.log2(hb.num_nodes)))), False, 2),
+    ]
+    networks = []
+    for topology, resilient, offset in comparisons:
+        networks.append(
+            {
+                "name": topology.name,
+                "num_nodes": topology.num_nodes,
+                "scheme": "resilient(disjoint->adaptive)"
+                if resilient
+                else "adaptive-bfs",
+                "rows": _structure_rows(
+                    topology, config, resilient=resilient, seed_offset=offset
+                ),
+            }
+        )
+    return {
+        "config": asdict(config),
+        "networks": networks,
+        "cascade": _cascade_section(hb, config),
+        "structure_fault_diameter": _diameter_section(config),
     }
 
 

@@ -136,6 +136,21 @@ class FaultSchedule:
     def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self._events)
 
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """The union of two schedules on the same topology (by name).
+
+        Re-sorting is stable with ``self``'s events first, so replay stays
+        deterministic.  The main use is overlaying a cascade trace
+        (:meth:`repro.faults.structures.CascadeTrace.to_schedule`) on a
+        background Poisson schedule.
+        """
+        if other.topology.name != self.topology.name:
+            raise InvalidParameterError(
+                f"cannot merge schedules of {self.topology.name} "
+                f"and {other.topology.name}"
+            )
+        return FaultSchedule(self.topology, self._events + other._events)
+
     def state_at(self, time: float) -> FaultState:
         """The fault state after replaying every event with ``time <= t``."""
         state = FaultState()

@@ -21,6 +21,7 @@ __all__ = [
     "FaultSet",
     "LinkFaultSet",
     "canonical_link",
+    "sample_nodes",
     "random_node_faults",
     "random_link_faults",
 ]
@@ -164,26 +165,26 @@ class LinkFaultSet:
         return f"LinkFaultSet({self.topology.name}, {len(self._links)} faults)"
 
 
-def random_node_faults(
+def sample_nodes(
     topology: Topology,
     count: int,
     *,
-    rng: random.Random | None = None,
+    rng: random.Random,
     exclude: Iterable[Hashable] = (),
-) -> FaultSet:
-    """``count`` distinct random faulty nodes, never touching ``exclude``.
+) -> list[Hashable]:
+    """``count`` distinct nodes reservoir-sampled over the node iterator.
 
-    Sampling is done by reservoir over the node iterator so the whole node
-    set is never materialised (topologies here can be large).  Without an
-    explicit ``rng`` a fixed-seed ``Random(0)`` is used so the default is
-    reproducible (reprolint HB501).
+    The whole node set is never materialised (topologies here can be
+    large), and the draw sequence depends only on the iterator order and
+    the ``rng`` state — never on ``PYTHONHASHSEED`` — so callers on
+    different BFS backends pick identical nodes.  The reservoir order is
+    the selection order, not sorted.
     """
-    rng = rng or random.Random(0)
     excluded = set(exclude)
     available = topology.num_nodes - len(excluded)
     if count < 0 or count > available:
         raise InvalidParameterError(
-            f"cannot place {count} faults among {available} eligible nodes"
+            f"cannot sample {count} nodes among {available} eligible nodes"
         )
     reservoir: list[Hashable] = []
     seen = 0
@@ -197,7 +198,24 @@ def random_node_faults(
             j = rng.randrange(seen)
             if j < count:
                 reservoir[j] = v
-    return FaultSet(topology, reservoir)
+    return reservoir
+
+
+def random_node_faults(
+    topology: Topology,
+    count: int,
+    *,
+    rng: random.Random | None = None,
+    exclude: Iterable[Hashable] = (),
+) -> FaultSet:
+    """``count`` distinct random faulty nodes, never touching ``exclude``.
+
+    Sampling delegates to :func:`sample_nodes`.  Without an explicit
+    ``rng`` a fixed-seed ``Random(0)`` is used so the default is
+    reproducible (reprolint HB501).
+    """
+    rng = rng or random.Random(0)
+    return FaultSet(topology, sample_nodes(topology, count, rng=rng, exclude=exclude))
 
 
 def random_link_faults(

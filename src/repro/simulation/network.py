@@ -135,9 +135,10 @@ class NetworkSimulator:
         self._fault_listeners: list[Callable[[FaultEvent], None]] = []
         self.schedule = schedule
         if schedule is not None:
-            if schedule.topology is not topology:
+            if schedule.topology.name != topology.name:
                 raise SimulationError(
-                    "fault schedule belongs to a different topology"
+                    f"fault schedule belongs to {schedule.topology.name}, "
+                    f"not {topology.name}"
                 )
             for event in schedule:
                 self.queue.schedule(

@@ -124,6 +124,7 @@ class TestDefaultTargets:
         targets = {t.name: t for t in default_targets()}
         assert set(targets) == {
             "faults-campaign-hb23",
+            "structure-campaign-hb23",
             "fastgraph-metrics-hb23",
             "metrics-cli-hb23",
             "metrics-cli-implicit-hb23",
@@ -131,6 +132,9 @@ class TestDefaultTargets:
         campaign = targets["faults-campaign-hb23"]
         assert "faults-campaign" in campaign.argv
         assert not campaign.uses_stdout  # writes via {out}
+        structure = targets["structure-campaign-hb23"]
+        assert "structure-campaign" in structure.argv
+        assert not structure.uses_stdout
         pooled = targets["metrics-cli-hb23"]
         assert "--jobs" in pooled.argv  # exercises the process-pool sweep
         assert not pooled.uses_stdout

@@ -82,3 +82,32 @@ class TestConnectedUnderFaults:
     def test_all_faulty_is_vacuously_connected(self):
         h = Hypercube(1)
         assert connected_under_faults(h, FaultSet(h, [0, 1]))
+
+    def test_backends_agree_on_verdicts(self, hb13):
+        """The fast reachability count is pinned to the python fallback."""
+        import random
+
+        from repro.faults.model import random_node_faults
+
+        victim = (1, (1, 0b010))
+        cases = [
+            random_node_faults(hb13, count, rng=random.Random(count))
+            for count in (0, hb13.m + 3, 10, 20)
+        ]
+        cases.append(FaultSet(hb13, hb13.neighbors(victim)))  # disconnects
+        verdicts = []
+        for faults in cases:
+            per_backend = {
+                backend: connected_under_faults(hb13, faults, backend=backend)
+                for backend in ("python", "csr", "implicit")
+            }
+            assert len(set(per_backend.values())) == 1
+            verdicts.append(per_backend["python"])
+        assert verdicts[0] and verdicts[1]  # <= m+3 can never disconnect
+        assert not verdicts[-1]
+
+    def test_unknown_backend_rejected(self, hb13):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            connected_under_faults(hb13, FaultSet(hb13), backend="quantum")

@@ -74,6 +74,38 @@ class TestCommands:
         data = json.loads(out_path.read_text())
         assert data["networks"][0]["name"] == "HB(2,3)"
 
+    def test_structure_campaign_quick(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_structure.json"
+        assert (
+            main(
+                [
+                    "structure-campaign",
+                    "2",
+                    "3",
+                    "--quick",
+                    "--trials",
+                    "1",
+                    "--pairs",
+                    "4",
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "HB(2,3)" in out
+        assert "cascade" in out and "structure-fault diameter" in out
+        import json
+
+        data = json.loads(out_path.read_text())
+        assert data["networks"][0]["name"] == "HB(2,3)"
+        assert {"config", "networks", "cascade", "structure_fault_diameter"} <= set(
+            data
+        )
+        kinds = {row["kind"] for row in data["networks"][0]["rows"]}
+        assert {"star", "path", "subcube", "ring"} <= kinds
+
     def test_broadcast(self, capsys):
         assert main(["broadcast", "1", "3"]) == 0
         out = capsys.readouterr().out
