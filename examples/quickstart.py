@@ -28,7 +28,7 @@ def main() -> None:
     route = router.route(u, v)
     print(f"optimal route, {route.length} hops "
           f"(= distance {router.distance(u, v)}):")
-    for node, gen in zip(route.path, route.generators + [""]):
+    for node, gen in zip(route.path, route.generators + [""], strict=True):
         arrow = f"  --{gen}-->" if gen else ""
         print(f"  {hb.format_node(node)}{arrow}")
 

@@ -230,11 +230,11 @@ def render_table(table: dict[str, dict[str, Cell]], *, title: str = "") -> str:
     if title:
         lines.append(title)
     header = ["Parameter"] + columns
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)))
     lines.append("-+-".join("-" * w for w in widths))
     for row in rows:
         cells = [row.ljust(widths[0])]
-        for name, width in zip(columns, widths[1:]):
+        for name, width in zip(columns, widths[1:], strict=True):
             cells.append(str(table[name].get(row, "")).ljust(width))
         lines.append(" | ".join(cells))
     lines.append("(* = paper formula, † = cited claim, plain = computed exactly)")

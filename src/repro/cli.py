@@ -201,7 +201,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
     target = parse_hb_node(args.target, args.m, args.n)
     result = HBRouter(hb).route(source, target)
     print(f"distance {result.length}")
-    for node, gen in zip(result.path, result.generators + [""]):
+    for node, gen in zip(result.path, result.generators + [""], strict=True):
         suffix = f"  --{gen}-->" if gen else ""
         print(f"  {hb.format_node(node)}{suffix}")
     return 0
@@ -474,6 +474,9 @@ _HANDLERS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.fastgraph.guard import install_errstate_from_env
+
+    install_errstate_from_env()  # sanitize --mode overflow trap, else no-op
     args = build_parser().parse_args(argv)
     return _HANDLERS[args.command](args)
 

@@ -236,7 +236,7 @@ class _Case3Builder:
         fly_tails = node_to_set_disjoint_paths(
             _fly_graph(hb), tail_sources, self.b2, blocked=blocked
         )
-        tail_by_source = dict(zip(tail_sources, fly_tails))
+        tail_by_source = dict(zip(tail_sources, fly_tails, strict=True))
 
         paths: list[list[HBNode]] = []
         for j, bj in enumerate(self.b_neighbors):
@@ -291,7 +291,7 @@ class _Case3Builder:
         cube_tails = node_to_set_disjoint_paths(
             _cube_graph(hb), tail_sources, self.h2, blocked=blocked
         )
-        tail_by_source = dict(zip(tail_sources, cube_tails))
+        tail_by_source = dict(zip(tail_sources, cube_tails, strict=True))
 
         paths: list[list[HBNode]] = []
         for i, hi in enumerate(self.h_neighbors):

@@ -76,7 +76,9 @@ class HyperButterfly(Topology):
         ]
         names = [f"h_{i}" for i in range(self.m)]
         for gen, gen_name in zip(
-            self.fly_group.butterfly_generators(), ("g", "f", "g^-1", "f^-1")
+            self.fly_group.butterfly_generators(),
+            ("g", "f", "g^-1", "f^-1"),
+            strict=True,
         ):
             generators.append((0, gen))
             names.append(gen_name)

@@ -175,7 +175,7 @@ class ResilientRouter:
         if nodes and not nodes.isdisjoint(path):
             return False
         if links:
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 if _canonical_link(a, b) in links:
                     return False
         return True

@@ -124,7 +124,7 @@ class HBRouter:
     def _generator_names(self, path: list[HBNode]) -> list[str]:
         """Name each hop after the generator it applies (Remark 3 set Σ)."""
         names = []
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             if a[1] == b[1]:
                 diff = set_bits(a[0] ^ b[0])
                 if len(diff) != 1:
@@ -135,6 +135,7 @@ class HBRouter:
                 for s, s_name in zip(
                     self.hb.fly_group.butterfly_generators(),
                     ("g", "f", "g^-1", "f^-1"),
+                    strict=True,
                 ):
                     if delta == s:
                         names.append(s_name)

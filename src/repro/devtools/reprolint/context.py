@@ -11,6 +11,7 @@ from repro.devtools.reprolint.findings import Finding, Severity
 from repro.devtools.reprolint.suppressions import SuppressionIndex, scan_suppressions
 
 if TYPE_CHECKING:  # deferred: project.py needs rules.base which needs us
+    from repro.devtools.reprolint.dataflow import ProjectDataflow
     from repro.devtools.reprolint.project import ProjectGraph
 
 
@@ -108,6 +109,9 @@ class ProjectContext:
 
     files: list[FileContext]
     _graph: "ProjectGraph | None" = field(default=None, repr=False, compare=False)
+    _dataflow: "ProjectDataflow | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def library_files(self) -> list[FileContext]:
@@ -127,3 +131,12 @@ class ProjectContext:
 
             self._graph = ProjectGraph(self.files)
         return self._graph
+
+    @property
+    def dataflow(self) -> "ProjectDataflow":
+        """The dtype dataflow cache, built lazily on first access."""
+        if self._dataflow is None:
+            from repro.devtools.reprolint.dataflow import ProjectDataflow
+
+            self._dataflow = ProjectDataflow(self)
+        return self._dataflow

@@ -1,0 +1,978 @@
+"""Abstract dtype/bit-width dataflow over function bodies (HB6xx backbone).
+
+The earlier rule blocks judge AST *shapes*; the numerics that matter in
+``fastgraph/`` are *flows*.  A packed ``(butterfly, hypercube)`` label
+survives shifts and masks only while every operand stays unsigned and
+every shift count stays below the word width — and numpy's promotion
+rules make violations silent: ``uint64 | int64`` promotes to ``float64``
+(exactness gone past 2^53), ``uint8 @ uint8`` accumulates *in uint8*
+(counts wrap at 256), ``arr.sum()`` on a narrow int accumulates in the
+platform integer.  None of that is visible to a shape rule, because the
+dtype lives in an assignment three lines up or in a helper's return.
+
+This module is a small intraprocedural abstract interpreter:
+
+* :class:`DType` / :class:`Value` — the abstract lattice: numpy dtypes
+  (signedness, bit width, platform-dependence), weak python numbers with
+  known constants (shift counts!), and a "packed" provenance bit that
+  shift/mask arithmetic propagates;
+* :func:`promote_dtypes` / :func:`promote_values` — a NEP-50-shaped
+  promotion table (weak python scalars adopt the array dtype; mixing
+  ``uint64`` with any signed int is the ``float64`` hazard);
+* :func:`analyze_module` — one linear pass per function body (no
+  fixpoint: loop bodies run once, branches join), resolving a curated
+  table of numpy constructors/ufuncs/methods (``zeros``/``astype``/
+  ``left_shift``/``bitwise_*``/gather indexing/``sum`` accumulators) and
+  ``self.<attr>`` values seeded from ``__init__``;
+* :class:`ProjectDataflow` — the per-lint-run cache handed to rules via
+  ``ProjectContext.dataflow``, which also resolves calls to
+  statically-known project helpers through the
+  :class:`~repro.devtools.reprolint.project.ProjectGraph` call machinery
+  and summarises their return values.
+
+Everything is deliberately conservative: any construct outside the table
+evaluates to :data:`UNKNOWN`, so rules built on top under-approximate —
+every reported dtype is one the interpreter actually derived.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.devtools.reprolint.rules.base import ImportMap
+
+if TYPE_CHECKING:  # deferred: context.py imports us lazily
+    from repro.devtools.reprolint.context import FileContext, ProjectContext
+
+__all__ = [
+    "DType",
+    "Value",
+    "UNKNOWN",
+    "dtype_from_name",
+    "promote_dtypes",
+    "promote_values",
+    "accumulator_dtype",
+    "ModuleAnalysis",
+    "analyze_module",
+    "ProjectDataflow",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    """One numpy dtype: kind (``b``/``i``/``u``/``f``), width, platformness."""
+
+    name: str
+    kind: str
+    bits: int
+    #: True for width-follows-the-platform aliases (``int_``, ``intp``, the
+    #: default int of ``arange``/``sum`` accumulators, ...)
+    platform: bool = False
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind in ("i", "u")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _fixed(kind: str, bits: int) -> DType:
+    return DType(f"{'uint' if kind == 'u' else 'int' if kind == 'i' else 'float'}{bits}", kind, bits)
+
+
+BOOL = DType("bool", "b", 8)
+#: numpy's default integer — 64-bit on every supported platform today, but
+#: an alias whose width the platform owns, which is exactly what HB604 flags
+INT_DEFAULT = DType("int_", "i", 64, platform=True)
+UINT_DEFAULT = DType("uint", "u", 64, platform=True)
+INTP = DType("intp", "i", 64, platform=True)
+FLOAT64 = _fixed("f", 64)
+
+#: canonical name -> DType, covering fixed-width names, platform aliases,
+#: and the python builtins accepted as ``dtype=`` arguments
+_DTYPES: dict[str, DType] = {
+    **{f"int{b}": _fixed("i", b) for b in (8, 16, 32, 64)},
+    **{f"uint{b}": _fixed("u", b) for b in (8, 16, 32, 64)},
+    **{f"float{b}": _fixed("f", b) for b in (16, 32, 64)},
+    "bool": BOOL,
+    "bool_": BOOL,
+    "half": _fixed("f", 16),
+    "single": _fixed("f", 32),
+    "double": FLOAT64,
+    "float_": FLOAT64,
+    "int": INT_DEFAULT,
+    "int_": INT_DEFAULT,
+    "long": DType("long", "i", 64, platform=True),
+    "longlong": DType("longlong", "i", 64),
+    "intp": INTP,
+    "intc": DType("intc", "i", 32, platform=True),
+    "uint": UINT_DEFAULT,
+    "ulong": DType("ulong", "u", 64, platform=True),
+    "ulonglong": DType("ulonglong", "u", 64),
+    "uintp": DType("uintp", "u", 64, platform=True),
+    "uintc": DType("uintc", "u", 32, platform=True),
+    "float": FLOAT64,
+}
+
+
+def dtype_from_name(name: str) -> DType | None:
+    """The :class:`DType` for a canonical numpy/builtin dtype name."""
+    return _DTYPES.get(name)
+
+
+@dataclass(frozen=True)
+class Value:
+    """One abstract value.
+
+    ``kind`` is ``array``/``scalar`` (numpy, with a known :class:`DType`),
+    ``pyint``/``pyfloat``/``pybool`` (weak python scalars, optionally with
+    a known constant), or ``unknown``.  ``packed`` marks values built by
+    shift/or packing — label provenance for the HB6xx messages.
+    """
+
+    kind: str = "unknown"
+    dtype: DType | None = None
+    const: int | float | None = None
+    packed: bool = False
+
+    @property
+    def is_strong(self) -> bool:
+        """A numpy value whose dtype the interpreter derived."""
+        return self.kind in ("array", "scalar") and self.dtype is not None
+
+    @property
+    def is_weak(self) -> bool:
+        return self.kind in ("pyint", "pyfloat", "pybool")
+
+    def with_dtype(self, dtype: DType) -> "Value":
+        kind = self.kind if self.kind == "array" else "scalar"
+        return Value(kind, dtype, const=self.const, packed=self.packed)
+
+
+UNKNOWN = Value()
+
+
+def promote_dtypes(a: DType, b: DType) -> DType:
+    """NEP-50-shaped dtype promotion (the table rules reason about).
+
+    The noteworthy rows: bool defers to anything; same-kind takes the max
+    width; float vs int widens the float until the int fits; signed vs
+    unsigned widens the signed side — and when the unsigned side is
+    already 64-bit there is no wider signed int, so numpy falls back to
+    ``float64`` (the exactness hazard HB601 exists for).
+    """
+    if a.kind == "b":
+        return b
+    if b.kind == "b":
+        return a
+    if a.kind == b.kind:
+        if a.bits == b.bits:
+            return a if not b.platform else b
+        return a if a.bits > b.bits else b
+    if "f" in (a.kind, b.kind):
+        flt, other = (a, b) if a.kind == "f" else (b, a)
+        if other.kind == "f":  # pragma: no cover - both float handled above
+            return flt
+        # a float holds ints of about half its width exactly
+        if 2 * other.bits <= flt.bits:
+            return flt
+        return _fixed("f", max(flt.bits, min(64, 2 * other.bits)))
+    signed, unsigned = (a, b) if a.kind == "i" else (b, a)
+    if unsigned.bits < signed.bits:
+        return signed
+    if unsigned.bits >= 64:
+        return FLOAT64  # uint64 vs any signed int: no common integer
+    return _fixed("i", min(64, 2 * unsigned.bits))
+
+
+def promote_values(a: Value, b: Value) -> Value:
+    """Result of a binary arithmetic/bitwise op between two values."""
+    packed = a.packed or b.packed
+    if a.is_strong and b.is_strong:
+        kind = "array" if "array" in (a.kind, b.kind) else "scalar"
+        return Value(kind, promote_dtypes(a.dtype, b.dtype), packed=packed)  # type: ignore[arg-type]
+    if a.is_strong or b.is_strong:
+        strong, weak = (a, b) if a.is_strong else (b, a)
+        if not weak.is_weak:
+            return Value(packed=packed)
+        assert strong.dtype is not None
+        if weak.kind == "pyfloat" and strong.dtype.kind != "f":
+            return strong.with_dtype(FLOAT64)
+        if strong.dtype.kind == "b" and weak.kind != "pybool":
+            return strong.with_dtype(INT_DEFAULT)
+        # weak python scalars adopt the array's dtype (NEP 50)
+        return Value(strong.kind, strong.dtype, packed=packed)
+    if a.is_weak and b.is_weak:
+        if "pyfloat" in (a.kind, b.kind):
+            return Value("pyfloat", packed=packed)
+        return Value("pyint", packed=packed)
+    return Value(packed=packed)
+
+
+def accumulator_dtype(dtype: DType) -> DType:
+    """The dtype numpy accumulates ``sum()`` in (no explicit ``dtype=``)."""
+    if dtype.kind == "b":
+        return INT_DEFAULT
+    if dtype.kind == "i" and dtype.bits < 64:
+        return INT_DEFAULT
+    if dtype.kind == "u" and dtype.bits < 64:
+        return UINT_DEFAULT
+    return dtype
+
+
+def join(a: Value, b: Value) -> Value:
+    """Branch join: keep what both sides agree on."""
+    if a == b:
+        return a
+    if (
+        a.is_strong
+        and b.is_strong
+        and a.dtype == b.dtype
+        and a.kind == b.kind
+    ):
+        return Value(a.kind, a.dtype, packed=a.packed or b.packed)
+    if a.kind == b.kind and a.is_weak:
+        return Value(a.kind, packed=a.packed or b.packed)
+    return UNKNOWN
+
+
+#: ufuncs whose result is the promotion of their first two args
+_PROMOTING_UFUNCS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "floor_divide",
+        "mod",
+        "remainder",
+        "bitwise_and",
+        "bitwise_or",
+        "bitwise_xor",
+        "minimum",
+        "maximum",
+        "power",
+        "hypot",
+        "dot",
+        "matmul",
+    }
+)
+
+#: array-in array-out functions that keep their input's dtype
+_PASSTHROUGH_FUNCS = frozenset(
+    {
+        "sort",
+        "unique",
+        "ravel",
+        "copy",
+        "ascontiguousarray",
+        "flip",
+        "roll",
+        "repeat",
+        "tile",
+        "concatenate",
+        "abs",
+        "absolute",
+    }
+)
+
+#: methods that keep the receiver's dtype
+_PASSTHROUGH_METHODS = frozenset(
+    {
+        "copy",
+        "ravel",
+        "flatten",
+        "reshape",
+        "squeeze",
+        "transpose",
+        "repeat",
+        "take",
+        "clip",
+        "round",
+    }
+)
+
+#: functions returning numpy's platform index dtype
+_INDEX_FUNCS = frozenset(
+    {"argsort", "argmin", "argmax", "flatnonzero", "searchsorted", "bincount"}
+)
+
+
+class _Interpreter:
+    """One linear abstract pass over statements of a single module."""
+
+    def __init__(
+        self,
+        values: dict[int, Value],
+        imports: ImportMap,
+        call_resolver: Callable[[ast.expr], Value],
+    ) -> None:
+        self.values = values
+        self.imports = imports
+        self.call_resolver = call_resolver
+        self._returns: list[list[Value]] = []
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_body(self, body: Iterable[ast.stmt], env: dict[str, Value]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict[str, Value]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env, rhs=stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self.eval(stmt.value, env) if stmt.value is not None else UNKNOWN
+            self._bind(stmt.target, value, env, rhs=stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self.eval(stmt.target, env) if isinstance(
+                stmt.target, (ast.Name, ast.Attribute)
+            ) else UNKNOWN
+            operand = self.eval(stmt.value, env)
+            result = self._binop_value(stmt.op, current, operand)
+            self._bind(stmt.target, result, env, rhs=None)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value, env) if stmt.value is not None else UNKNOWN
+            if self._returns:
+                self._returns[-1].append(value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            branch_a, branch_b = dict(env), dict(env)
+            self.exec_body(stmt.body, branch_a)
+            self.exec_body(stmt.orelse, branch_b)
+            env.clear()
+            for key in set(branch_a) | set(branch_b):
+                env[key] = join(
+                    branch_a.get(key, UNKNOWN), branch_b.get(key, UNKNOWN)
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self.eval(stmt.iter, env)
+            self._bind(stmt.target, self._element_of(stmt.iter, iterable), env)
+            self.exec_body(stmt.body, env)
+            self.exec_body(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            self.exec_body(stmt.body, env)
+            self.exec_body(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, UNKNOWN, env)
+            self.exec_body(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body, env)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env[handler.name] = UNKNOWN
+                self.exec_body(handler.body, env)
+            self.exec_body(stmt.orelse, env)
+            self.exec_body(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            env[stmt.name] = UNKNOWN
+            # nested defs see the enclosing env (closures) — run their
+            # bodies for value coverage, isolating returns and rebinding
+            nested_env = dict(env)
+            for arg in _all_args(stmt.args):
+                nested_env[arg.arg] = UNKNOWN
+            self._returns.append([])
+            try:
+                self.exec_body(stmt.body, nested_env)
+            finally:
+                self._returns.pop()
+        elif isinstance(stmt, ast.ClassDef):
+            env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Assert,)):
+            self.eval(stmt.test, env)
+        # imports, pass, break, continue, raise, global: no value effect
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value: Value,
+        env: dict[str, Value],
+        rhs: ast.expr | None = None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            self.values[id(target)] = value
+        elif isinstance(target, ast.Attribute):
+            self.eval(target.value, env)
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                env[f"self.{target.attr}"] = value
+        elif isinstance(target, ast.Subscript):
+            # evaluate the container and index so store-site rules
+            # (HB603 downcast) can read both sides from the value map
+            self.eval(target.value, env)
+            self.eval(target.slice, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            parts: list[ast.expr] | None = None
+            if isinstance(rhs, (ast.Tuple, ast.List)) and len(rhs.elts) == len(
+                target.elts
+            ):
+                parts = rhs.elts
+            for i, elt in enumerate(target.elts):
+                if parts is not None:
+                    self._bind(elt, self.values.get(id(parts[i]), UNKNOWN), env)
+                else:
+                    self._bind(elt, UNKNOWN, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, UNKNOWN, env)
+
+    def _element_of(self, iter_expr: ast.expr, iterable: Value) -> Value:
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id == "range"
+        ):
+            return Value("pyint")
+        if iterable.kind == "array" and iterable.dtype is not None:
+            return Value("scalar", iterable.dtype, packed=iterable.packed)
+        return UNKNOWN
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: ast.expr, env: dict[str, Value]) -> Value:
+        value = self._eval_inner(node, env)
+        self.values[id(node)] = value
+        return value
+
+    def _eval_inner(self, node: ast.expr, env: dict[str, Value]) -> Value:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Value("pybool", const=int(node.value))
+            if isinstance(node.value, int):
+                return Value("pyint", const=node.value)
+            if isinstance(node.value, float):
+                return Value("pyfloat", const=node.value)
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            self.eval(node.value, env)
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return env.get(f"self.{node.attr}", UNKNOWN)
+            return UNKNOWN
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self._binop_value(node.op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                if operand.kind == "pyint" and isinstance(operand.const, int):
+                    return Value("pyint", const=-operand.const)
+                return operand
+            if isinstance(node.op, ast.Not):
+                return Value("pybool")
+            if isinstance(node.op, ast.Invert):
+                return operand  # ~x keeps the dtype (and packedness)
+            return operand
+        if isinstance(node, ast.BoolOp):
+            parts = [self.eval(v, env) for v in node.values]
+            result = parts[0]
+            for part in parts[1:]:
+                result = join(result, part)
+            return result
+        if isinstance(node, ast.Compare):
+            operands = [self.eval(node.left, env)] + [
+                self.eval(c, env) for c in node.comparators
+            ]
+            if any(v.kind == "array" for v in operands):
+                return Value("array", BOOL)
+            return Value("pybool")
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return join(self.eval(node.body, env), self.eval(node.orelse, env))
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value, env)
+            self.eval(node.slice, env)
+            if base.kind == "array" and base.dtype is not None:
+                # gather/slice indexing keeps the dtype; stay "array"
+                # (conservative for scalar indexing, which rules tolerate)
+                return Value("array", base.dtype, packed=base.packed)
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.eval(elt, env)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for part in (*node.keys, *node.values):
+                if part is not None:
+                    self.eval(part, env)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            self.eval(node.value, env)
+            return UNKNOWN
+        if isinstance(node, ast.Lambda):
+            nested_env = dict(env)
+            for arg in _all_args(node.args):
+                nested_env[arg.arg] = UNKNOWN
+            self._returns.append([])
+            try:
+                self.eval(node.body, nested_env)
+            finally:
+                self._returns.pop()
+            return UNKNOWN
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part, env)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _binop_value(self, op: ast.operator, left: Value, right: Value) -> Value:
+        if isinstance(op, (ast.LShift, ast.RShift)):
+            const: int | None = None
+            if (
+                left.kind == "pyint"
+                and right.kind == "pyint"
+                and isinstance(left.const, int)
+                and isinstance(right.const, int)
+                and 0 <= right.const < 512
+            ):
+                const = (
+                    left.const << right.const
+                    if isinstance(op, ast.LShift)
+                    else left.const >> right.const
+                )
+            packed = left.packed or right.packed or isinstance(op, ast.LShift)
+            if left.is_strong and right.is_strong:
+                return Value(
+                    "array" if "array" in (left.kind, right.kind) else "scalar",
+                    promote_dtypes(left.dtype, right.dtype),  # type: ignore[arg-type]
+                    packed=packed,
+                )
+            if left.is_strong:
+                return Value(left.kind, left.dtype, packed=packed)
+            if right.is_strong:
+                return Value(right.kind, right.dtype, packed=packed)
+            if left.kind == "pyint" and right.kind == "pyint":
+                return Value("pyint", const=const, packed=packed)
+            return Value(packed=packed)
+        if isinstance(op, ast.Div):
+            result = promote_values(left, right)
+            if result.is_strong and result.dtype is not None:
+                if result.dtype.kind != "f":
+                    return result.with_dtype(FLOAT64)
+                return result
+            if left.is_weak and right.is_weak:
+                return Value("pyfloat")
+            return result
+        result = promote_values(left, right)
+        if (
+            result.kind == "pyint"
+            and isinstance(left.const, int)
+            and isinstance(right.const, int)
+        ):
+            folded: int | None = None
+            if isinstance(op, ast.Add):
+                folded = left.const + right.const
+            elif isinstance(op, ast.Sub):
+                folded = left.const - right.const
+            elif isinstance(op, ast.Mult):
+                folded = left.const * right.const
+            elif isinstance(op, ast.Pow) and 0 <= right.const < 512:
+                folded = left.const**right.const
+            elif isinstance(op, ast.BitOr):
+                folded = left.const | right.const
+            elif isinstance(op, ast.BitAnd):
+                folded = left.const & right.const
+            elif isinstance(op, ast.BitXor):
+                folded = left.const ^ right.const
+            if folded is not None:
+                return Value("pyint", const=folded, packed=result.packed)
+        return result
+
+    # -- calls ---------------------------------------------------------------
+
+    def _dtype_of_expr(self, node: ast.expr | None) -> DType | None:
+        """Resolve a ``dtype=`` argument expression to a :class:`DType`."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return dtype_from_name(node.value)
+        if (
+            isinstance(node, ast.Call)
+            and (canon := self.imports.resolve(node.func)) is not None
+            and canon in ("numpy.dtype", "np.dtype")
+            and node.args
+        ):
+            return self._dtype_of_expr(node.args[0])
+        canonical = self.imports.resolve(node)
+        if canonical is None:
+            return None
+        if canonical.startswith("numpy."):
+            return dtype_from_name(canonical.rsplit(".", 1)[-1])
+        if canonical in ("int", "float", "bool"):
+            return dtype_from_name(canonical)
+        return None
+
+    def _kwarg(self, node: ast.Call, name: str) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _eval_call(self, node: ast.Call, env: dict[str, Value]) -> Value:
+        arg_values = [self.eval(arg, env) for arg in node.args]
+        for kw in node.keywords:
+            self.eval(kw.value, env)
+        # -- method calls on a value we understand
+        if isinstance(node.func, ast.Attribute):
+            base = self.eval(node.func.value, env)
+            method_value = self._eval_method(node, base, arg_values)
+            if method_value is not None:
+                return method_value
+        canonical = self.imports.resolve(node.func)
+        if canonical is not None:
+            numpy_value = self._eval_numpy(node, canonical, arg_values)
+            if numpy_value is not None:
+                return numpy_value
+            builtin_value = self._eval_builtin(canonical, arg_values)
+            if builtin_value is not None:
+                return builtin_value
+        return self.call_resolver(node.func)
+
+    def _eval_method(
+        self, node: ast.Call, base: Value, args: list[Value]
+    ) -> Value | None:
+        assert isinstance(node.func, ast.Attribute)
+        method = node.func.attr
+        if method in ("astype", "view"):
+            # the target dtype alone fixes the result, even when the
+            # receiver (e.g. an unannotated parameter) is unknown
+            dtype = self._dtype_of_expr(
+                node.args[0] if node.args else self._kwarg(node, "dtype")
+            )
+            if dtype is not None:
+                kind = base.kind if base.is_strong else "array"
+                return Value(kind, dtype, packed=base.packed)
+            return UNKNOWN
+        if not base.is_strong or base.dtype is None:
+            return None
+        if method == "sum":
+            dtype = self._dtype_of_expr(self._kwarg(node, "dtype"))
+            if dtype is None:
+                dtype = accumulator_dtype(base.dtype)
+            return Value("scalar", dtype, packed=base.packed)
+        if method in ("dot", "matmul"):
+            if args:
+                return promote_values(base, args[0])
+            return UNKNOWN
+        if method in _PASSTHROUGH_METHODS:
+            return Value(base.kind, base.dtype, packed=base.packed)
+        if method in ("min", "max", "item"):
+            return Value("scalar", base.dtype, packed=base.packed)
+        if method in ("any", "all"):
+            return Value("scalar", BOOL)
+        if method in ("mean", "std", "var"):
+            dtype = base.dtype if base.dtype.kind == "f" else FLOAT64
+            return Value("scalar", dtype)
+        if method in ("argsort", "argmin", "argmax", "searchsorted"):
+            return Value("array", INTP)
+        return None
+
+    def _eval_numpy(
+        self, node: ast.Call, canonical: str, args: list[Value]
+    ) -> Value | None:
+        if not canonical.startswith("numpy."):
+            return None
+        tail = canonical.rsplit(".", 1)[-1]
+        dtype = dtype_from_name(tail)
+        if dtype is not None:
+            # np.uint64(x): scalar/array cast keeping constness/packedness
+            src = args[0] if args else Value("pyint", const=0)
+            kind = "array" if src.kind == "array" else "scalar"
+            return Value(kind, dtype, const=src.const, packed=src.packed)
+        if tail in ("zeros", "ones", "empty", "full"):
+            explicit = self._dtype_of_expr(self._kwarg(node, "dtype"))
+            if explicit is None and tail != "full" and len(node.args) > 1:
+                explicit = self._dtype_of_expr(node.args[1])
+            if explicit is None and tail == "full":
+                explicit = self._dtype_of_expr(
+                    node.args[2] if len(node.args) > 2 else None
+                )
+                if explicit is None and len(args) > 1:
+                    fill = args[1]
+                    if fill.is_strong:
+                        explicit = fill.dtype
+                    elif fill.kind == "pyint":
+                        explicit = INT_DEFAULT
+                    elif fill.kind == "pyfloat":
+                        explicit = FLOAT64
+            if explicit is None and tail != "full":
+                explicit = FLOAT64
+            if explicit is None:
+                return UNKNOWN
+            return Value("array", explicit)
+        if tail in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            explicit = self._dtype_of_expr(self._kwarg(node, "dtype"))
+            if explicit is not None:
+                return Value("array", explicit)
+            if args and args[0].is_strong and args[0].dtype is not None:
+                return Value("array", args[0].dtype)
+            return UNKNOWN
+        if tail in ("array", "asarray", "asanyarray", "ascontiguousarray"):
+            explicit = self._dtype_of_expr(self._kwarg(node, "dtype"))
+            if explicit is None and len(node.args) > 1:
+                explicit = self._dtype_of_expr(node.args[1])
+            if explicit is not None:
+                return Value("array", explicit)
+            if args and args[0].is_strong and args[0].dtype is not None:
+                return Value("array", args[0].dtype, packed=args[0].packed)
+            return UNKNOWN
+        if tail == "arange":
+            explicit = self._dtype_of_expr(self._kwarg(node, "dtype"))
+            if explicit is not None:
+                return Value("array", explicit)
+            if any(v.kind == "pyfloat" for v in args):
+                return Value("array", FLOAT64)
+            if args and all(v.kind in ("pyint", "pybool") for v in args):
+                return Value("array", INT_DEFAULT)
+            return UNKNOWN
+        if tail in ("left_shift", "right_shift"):
+            if len(args) >= 2:
+                op: ast.operator = (
+                    ast.LShift() if tail == "left_shift" else ast.RShift()
+                )
+                return self._binop_value(op, args[0], args[1])
+            return UNKNOWN
+        if tail in _PROMOTING_UFUNCS:
+            if len(args) >= 2:
+                return promote_values(args[0], args[1])
+            return UNKNOWN
+        if tail == "where":
+            if len(args) == 3:
+                return promote_values(args[1], args[2])
+            return UNKNOWN
+        if tail == "sum":
+            explicit = self._dtype_of_expr(self._kwarg(node, "dtype"))
+            if args and args[0].is_strong and args[0].dtype is not None:
+                dtype = explicit or accumulator_dtype(args[0].dtype)
+                return Value("scalar", dtype, packed=args[0].packed)
+            return UNKNOWN
+        if tail in ("unpackbits", "packbits"):
+            return Value("array", _DTYPES["uint8"])
+        if tail in _INDEX_FUNCS:
+            return Value("array", INTP)
+        if tail in _PASSTHROUGH_FUNCS:
+            if tail == "concatenate" and node.args:
+                first = node.args[0]
+                if isinstance(first, (ast.List, ast.Tuple)):
+                    elts = [self.values.get(id(e), UNKNOWN) for e in first.elts]
+                    result = elts[0] if elts else UNKNOWN
+                    for elt in elts[1:]:
+                        if result.is_strong and elt.is_strong:
+                            result = promote_values(result, elt)
+                        else:
+                            result = UNKNOWN
+                    if result.is_strong:
+                        return Value("array", result.dtype, packed=result.packed)
+                return UNKNOWN
+            if args and args[0].is_strong and args[0].dtype is not None:
+                return Value("array", args[0].dtype, packed=args[0].packed)
+            return UNKNOWN
+        if tail in ("errstate", "seterr", "nonzero", "dtype"):
+            return UNKNOWN
+        return None
+
+    def _eval_builtin(self, canonical: str, args: list[Value]) -> Value | None:
+        if canonical == "int":
+            const = args[0].const if args and isinstance(args[0].const, int) else None
+            return Value("pyint", const=const, packed=args[0].packed if args else False)
+        if canonical == "float":
+            return Value("pyfloat")
+        if canonical == "bool":
+            return Value("pybool")
+        if canonical == "len":
+            return Value("pyint")
+        if canonical == "abs" and args:
+            return args[0]
+        if canonical in ("min", "max") and len(args) >= 2:
+            return promote_values(args[0], args[1])
+        return None
+
+
+def _all_args(args: ast.arguments) -> list[ast.arg]:
+    out = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    if args.vararg:
+        out.append(args.vararg)
+    if args.kwarg:
+        out.append(args.kwarg)
+    return out
+
+
+@dataclass
+class ModuleAnalysis:
+    """Per-module result: one abstract value per evaluated AST node."""
+
+    module: str
+    #: keep the tree alive so ``id()`` keys stay unique for the run
+    ctx: "FileContext"
+    values: dict[int, Value] = field(default_factory=dict)
+    module_env: dict[str, Value] = field(default_factory=dict)
+    #: joined return value per function qualname
+    returns: dict[str, Value] = field(default_factory=dict)
+
+    def value_of(self, node: ast.AST) -> Value:
+        """The abstract value the interpreter derived for ``node``."""
+        return self.values.get(id(node), UNKNOWN)
+
+
+def analyze_module(
+    ctx: "FileContext",
+    call_resolver: Callable[[ast.expr], Value] | None = None,
+) -> ModuleAnalysis:
+    """Run the abstract interpreter over one parsed file.
+
+    ``call_resolver`` maps an unrecognised callee expression to a return
+    :class:`Value` (the :class:`ProjectDataflow` hook for project
+    helpers); without one, every such call is :data:`UNKNOWN`.
+    """
+    analysis = ModuleAnalysis(module=ctx.module_name, ctx=ctx)
+    imports = ImportMap(ctx.tree)
+    resolver = call_resolver or (lambda _node: UNKNOWN)
+    interp = _Interpreter(analysis.values, imports, resolver)
+
+    env = analysis.module_env
+    functions: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+    classes: list[ast.ClassDef] = []
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            env[stmt.name] = UNKNOWN
+            functions.append((stmt.name, stmt))
+        elif isinstance(stmt, ast.ClassDef):
+            env[stmt.name] = UNKNOWN
+            classes.append(stmt)
+        else:
+            interp.exec_stmt(stmt, env)
+
+    def run_function(
+        qual: str,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        seed: dict[str, Value],
+    ) -> dict[str, Value]:
+        fn_env = dict(analysis.module_env)
+        fn_env.update(seed)
+        for arg in _all_args(fn.args):
+            fn_env[arg.arg] = UNKNOWN
+        interp._returns.append([])
+        try:
+            interp.exec_body(fn.body, fn_env)
+        finally:
+            collected = interp._returns.pop()
+        result = UNKNOWN
+        if collected:
+            result = collected[0]
+            for extra in collected[1:]:
+                result = join(result, extra)
+        analysis.returns[qual] = result
+        return fn_env
+
+    for name, fn in functions:
+        run_function(name, fn, {})
+    for cls in classes:
+        methods = [
+            item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # __init__ first: its self.<attr> bindings seed the other methods
+        self_env: dict[str, Value] = {}
+        init = next((m for m in methods if m.name == "__init__"), None)
+        if init is not None:
+            init_env = run_function(f"{cls.name}.__init__", init, {})
+            self_env = {
+                key: value
+                for key, value in init_env.items()
+                if key.startswith("self.")
+            }
+        for method in methods:
+            if method is init:
+                continue
+            run_function(f"{cls.name}.{method.name}", method, dict(self_env))
+    return analysis
+
+
+class ProjectDataflow:
+    """Lint-run-wide dataflow cache with project-helper return summaries.
+
+    Handed to rules as ``ProjectContext.dataflow``; module analyses are
+    memoised per file, and calls to functions the
+    :class:`~repro.devtools.reprolint.project.ProjectGraph` can resolve
+    statically are summarised by interpreting the callee's body once
+    (cycles and unknown callees collapse to :data:`UNKNOWN`).
+    """
+
+    def __init__(self, project: "ProjectContext") -> None:
+        self._project = project
+        self._analyses: dict[str, ModuleAnalysis] = {}
+        self._in_progress: set[str] = set()
+
+    def module(self, ctx: "FileContext") -> ModuleAnalysis:
+        """The (memoised) analysis of one file."""
+        cached = self._analyses.get(ctx.path)
+        if cached is not None:
+            return cached
+        if ctx.path in self._in_progress:
+            # helper-summary cycle: hand back an empty analysis rather
+            # than recursing; the real one replaces it when the outer
+            # call completes
+            return ModuleAnalysis(module=ctx.module_name, ctx=ctx)
+        self._in_progress.add(ctx.path)
+        try:
+            resolver = self._make_resolver(ctx)
+            analysis = analyze_module(ctx, resolver)
+        finally:
+            self._in_progress.discard(ctx.path)
+        self._analyses[ctx.path] = analysis
+        return analysis
+
+    def _make_resolver(self, ctx: "FileContext") -> Callable[[ast.expr], Value]:
+        graph = self._project.graph
+        imports = ImportMap(ctx.tree)
+        module_name = ctx.module_name
+
+        def resolve(func: ast.expr) -> Value:
+            candidates: list[str] = []
+            if isinstance(func, ast.Name):
+                candidates.append(f"{module_name}.{func.id}")
+            canonical = imports.resolve(func)
+            if canonical is not None:
+                resolved = graph.resolve_function(canonical)
+                if resolved is not None:
+                    candidates.append(resolved)
+            for dotted in candidates:
+                info = graph.functions.get(dotted)
+                if info is None:
+                    continue
+                return self.return_value(dotted)
+            return UNKNOWN
+
+        return resolve
+
+    def return_value(self, dotted: str) -> Value:
+        """Joined abstract return value of a known project function."""
+        graph = self._project.graph
+        info = graph.functions.get(dotted)
+        if info is None:
+            return UNKNOWN
+        module = graph.modules.get(info.module)
+        if module is None:
+            return UNKNOWN
+        analysis = self.module(module.ctx)
+        qual = dotted[len(info.module) + 1 :]
+        return analysis.returns.get(qual, UNKNOWN)

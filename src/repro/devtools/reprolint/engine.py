@@ -122,11 +122,15 @@ def _apply_baseline(report: LintReport, fingerprints: frozenset[str]) -> LintRep
     return report
 
 
+#: immutable empty default for ``lint_sources`` (no call in the signature)
+_NO_BASELINE: frozenset[str] = frozenset()
+
+
 def lint_sources(
     sources: Mapping[str, str],
     *,
     rules: Sequence[Rule] | None = None,
-    baseline_fingerprints: frozenset[str] = frozenset(),
+    baseline_fingerprints: frozenset[str] = _NO_BASELINE,
 ) -> LintReport:
     """Lint an in-memory ``{path: source}`` mapping."""
     contexts: list[FileContext] = []

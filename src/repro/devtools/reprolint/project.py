@@ -465,7 +465,7 @@ class ProjectGraph:
         public: dict[str, str] = {}
         for info in self.modules.values():
             if info.is_entrypoint:
-                for qual, fn in info.functions.items():
+                for fn in info.functions.values():
                     public.setdefault(fn.dotted, f"CLI entry point {info.name}")
                 continue
             if info.all_names is None:

@@ -47,7 +47,7 @@ class Rule(ABC):
 
     @property
     def group(self) -> str:
-        """Rule group derived from the id block (1xx/2xx/3xx/4xx/5xx)."""
+        """Rule group derived from the id block (1xx … 7xx)."""
         block = self.rule_id[2:3]
         return {
             "1": "determinism",
@@ -55,6 +55,8 @@ class Rule(ABC):
             "3": "numerics",
             "4": "architecture",
             "5": "taint",
+            "6": "numerics-flow",
+            "7": "concurrency",
         }.get(block, "other")
 
 

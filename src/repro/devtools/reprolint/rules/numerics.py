@@ -22,7 +22,7 @@ __all__ = ["FloatLiteralEqualityRule", "DivisionEqualityRule"]
 
 def _compare_sides(node: ast.Compare) -> Iterator[tuple[ast.cmpop, ast.expr, ast.expr]]:
     left = node.left
-    for op, right in zip(node.ops, node.comparators):
+    for op, right in zip(node.ops, node.comparators, strict=True):
         yield op, left, right
         left = right
 

@@ -1,0 +1,523 @@
+"""Numerics-flow rules (HB6xx) — dtype dataflow over the kernel layer.
+
+HB3xx judges comparison *shapes*; this block judges what the abstract
+interpreter (:mod:`repro.devtools.reprolint.dataflow`) can prove about
+the *values* flowing through them.  The paper's exactness story lives in
+packed ``uint64`` label arithmetic inside ``fastgraph/`` — and numpy's
+promotion semantics make the dangerous spellings silent:
+
+* ``uint64 ⊕ int64`` promotes to ``float64`` (bitwise variants raise at
+  runtime, arithmetic ones silently lose exactness past 2^53) — HB601;
+* a shift count at or past the dtype's width is undefined behaviour in
+  the underlying C (numpy wraps or zeros depending on platform/version)
+  — HB602;
+* storing a wider value through ``arr[...] = wide`` or ``ufunc(...,
+  out=narrow)`` truncates silently — HB603;
+* ``np.int_``/``np.intp`` (and ``dtype=int``) mean "whatever this
+  platform says", which must never leak into persisted artefacts —
+  HB604;
+* sub-32-bit accumulators (``uint8 @ uint8`` products, ``.sum()`` on
+  narrow ints) wrap exactly where the repo counts nodes, and float
+  accumulations compared ``==`` to integer counts rot per platform —
+  HB605.
+
+All five run on library files only; every reported dtype is one the
+interpreter actually derived, so findings under-approximate but never
+guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.reprolint.context import FileContext, ProjectContext
+from repro.devtools.reprolint.dataflow import (
+    DType,
+    ModuleAnalysis,
+    Value,
+    promote_values,
+)
+from repro.devtools.reprolint.findings import Finding
+from repro.devtools.reprolint.registry import register_rule
+from repro.devtools.reprolint.rules.base import FileRule, ImportMap, ProjectRule
+
+__all__ = [
+    "SignedUnsignedMixRule",
+    "ShiftExceedsWidthRule",
+    "ImplicitDowncastRule",
+    "PlatformWidthDTypeRule",
+    "NarrowAccumulatorRule",
+]
+
+#: BinOp node types whose operands promote like integer arithmetic
+_INT_BINOPS = (
+    ast.BitAnd,
+    ast.BitOr,
+    ast.BitXor,
+    ast.LShift,
+    ast.RShift,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.FloorDiv,
+    ast.Mod,
+)
+
+#: numpy function names that promote their first two arguments like BinOps
+_PROMOTING_CALLS = frozenset(
+    {
+        "numpy.bitwise_and",
+        "numpy.bitwise_or",
+        "numpy.bitwise_xor",
+        "numpy.left_shift",
+        "numpy.right_shift",
+        "numpy.add",
+        "numpy.subtract",
+        "numpy.multiply",
+    }
+)
+
+
+def _binop_pairs(
+    fctx: FileContext, imports: ImportMap
+) -> Iterator[tuple[ast.AST, ast.expr, ast.expr, str]]:
+    """Integer-promoting operand pairs: BinOps and explicit numpy ufuncs.
+
+    Yields ``(anchor node, left, right, op spelling)``.
+    """
+    for node in ast.walk(fctx.tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _INT_BINOPS):
+            yield node, node.left, node.right, type(node.op).__name__
+        elif isinstance(node, ast.Call) and len(node.args) >= 2:
+            canonical = imports.resolve(node.func)
+            if canonical in _PROMOTING_CALLS:
+                yield node, node.args[0], node.args[1], canonical.rsplit(".", 1)[-1]
+
+
+@register_rule
+class SignedUnsignedMixRule(ProjectRule):
+    rule_id = "HB601"
+    title = "no signed/unsigned mixing on 64-bit words"
+    rationale = (
+        "numpy has no integer type holding both uint64 and a signed int, "
+        "so uint64 + int64 promotes to float64 — exactness is gone past "
+        "2^53, and the bitwise variants raise TypeError outright; packed "
+        "(butterfly, hypercube) labels must stay in one signedness, so "
+        "cast the signed operand explicitly (np.uint64(...)/astype)"
+    )
+
+    fixture_hits = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def mask_low(packed: np.ndarray) -> np.ndarray:\n"
+            "    words = packed.astype(np.uint64)\n"
+            "    return words & np.int64(3)\n"
+        )
+    }
+    fixture_clean = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def mask_low(packed: np.ndarray) -> np.ndarray:\n"
+            "    words = packed.astype(np.uint64)\n"
+            "    return words & np.uint64(3)\n"
+        )
+    }
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for fctx in ctx.library_files:
+            analysis = ctx.dataflow.module(fctx)
+            imports = ImportMap(fctx.tree)
+            for node, left, right, spelling in _binop_pairs(fctx, imports):
+                lv, rv = analysis.value_of(left), analysis.value_of(right)
+                if not (lv.is_strong and rv.is_strong):
+                    continue
+                assert lv.dtype is not None and rv.dtype is not None
+                kinds = {lv.dtype.kind, rv.dtype.kind}
+                if kinds != {"i", "u"}:
+                    continue
+                unsigned = lv.dtype if lv.dtype.kind == "u" else rv.dtype
+                if unsigned.bits < 64:
+                    continue  # a wider signed int exists; promotion is lossless
+                provenance = (
+                    " on a packed label word" if lv.packed or rv.packed else ""
+                )
+                yield fctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{spelling} mixes {lv.dtype} with {rv.dtype}{provenance}: "
+                    "numpy promotes uint64 vs signed to float64 (bitwise ops "
+                    "raise); cast one side so both operands share signedness",
+                )
+
+
+@register_rule
+class ShiftExceedsWidthRule(ProjectRule):
+    rule_id = "HB602"
+    title = "shift counts must stay below the dtype width"
+    rationale = (
+        "shifting an N-bit integer by >= N (or by a negative count) is "
+        "undefined behaviour in the underlying C — numpy's result varies "
+        "by platform and version instead of raising; a packed-label shift "
+        "that overshoots the word silently corrupts every rank it touches"
+    )
+
+    fixture_hits = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def high_bit() -> np.uint64:\n"
+            "    one = np.uint64(1)\n"
+            "    return one << np.uint64(64)\n"
+        )
+    }
+    fixture_clean = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def high_bit() -> np.uint64:\n"
+            "    one = np.uint64(1)\n"
+            "    return one << np.uint64(63)\n"
+        )
+    }
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for fctx in ctx.library_files:
+            analysis = ctx.dataflow.module(fctx)
+            imports = ImportMap(fctx.tree)
+            for node, left, right, spelling in _binop_pairs(fctx, imports):
+                if spelling not in (
+                    "LShift",
+                    "RShift",
+                    "left_shift",
+                    "right_shift",
+                ):
+                    continue
+                lv, rv = analysis.value_of(left), analysis.value_of(right)
+                if not (lv.is_strong and lv.dtype is not None and lv.dtype.is_int):
+                    continue
+                if not isinstance(rv.const, int):
+                    continue
+                if 0 <= rv.const < lv.dtype.bits:
+                    continue
+                yield fctx.finding(
+                    self.rule_id,
+                    node,
+                    f"shift count {rv.const} is outside [0, "
+                    f"{lv.dtype.bits}) for a {lv.dtype} operand: the result "
+                    "is platform-defined, not an error; widen the dtype or "
+                    "bound the count",
+                )
+
+
+@register_rule
+class ImplicitDowncastRule(ProjectRule):
+    rule_id = "HB603"
+    title = "no silent downcasts at stores or ufunc out="
+    rationale = (
+        "arr[idx] = wide and ufunc(..., out=narrow) truncate to the "
+        "destination dtype without any warning — a rank or count that no "
+        "longer fits wraps silently; make the narrowing explicit with "
+        "astype(..., casting=...) or widen the destination"
+    )
+
+    fixture_hits = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def gather(n: int) -> np.ndarray:\n"
+            "    wide = np.arange(n, dtype=np.int64)\n"
+            "    out = np.zeros(n, dtype=np.int32)\n"
+            "    out[:] = wide\n"
+            "    return out\n"
+        )
+    }
+    fixture_clean = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def gather(n: int) -> np.ndarray:\n"
+            "    wide = np.arange(n, dtype=np.int64)\n"
+            "    out = np.zeros(n, dtype=np.int64)\n"
+            "    out[:] = wide\n"
+            "    return out\n"
+        )
+    }
+
+    @staticmethod
+    def _narrows(src: DType, dst: DType) -> bool:
+        if src.kind == "f" and dst.is_int:
+            return True
+        if src.kind == "f" and dst.kind == "f":
+            return src.bits > dst.bits
+        if src.is_int and dst.is_int:
+            return src.bits > dst.bits or (
+                src.kind == "u" and dst.kind == "i" and src.bits >= dst.bits
+            )
+        return False
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for fctx in ctx.library_files:
+            analysis = ctx.dataflow.module(fctx)
+            imports = ImportMap(fctx.tree)
+            for node in ast.walk(fctx.tree):
+                if isinstance(node, ast.Assign):
+                    rv = analysis.value_of(node.value)
+                    if not (rv.is_strong and rv.dtype is not None):
+                        continue
+                    for target in node.targets:
+                        if not isinstance(target, ast.Subscript):
+                            continue
+                        tv = analysis.value_of(target.value)
+                        if not (
+                            tv.kind == "array"
+                            and tv.dtype is not None
+                            and self._narrows(rv.dtype, tv.dtype)
+                        ):
+                            continue
+                        yield fctx.finding(
+                            self.rule_id,
+                            node,
+                            f"storing {rv.dtype} values into a {tv.dtype} "
+                            "array truncates silently; cast explicitly or "
+                            "widen the destination",
+                        )
+                elif isinstance(node, ast.Call) and len(node.args) >= 2:
+                    canonical = imports.resolve(node.func)
+                    if canonical not in _PROMOTING_CALLS:
+                        continue
+                    out_expr = next(
+                        (kw.value for kw in node.keywords if kw.arg == "out"),
+                        None,
+                    )
+                    if out_expr is None:
+                        continue
+                    ov = analysis.value_of(out_expr)
+                    expected = promote_values(
+                        analysis.value_of(node.args[0]),
+                        analysis.value_of(node.args[1]),
+                    )
+                    if not (
+                        ov.is_strong
+                        and ov.dtype is not None
+                        and expected.is_strong
+                        and expected.dtype is not None
+                        and self._narrows(expected.dtype, ov.dtype)
+                    ):
+                        continue
+                    yield fctx.finding(
+                        self.rule_id,
+                        node,
+                        f"ufunc result promotes to {expected.dtype} but "
+                        f"out= is {ov.dtype}: the store truncates silently",
+                    )
+
+
+@register_rule
+class PlatformWidthDTypeRule(FileRule):
+    rule_id = "HB604"
+    title = "no platform-width dtypes in library code"
+    rationale = (
+        "np.int_/np.intp/np.uint/np.uintp (and dtype=int) resolve to "
+        "whatever width the platform's C toolchain picked — artefacts, "
+        "codecs, and on-disk caches written with them are not portable "
+        "and silently change meaning across platforms; always spell the "
+        "width (np.int64, np.uint64, ...)"
+    )
+
+    _PLATFORM = frozenset(
+        {
+            "numpy.int_",
+            "numpy.intp",
+            "numpy.intc",
+            "numpy.uint",
+            "numpy.uintp",
+            "numpy.uintc",
+            "numpy.long",
+            "numpy.ulong",
+            "numpy.longlong",
+            "numpy.ulonglong",
+        }
+    )
+
+    fixture_hits = (
+        "import numpy as np\n"
+        "\n"
+        "def persist(n: int) -> np.ndarray:\n"
+        "    return np.zeros(n, dtype=np.intp)\n"
+    )
+    fixture_clean = (
+        "import numpy as np\n"
+        "\n"
+        "def persist(n: int) -> np.ndarray:\n"
+        "    return np.zeros(n, dtype=np.int64)\n"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_library:
+            return
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                canonical = imports.resolve(node)
+                if canonical in self._PLATFORM:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{canonical.rsplit('.', 1)[-1]} is a platform-width "
+                        "alias; spell the width explicitly (np.int64, "
+                        "np.uint64, ...)",
+                    )
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "dtype"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id == "int"
+                        and imports.resolve(kw.value) == "int"
+                    ):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            "dtype=int means the platform default integer; "
+                            "spell the width explicitly (np.int64)",
+                        )
+
+
+@register_rule
+class NarrowAccumulatorRule(ProjectRule):
+    rule_id = "HB605"
+    title = "no narrow or float accumulators behind exact counts"
+    rationale = (
+        "matrix products accumulate in the operands' promoted dtype "
+        "(uint8 @ uint8 wraps at 256 — a node with a multiple-of-256 "
+        "frontier in-degree silently reads as unreached), .sum() on a "
+        "sub-32-bit int accumulates in the platform integer, and a float "
+        "accumulation compared == to an integer count rots per platform; "
+        "widen the operand, pass dtype=, or compare with a tolerance"
+    )
+
+    fixture_hits = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def reached(adjacency, frontier: np.ndarray) -> np.ndarray:\n"
+            "    return (adjacency @ frontier.astype(np.uint8)) > 0\n"
+            "\n"
+            "def popcount(words: np.ndarray) -> int:\n"
+            "    return int(np.unpackbits(words.view(np.uint8)).sum())\n"
+        )
+    }
+    fixture_clean = {
+        "src/repro/_flow_fixture.py": (
+            "import numpy as np\n"
+            "\n"
+            "def reached(adjacency, frontier: np.ndarray) -> np.ndarray:\n"
+            "    return (adjacency @ frontier.astype(np.int32)) > 0\n"
+            "\n"
+            "def popcount(words: np.ndarray) -> int:\n"
+            "    return int(\n"
+            "        np.unpackbits(words.view(np.uint8)).sum(dtype=np.int64)\n"
+            "    )\n"
+        )
+    }
+
+    @staticmethod
+    def _narrow_product_operand(value: Value) -> bool:
+        return (
+            value.is_strong
+            and value.dtype is not None
+            and (
+                (value.dtype.is_int and value.dtype.bits <= 16)
+                or (value.dtype.kind == "f" and value.dtype.bits <= 16)
+            )
+        )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for fctx in ctx.library_files:
+            analysis = ctx.dataflow.module(fctx)
+            imports = ImportMap(fctx.tree)
+            for node in ast.walk(fctx.tree):
+                finding = self._check_node(fctx, analysis, imports, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_node(
+        self,
+        fctx: FileContext,
+        analysis: ModuleAnalysis,
+        imports: ImportMap,
+        node: ast.AST,
+    ) -> Finding | None:
+        # (a) matrix products with a sub-32-bit operand wrap in-place
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            for side in (node.left, node.right):
+                value = analysis.value_of(side)
+                if self._narrow_product_operand(value):
+                    assert value.dtype is not None
+                    return fctx.finding(
+                        self.rule_id,
+                        node,
+                        f"@ accumulates in the promoted operand dtype; a "
+                        f"{value.dtype} operand wraps at 2^{value.dtype.bits}"
+                        " — cast it up (e.g. astype(np.int32)) first",
+                    )
+        if isinstance(node, ast.Call):
+            canonical = imports.resolve(node.func)
+            if canonical in ("numpy.dot", "numpy.matmul") and len(node.args) >= 2:
+                for arg in node.args[:2]:
+                    value = analysis.value_of(arg)
+                    if self._narrow_product_operand(value):
+                        assert value.dtype is not None
+                        return fctx.finding(
+                            self.rule_id,
+                            node,
+                            f"{canonical.rsplit('.', 1)[-1]} accumulates in "
+                            f"the promoted operand dtype; a {value.dtype} "
+                            "operand wraps — cast it up first",
+                        )
+            # (b) .sum() on a narrow int without an explicit accumulator
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sum"
+                and not any(kw.arg == "dtype" for kw in node.keywords)
+            ):
+                base = analysis.value_of(node.func.value)
+                if (
+                    base.is_strong
+                    and base.dtype is not None
+                    and base.dtype.is_int
+                    and base.dtype.bits < 32
+                ):
+                    return fctx.finding(
+                        self.rule_id,
+                        node,
+                        f".sum() on a {base.dtype} array accumulates in the "
+                        "platform integer; pass dtype=np.int64 explicitly",
+                    )
+        # (c) float accumulations compared exactly against integer counts
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                return None
+            sides = [node.left, node.comparators[0]]
+            values = [analysis.value_of(s) for s in sides]
+            has_float = any(
+                v.is_strong and v.dtype is not None and v.dtype.kind == "f"
+                for v in values
+            )
+            has_int = any(
+                v.kind == "pyint"
+                or (v.is_strong and v.dtype is not None and v.dtype.is_int)
+                for v in values
+            )
+            if has_float and has_int:
+                return fctx.finding(
+                    self.rule_id,
+                    node,
+                    "float-dtype accumulation compared ==/!= against an "
+                    "integer count; accumulate in an integer dtype or use "
+                    "math.isclose",
+                )
+        return None

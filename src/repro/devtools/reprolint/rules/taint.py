@@ -125,7 +125,7 @@ class UnseededTaintRule(ProjectRule):
         public = graph.public_functions()
         #: dotted function -> its unseeded construction sites
         tainted_fns: dict[str, list[tuple[ast.Call, str]]] = {}
-        for name, info in sorted(graph.modules.items()):
+        for _name, info in sorted(graph.modules.items()):
             if not info.ctx.is_library:
                 continue
             imports = ImportMap(info.ctx.tree)

@@ -24,9 +24,19 @@ Default targets:
 A target writes its artefact to the path substituted for ``{out}`` in its
 argv; a target with no ``{out}`` placeholder must print JSON on stdout.
 
+``--mode overflow`` runs a different dynamic probe over the same targets:
+each is run once clean and once with ``$REPRO_NUMPY_ERRSTATE`` exporting
+``over=raise,invalid=raise`` — the CLI entry point, :func:`metrics_probe`,
+and every pool-worker initializer install the trap via
+:func:`repro.fastgraph.guard.install_errstate_from_env`, so numpy
+overflow/invalid warnings that are silently swallowed in stock runs
+become hard failures (and the trapped artefact must still be bit-identical
+to the clean one).  Array *integer* wraparound stays silent by numpy
+design — that class is covered statically by reprolint HB605.
+
 Exit codes mirror ``lint``: ``0`` reproducible, ``1`` divergent (first
-divergent JSON path reported), ``2`` the sanitizer itself failed (target
-crashed, output was not JSON).
+divergent JSON path reported) or overflow trapped, ``2`` the sanitizer
+itself failed (target crashed outside the trap, output was not JSON).
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ __all__ = [
     "structural_diff",
     "run_target",
     "sanitize",
+    "sanitize_overflow",
     "metrics_probe",
     "configure_parser",
     "run",
@@ -58,6 +69,9 @@ __all__ = [
 #: hash seeds used when the caller does not override them — different on
 #: purpose, so str/bytes hash order differs between the two runs
 DEFAULT_HASH_SEEDS = ("0", "1")
+
+#: the ``--mode overflow`` numpy error-state spec (see fastgraph.guard)
+OVERFLOW_ERRSTATE = "over=raise,invalid=raise"
 
 _PROBE_SNIPPET = (
     "from repro.devtools.sanitize import metrics_probe; "
@@ -131,6 +145,9 @@ def metrics_probe(out_path: str, m: int, n: int) -> None:
     Runs inside the sanitizer's subprocesses; everything in the payload
     must be a pure function of ``(m, n)``.
     """
+    from repro.fastgraph.guard import install_errstate_from_env
+
+    install_errstate_from_env()  # --mode overflow trap, no-op otherwise
     from repro.analysis.distance_stats import distance_profile
     from repro.analysis.metrics import average_distance, exact_diameter
     from repro.core.hyperbutterfly import HyperButterfly
@@ -184,7 +201,7 @@ def structural_diff(a: object, b: object, path: str = "$") -> str | None:
         assert isinstance(b, list)
         if len(a) != len(b):
             return f"{path}: length {len(a)} != {len(b)}"
-        for i, (x, y) in enumerate(zip(a, b)):
+        for i, (x, y) in enumerate(zip(a, b, strict=True)):
             hit = structural_diff(x, y, f"{path}[{i}]")
             if hit is not None:
                 return hit
@@ -211,22 +228,35 @@ def _subprocess_env(hash_seed: str) -> dict[str, str]:
 
 
 def run_target(
-    target: SanitizeTarget, hash_seed: str, *, timeout: float = 600.0
+    target: SanitizeTarget,
+    hash_seed: str,
+    *,
+    timeout: float = 600.0,
+    extra_env: dict[str, str] | None = None,
 ) -> object:
-    """Run ``target`` once under ``PYTHONHASHSEED=hash_seed``; parsed JSON."""
+    """Run ``target`` once under ``PYTHONHASHSEED=hash_seed``; parsed JSON.
+
+    ``extra_env`` entries are layered on top (``--mode overflow`` uses it
+    to export the numpy error-state trap).
+    """
     with tempfile.TemporaryDirectory(prefix="sanitize-") as tmp:
         out_path = os.path.join(tmp, "artefact.json")
         argv = [a.replace("{out}", out_path) for a in target.argv]
+        env = _subprocess_env(hash_seed)
+        if extra_env:
+            env.update(extra_env)
         try:
             proc = subprocess.run(
                 argv,
-                env=_subprocess_env(hash_seed),
+                env=env,
                 capture_output=True,
                 text=True,
                 timeout=timeout,
             )
         except (OSError, subprocess.TimeoutExpired) as exc:
-            raise SanitizeError(f"target {target.name} failed to run: {exc}")
+            raise SanitizeError(
+                f"target {target.name} failed to run: {exc}"
+            ) from exc
         if proc.returncode != 0:
             tail = (proc.stderr or proc.stdout).strip().splitlines()[-5:]
             raise SanitizeError(
@@ -243,7 +273,7 @@ def run_target(
         except json.JSONDecodeError as exc:
             raise SanitizeError(
                 f"target {target.name} produced invalid JSON: {exc}"
-            )
+            ) from exc
 
 
 def _read_artefact(target: SanitizeTarget, out_path: str) -> str:
@@ -252,7 +282,7 @@ def _read_artefact(target: SanitizeTarget, out_path: str) -> str:
     except OSError as exc:
         raise SanitizeError(
             f"target {target.name} wrote no artefact at its {{out}} path: {exc}"
-        )
+        ) from exc
 
 
 def sanitize(
@@ -288,11 +318,69 @@ def sanitize(
     return 1 if divergent else 0
 
 
+def sanitize_overflow(
+    targets: Sequence[SanitizeTarget],
+    *,
+    hash_seed: str = DEFAULT_HASH_SEEDS[0],
+    errstate: str = OVERFLOW_ERRSTATE,
+    timeout: float = 600.0,
+    echo: bool = True,
+) -> int:
+    """Run each target clean and under the numpy error-state trap.
+
+    A target that crashes only under the trap hit a real numpy
+    overflow/invalid the stock run swallowed as a warning; a target whose
+    trapped artefact differs from the clean one proves the error state
+    leaked into values.  Either counts as a finding (exit ``1``).
+    """
+    from repro.fastgraph.guard import ERRSTATE_ENV
+
+    findings = 0
+    for target in targets:
+        clean = run_target(target, hash_seed, timeout=timeout)
+        try:
+            trapped = run_target(
+                target,
+                hash_seed,
+                timeout=timeout,
+                extra_env={ERRSTATE_ENV: errstate},
+            )
+        except SanitizeError as exc:
+            findings += 1
+            if echo:
+                print(f"sanitize: {target.name}: OVERFLOW TRAPPED — {exc}")
+            continue
+        hit = structural_diff(clean, trapped)
+        if hit is not None:
+            findings += 1
+            if echo:
+                print(
+                    f"sanitize: {target.name}: DIVERGENT under the "
+                    f"overflow trap — first divergent path {hit}"
+                )
+        elif echo:
+            print(
+                f"sanitize: {target.name}: no numpy overflow/invalid "
+                f"under {errstate}"
+            )
+    return 1 if findings else 0
+
+
 # -- CLI wiring --------------------------------------------------------------
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Add ``sanitize`` arguments onto a (sub)parser."""
+    parser.add_argument(
+        "--mode",
+        choices=("hashseed", "overflow"),
+        default="hashseed",
+        help=(
+            "hashseed: A/B runs under different PYTHONHASHSEED values; "
+            "overflow: clean vs numpy over=raise,invalid=raise trap "
+            "(default: hashseed)"
+        ),
+    )
     parser.add_argument(
         "--seeds",
         nargs=2,
@@ -359,6 +447,10 @@ def run(args: argparse.Namespace) -> int:
                 print(f"{target.name}: {' '.join(target.argv)}")
             return 0
         targets = _selected_targets(args)
+        if args.mode == "overflow":
+            return sanitize_overflow(
+                targets, hash_seed=args.seeds[0], timeout=args.timeout
+            )
         return sanitize(
             targets,
             hash_seeds=(args.seeds[0], args.seeds[1]),

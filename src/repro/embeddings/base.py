@@ -77,7 +77,7 @@ def verify_cycle_embedding(
         raise EmbeddingError(f"a cycle needs at least 3 vertices, got {k}")
     if len(set(cycle)) != k:
         raise EmbeddingError("cycle repeats a vertex")
-    for a, b in zip(cycle, list(cycle[1:]) + [cycle[0]]):
+    for a, b in zip(cycle, list(cycle[1:]) + [cycle[0]], strict=True):
         host.validate_node(a)
         if not host.has_edge(a, b):
             raise EmbeddingError(f"cycle step {a!r}-{b!r} is not a host edge")

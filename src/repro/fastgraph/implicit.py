@@ -125,7 +125,8 @@ class Bitset:
 
     def count(self) -> int:
         """Number of set bits."""
-        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+        # dtype pinned: a bare .sum() accumulates in the platform integer
+        return int(np.unpackbits(self.words.view(np.uint8)).sum(dtype=np.int64))
 
 
 def _fresh_in_slice(
@@ -243,22 +244,23 @@ def implicit_bfs_levels(
     depth = 0
     slice_nodes = slice_nodes or default_slice_nodes()
     use_numba = numba_enabled()
+    def on_fresh(
+        news: np.ndarray,
+        origins: np.ndarray | None,
+        columns: np.ndarray | None,
+    ) -> None:
+        # called synchronously inside _expand_level, so it reads the
+        # current level's ``depth`` from the enclosing scope
+        dist[news] = depth
+        if parents is not None and origins is not None:
+            parents[news] = origins
+        if via is not None and columns is not None:
+            via[news] = columns
+
     while frontier.size:
         if target is not None and dist[target] >= 0:
             break
         depth += 1
-
-        def on_fresh(
-            news: np.ndarray,
-            origins: np.ndarray | None,
-            columns: np.ndarray | None,
-        ) -> None:
-            dist[news] = depth
-            if parents is not None and origins is not None:
-                parents[news] = origins
-            if via is not None and columns is not None:
-                via[news] = columns
-
         frontier, _ = _expand_level(
             codec,
             frontier,

@@ -124,7 +124,10 @@ def sweep_chunk(
     ecc = np.zeros(width, dtype=np.int64)
     depth_counts: dict[int, int] = {}
     while frontier.any():
-        reached = (adjacency @ frontier.astype(np.uint8)) > 0
+        # int32, not uint8: @ accumulates in the operand dtype, and a node
+        # whose frontier in-degree is a multiple of 256 would wrap to 0
+        # and read as unreached (HB605)
+        reached = (adjacency @ frontier.astype(np.int32)) > 0
         frontier = reached & ~visited
         visited |= frontier
         depth += 1

@@ -23,12 +23,21 @@ integer ``+`` over histogram counts) is associative and order-preserved by
 *and* for either payload kind, including the in-process ``jobs=1`` path,
 which runs the very same chunk kernels without a pool.
 
-Determinism for any job count and both payloads is pinned by
-``tests/fastgraph/test_parallel.py``.
+The pool pins an explicit multiprocessing start method (``spawn`` unless
+overridden via ``start_method=`` or ``$REPRO_POOL_START_METHOD``) instead
+of inheriting the platform default: fork and spawn workers see different
+module state, and a sweep must not change meaning between Linux and
+macOS.  Workers carry no state besides what the initializer ships, so
+fork and spawn are bit-identical — also pinned by the tests.
+
+Determinism for any job count, both payloads, and both start methods is
+pinned by ``tests/fastgraph/test_parallel.py``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Any, Union
 
@@ -37,9 +46,13 @@ import numpy as np
 from repro.errors import DisconnectedError, InvalidParameterError
 from repro.fastgraph.codecs import NodeCodec
 from repro.fastgraph.csr import CSRAdjacency
+from repro.fastgraph.guard import install_errstate_from_env
 from repro.fastgraph.kernels import sweep_chunk
 
-__all__ = ["SweepResult", "parallel_sweep", "source_chunks"]
+__all__ = ["SweepResult", "parallel_sweep", "source_chunks", "resolve_start_method"]
+
+#: start-method override honoured when ``start_method=None`` is passed
+START_METHOD_ENV = "REPRO_POOL_START_METHOD"
 
 #: a sweep substrate: materialized CSR arrays, or a tiny picklable codec
 SweepPayload = Union[CSRAdjacency, NodeCodec]
@@ -68,10 +81,21 @@ def source_chunks(total: int, batch: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + batch, total)) for lo in range(0, total, batch)]
 
 
+def resolve_start_method(start_method: str | None = None) -> str:
+    """The pool start method: explicit arg, else env override, else spawn.
+
+    ``spawn`` is the deliberate default — it behaves identically on every
+    platform and inherits no live parent state, so a sweep cannot change
+    meaning between Linux (fork default) and macOS/Windows (spawn).
+    """
+    return start_method or os.environ.get(START_METHOD_ENV) or "spawn"
+
+
 def _init_worker_csr(
     indptr: np.ndarray, indices: np.ndarray, uniform_degree: int | None
 ) -> None:
     """Rebuild the CSR once per worker; the scipy matrix is built lazily."""
+    install_errstate_from_env()  # sanitizer trap survives spawn
     _state["csr"] = CSRAdjacency(
         indptr=indptr, indices=indices, uniform_degree=uniform_degree
     )
@@ -81,6 +105,7 @@ def _init_worker_csr(
 
 def _init_worker_implicit(codec: NodeCodec) -> None:
     """Store the codec spec — the only state an implicit worker needs."""
+    install_errstate_from_env()  # sanitizer trap survives spawn
     _state["codec"] = codec
     _state["csr"] = None
 
@@ -96,7 +121,9 @@ def _run_chunk(bounds: tuple[int, int]) -> tuple[np.ndarray, dict[int, int], boo
         return implicit_sweep_chunk(codec, chunk)
     csr: CSRAdjacency = _state["csr"]
     if _state["adjacency"] is None:
-        _state["adjacency"] = csr.to_scipy()
+        # per-worker lazy cache: the scipy build is deterministic and the
+        # mutation never leaves the child, so chunk results are unaffected
+        _state["adjacency"] = csr.to_scipy()  # reprolint: disable=HB702 -- worker-local memoization of a pure function of initializer state
     return sweep_chunk(_state["adjacency"], csr.num_nodes, chunk)
 
 
@@ -125,13 +152,16 @@ def parallel_sweep(
     batch: int = 128,
     check_connected: bool = True,
     name: str = "graph",
+    start_method: str | None = None,
 ) -> SweepResult:
     """All-sources eccentricities + distance histogram, ``jobs`` processes.
 
     ``payload`` selects the substrate (CSR arrays or an implicit codec —
     see the module docstring); ``jobs=1`` runs the chunk loop in-process
     (no pool, no pickling) and is the reference the pooled paths must
-    match bit-for-bit.
+    match bit-for-bit.  ``start_method`` pins the pool's multiprocessing
+    context (default: :func:`resolve_start_method` — spawn unless
+    ``$REPRO_POOL_START_METHOD`` overrides it).
     """
     if jobs < 1:
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
@@ -157,6 +187,7 @@ def parallel_sweep(
             initargs = (payload.indptr, payload.indices, payload.uniform_degree)
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(bounds)),
+            mp_context=multiprocessing.get_context(resolve_start_method(start_method)),
             initializer=initializer,
             initargs=initargs,
         ) as pool:

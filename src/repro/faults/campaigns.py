@@ -213,7 +213,7 @@ def _transient_curve(hb: HyperButterfly, config: CampaignConfig) -> list[dict]:
                 transport=cfg,
                 seed=config.seed + 4,
             )
-            for (s, t), at in zip(pairs, inject_times):
+            for (s, t), at in zip(pairs, inject_times, strict=True):
                 sim.inject(s, t, at=at)
             sim.run()
             stats[label] = sim.stats()
@@ -497,7 +497,7 @@ def _cascade_section(hb: HyperButterfly, config: StructureCampaignConfig) -> dic
             transport=cfg,
             seed=config.seed + 9,
         )
-        for (s, t), at in zip(traffic, inject_times):
+        for (s, t), at in zip(traffic, inject_times, strict=True):
             sim.inject(s, t, at=at)
         sim.run()
         stats = sim.stats()

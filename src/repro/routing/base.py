@@ -73,7 +73,7 @@ def validate_path(
         raise RoutingError(f"path starts at {path[0]!r}, expected {source!r}")
     if target is not None and path[-1] != target:
         raise RoutingError(f"path ends at {path[-1]!r}, expected {target!r}")
-    for a, b in zip(path, path[1:]):
+    for a, b in zip(path, path[1:], strict=False):
         if not topology.has_edge(a, b):
             raise RoutingError(f"{a!r} -> {b!r} is not an edge of {topology.name}")
     if simple and len(set(path)) != len(path):

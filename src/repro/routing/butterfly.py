@@ -145,7 +145,7 @@ def butterfly_route_walk(
 
     # positions crossed, in walk order
     crossings: list[int] = []
-    for p, q in zip(offsets, offsets[1:]):
+    for p, q in zip(offsets, offsets[1:], strict=False):
         pos = (x1 + min(p, q)) % n
         crossings.append(pos)
     last_crossing: dict[int, int] = {}
@@ -154,7 +154,7 @@ def butterfly_route_walk(
             last_crossing[pos] = i
 
     path = [u]
-    for i, (p, q) in enumerate(zip(offsets, offsets[1:])):
+    for i, (p, q) in enumerate(zip(offsets, offsets[1:], strict=False)):
         x, c = path[-1]
         pos = (x1 + min(p, q)) % n
         do_flip = last_crossing.get(pos) == i

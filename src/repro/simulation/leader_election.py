@@ -49,7 +49,7 @@ def _identifiers(
     nodes = list(topology.nodes())
     values = list(range(len(nodes)))
     rng.shuffle(values)
-    return dict(zip(nodes, values))
+    return dict(zip(nodes, values, strict=True))
 
 
 def flood_max_election(

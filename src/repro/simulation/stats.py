@@ -40,6 +40,30 @@ class LatencyStats:
             duplicates=sum(getattr(p, "duplicates", 0) for p in packets),
         )
 
+    @classmethod
+    def merge(cls, parts: Sequence["LatencyStats"]) -> "LatencyStats":
+        """Combine per-shard stats as if their packets were one set.
+
+        Counts add, extrema take the max, and the means recombine
+        delivered-weighted — so ``merge([from_packets(a), from_packets(b)])
+        == from_packets(a + b)`` and the empty sequence is the identity.
+        """
+        injected = sum(p.injected for p in parts)
+        delivered = sum(p.delivered for p in parts)
+        latency_total = sum(p.mean_latency * p.delivered for p in parts)
+        hops_total = sum(p.mean_hops * p.delivered for p in parts)
+        return cls(
+            injected=injected,
+            delivered=delivered,
+            dropped=sum(p.dropped for p in parts),
+            mean_latency=latency_total / delivered if delivered else 0.0,
+            max_latency=max((p.max_latency for p in parts), default=0.0),
+            mean_hops=hops_total / delivered if delivered else 0.0,
+            makespan=max((p.makespan for p in parts), default=0.0),
+            retransmissions=sum(p.retransmissions for p in parts),
+            duplicates=sum(p.duplicates for p in parts),
+        )
+
     @property
     def delivery_rate(self) -> float:
         return self.delivered / self.injected if self.injected else 1.0

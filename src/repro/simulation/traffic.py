@@ -55,9 +55,9 @@ def permutation_traffic(
     targets = nodes[:]
     while True:
         rng.shuffle(targets)
-        if all(s != t for s, t in zip(nodes, targets)):
+        if all(s != t for s, t in zip(nodes, targets, strict=True)):
             break
-    return list(zip(nodes, targets))
+    return list(zip(nodes, targets, strict=True))
 
 
 def hotspot_traffic(

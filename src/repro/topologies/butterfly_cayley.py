@@ -144,7 +144,7 @@ class CayleyButterfly(Topology):
                     f"label {label!r} is not a cyclic permutation in lexicographic order"
                 )
         ci = 0
-        for ch, sym in zip(label, symbols):
+        for ch, sym in zip(label, symbols, strict=True):
             if ch.isupper():
                 ci |= 1 << sym
         return (x, ci)

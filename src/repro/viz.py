@@ -20,8 +20,15 @@ from repro.core.hyperbutterfly import HyperButterfly
 from repro.embeddings.base import Embedding
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.butterfly import WrappedButterfly
 
-__all__ = ["to_dot", "path_family_to_dot", "embedding_to_dot"]
+__all__ = [
+    "to_dot",
+    "path_family_to_dot",
+    "embedding_to_dot",
+    "node_stage",
+    "stage_positions",
+]
 
 _PALETTE = [
     "#d62728", "#1f77b4", "#2ca02c", "#9467bd",
@@ -57,14 +64,65 @@ def _edge_style(topology: Topology, u: Hashable, v: Hashable) -> str:
     return ""
 
 
+def node_stage(topology: Topology, v: Hashable) -> int | None:
+    """The butterfly stage (pipeline column) of ``v``, if the family has one.
+
+    ``WrappedButterfly`` nodes are ``(word, stage)``; ``HB(m, n)`` nodes
+    carry their butterfly component second, so the stage is its level.
+    Families without stage structure return ``None``.
+    """
+    if isinstance(topology, HyperButterfly):
+        topology.validate_node(v)
+        return int(v[1][1])  # type: ignore[index]
+    if isinstance(topology, WrappedButterfly):
+        topology.validate_node(v)
+        return int(v[1])  # type: ignore[index]
+    return None
+
+
+def stage_positions(
+    topology: Topology, *, xgap: float = 1.6, ygap: float = 0.9
+) -> dict[Hashable, tuple[float, float]] | None:
+    """Deterministic layered ``{node: (x, y)}`` layout, stages as columns.
+
+    Rows follow ``topology.nodes()`` encounter order within each stage, so
+    the figure is a pure function of the topology.  Returns ``None`` for
+    stageless families (let ``dot`` pick its own layout there).
+    """
+    if topology.num_nodes and node_stage(topology, next(iter(topology.nodes()))) is None:
+        return None
+    rows: dict[int, int] = {}
+    positions: dict[Hashable, tuple[float, float]] = {}
+    for v in topology.nodes():
+        stage = node_stage(topology, v)
+        assert stage is not None
+        row = rows.get(stage, 0)
+        rows[stage] = row + 1
+        positions[v] = (stage * xgap, -row * ygap)
+    return positions
+
+
 def to_dot(
     topology: Topology,
     *,
     highlight_nodes: Sequence[Hashable] = (),
     name: str | None = None,
+    stage_layout: bool = False,
 ) -> str:
-    """Render the whole topology as an undirected DOT graph."""
+    """Render the whole topology as an undirected DOT graph.
+
+    ``stage_layout=True`` pins every node to its :func:`stage_positions`
+    coordinate (``pos="x,y!"``, honoured by ``neato``/``fdp``) so
+    butterfly stages render as columns; it raises for stageless families.
+    """
     _check_size(topology)
+    positions: dict[Hashable, tuple[float, float]] | None = None
+    if stage_layout:
+        positions = stage_positions(topology)
+        if positions is None:
+            raise InvalidParameterError(
+                f"{topology.name} has no stage structure to lay out"
+            )
     highlighted = set(highlight_nodes)
     for v in highlighted:
         topology.validate_node(v)
@@ -72,6 +130,9 @@ def to_dot(
     lines.append("  node [shape=ellipse, fontsize=10];")
     for v in topology.nodes():
         attrs = f'label="{_label(topology, v)}"'
+        if positions is not None:
+            x, y = positions[v]
+            attrs += f', pos="{x:g},{y:g}!"'
         if v in highlighted:
             attrs += ', style=filled, fillcolor="#ffd54d"'
         lines.append(f"  {_node_id(v)} [{attrs}];")
@@ -98,7 +159,7 @@ def path_family_to_dot(
     colored: dict[tuple, str] = {}
     for idx, path in enumerate(paths):
         color = _PALETTE[idx % len(_PALETTE)]
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             key = (a, b) if repr(a) <= repr(b) else (b, a)
             colored[key] = color
     endpoints = {paths[0][0], paths[0][-1]}

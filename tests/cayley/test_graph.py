@@ -95,7 +95,7 @@ class TestDistanceOracle:
             path = cg.shortest_path(u, v)
             assert path[0] == u and path[-1] == v
             assert len(path) - 1 == cg.distance(u, v)
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 assert g.has_edge(a, b)
 
     def test_generator_word_replays_to_target(self):

@@ -54,8 +54,8 @@ class TestEscalation:
         v = hb13.neighbors(u)[0]
         path = router.route(u, v, link_faults=[(u, v)])
         assert path[0] == u and path[-1] == v
-        assert (u, v) not in zip(path, path[1:])
-        assert (v, u) not in zip(path, path[1:])
+        assert (u, v) not in zip(path, path[1:], strict=False)
+        assert (v, u) not in zip(path, path[1:], strict=False)
         validate_path(hb13, path)
 
     def test_trivial_and_invalid(self, hb13):

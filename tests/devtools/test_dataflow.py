@@ -1,0 +1,202 @@
+"""Unit tests for the reprolint abstract dtype interpreter.
+
+The HB6xx rules are only as good as the dataflow lattice underneath them,
+so this module pins the lattice directly: the promotion table is
+cross-checked against numpy's own ``result_type``, and the interpreter's
+judgements (assignments, casts, accumulators, branch joins, packed-label
+provenance, cross-module helper summaries) are asserted on small sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devtools.reprolint.context import FileContext, ProjectContext
+from repro.devtools.reprolint.dataflow import (
+    UNKNOWN,
+    Value,
+    accumulator_dtype,
+    analyze_module,
+    dtype_from_name,
+    promote_dtypes,
+    promote_values,
+)
+
+LIB_PATH = "src/repro/_df_fixture.py"
+
+
+def _analyze(src: str, path: str = LIB_PATH):
+    return analyze_module(FileContext.from_source(path, src))
+
+
+def _module_value(src: str, name: str) -> Value:
+    return _analyze(src).module_env.get(name, UNKNOWN)
+
+
+class TestPromotionTable:
+    @pytest.mark.parametrize(
+        "a, b",
+        [
+            ("int8", "int32"),
+            ("int32", "int64"),
+            ("uint8", "int16"),
+            ("uint8", "uint64"),
+            ("uint32", "int32"),
+            ("uint64", "int64"),  # the HB601 hazard: -> float64
+            ("uint64", "int8"),
+            ("float32", "int16"),
+            ("float32", "int32"),
+            ("float64", "int64"),
+            ("float32", "float64"),
+            ("bool", "int8"),
+            ("bool", "uint64"),
+        ],
+    )
+    def test_matches_numpy_result_type(self, a, b):
+        ours = promote_dtypes(dtype_from_name(a), dtype_from_name(b))
+        numpys = np.result_type(np.dtype(a), np.dtype(b))
+        assert ours.name == numpys.name
+
+    def test_uint64_signed_mix_degrades_to_float(self):
+        out = promote_dtypes(dtype_from_name("uint64"), dtype_from_name("int64"))
+        assert out.kind == "f" and out.bits == 64
+
+    @pytest.mark.parametrize(
+        "src, expected",
+        [
+            ("int8", "int_"),
+            ("int32", "int_"),
+            ("int64", "int64"),
+            ("uint8", "uint"),
+            ("uint64", "uint64"),
+            ("bool", "int_"),
+            ("float32", "float32"),
+        ],
+    )
+    def test_accumulator_dtype(self, src, expected):
+        assert accumulator_dtype(dtype_from_name(src)).name == expected
+
+    def test_weak_python_int_adopts_array_dtype(self):
+        arr = Value("array", dtype_from_name("uint8"))
+        out = promote_values(arr, Value("pyint", const=1))
+        assert out.is_strong and out.dtype.name == "uint8"
+
+    def test_weak_python_float_forces_float(self):
+        arr = Value("array", dtype_from_name("int32"))
+        out = promote_values(arr, Value("pyfloat"))
+        assert out.is_strong and out.dtype.kind == "f"
+
+
+class TestInterpreter:
+    def test_constructor_and_arithmetic(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros(4, dtype=np.uint64)\n"
+            "y = x + 1\n"
+        )
+        y = _module_value(src, "y")
+        assert y.is_strong and y.kind == "array" and y.dtype.name == "uint64"
+
+    def test_astype_on_unknown_receiver(self):
+        # the cast target alone fixes the result, even for an
+        # unannotated parameter the interpreter knows nothing about
+        src = (
+            "import numpy as np\n"
+            "def f(a):\n"
+            "    return a.astype(np.int32)\n"
+        )
+        ret = _analyze(src).returns["f"]
+        assert ret.is_strong and ret.dtype.name == "int32"
+
+    def test_bare_sum_widens_to_platform_int(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros(4, dtype=np.int8)\n"
+            "s = x.sum()\n"
+            "t = x.sum(dtype=np.int64)\n"
+        )
+        analysis = _analyze(src)
+        s = analysis.module_env["s"]
+        t = analysis.module_env["t"]
+        assert s.is_strong and s.dtype.platform and s.dtype.kind == "i"
+        assert t.is_strong and t.dtype.name == "int64"
+
+    def test_shift_or_marks_packed_provenance(self):
+        src = "word = (3 << 8) | 5\n"
+        assert _module_value(src, "word").packed
+
+    def test_branch_join_keeps_agreement(self):
+        src = (
+            "import numpy as np\n"
+            "def f(flag):\n"
+            "    if flag:\n"
+            "        x = np.zeros(2, dtype=np.int32)\n"
+            "    else:\n"
+            "        x = np.ones(2, dtype=np.int32)\n"
+            "    return x\n"
+            "def g(flag):\n"
+            "    if flag:\n"
+            "        y = np.zeros(2, dtype=np.int32)\n"
+            "    else:\n"
+            "        y = np.zeros(2, dtype=np.float64)\n"
+            "    return y\n"
+        )
+        analysis = _analyze(src)
+        agree = analysis.returns["f"]
+        disagree = analysis.returns["g"]
+        assert agree.is_strong and agree.dtype.name == "int32"
+        assert not disagree.is_strong
+
+    def test_init_attributes_seed_methods(self):
+        src = (
+            "import numpy as np\n"
+            "class Kernel:\n"
+            "    def __init__(self):\n"
+            "        self.buf = np.zeros(8, dtype=np.uint8)\n"
+            "    def peek(self):\n"
+            "        return self.buf + 1\n"
+        )
+        ret = _analyze(src).returns["Kernel.peek"]
+        assert ret.is_strong and ret.dtype.name == "uint8"
+
+
+class TestProjectDataflow:
+    def test_cross_module_helper_summary(self):
+        helper = (
+            "import numpy as np\n"
+            "def make_words():\n"
+            "    return np.zeros(4, dtype=np.uint64)\n"
+        )
+        user = (
+            "from repro._df_helper import make_words\n"
+            "def caller():\n"
+            "    return make_words()\n"
+        )
+        project = ProjectContext(
+            files=[
+                FileContext.from_source("src/repro/_df_helper.py", helper),
+                FileContext.from_source("src/repro/_df_user.py", user),
+            ]
+        )
+        user_ctx = project.by_module("repro._df_user")
+        analysis = project.dataflow.module(user_ctx)
+        ret = analysis.returns["caller"]
+        assert ret.is_strong and ret.dtype.name == "uint64"
+
+    def test_module_analysis_is_memoised(self):
+        ctx = FileContext.from_source(LIB_PATH, "x = 1\n")
+        project = ProjectContext(files=[ctx])
+        assert project.dataflow.module(ctx) is project.dataflow.module(ctx)
+
+    def test_recursive_helper_collapses_to_unknown(self):
+        src = (
+            "def ping():\n"
+            "    return pong()\n"
+            "def pong():\n"
+            "    return ping()\n"
+        )
+        ctx = FileContext.from_source(LIB_PATH, src)
+        project = ProjectContext(files=[ctx])
+        analysis = project.dataflow.module(ctx)
+        assert analysis.returns["ping"] == UNKNOWN

@@ -1,0 +1,278 @@
+"""Judgement tests for the HB6xx numerics-flow and HB7xx concurrency rules.
+
+The generic fixture harness in ``test_rules.py`` proves each rule fires on
+its own hit fixture and stays quiet on its clean one; these tests pin the
+*specific* decisions — which dtype mixes, shift counts, pool payloads and
+worker bodies count as hazards, and which nearby look-alikes must not.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.reprolint import Finding, get_rule, lint_sources
+
+LIB_PATH = "src/repro/_flow_fixture.py"
+
+
+def _active(
+    rule_id: str, source: str, path: str = LIB_PATH
+) -> list[Finding]:
+    report = lint_sources({path: source}, rules=[get_rule(rule_id)])
+    return [f for f in report.findings if f.rule_id == rule_id and f.active]
+
+
+def _active_multi(rule_id: str, sources: dict[str, str]) -> list[Finding]:
+    report = lint_sources(sources, rules=[get_rule(rule_id)])
+    return [f for f in report.findings if f.rule_id == rule_id and f.active]
+
+
+NP = "import numpy as np\n"
+
+
+class TestSignedUnsignedMix:
+    def test_uint64_plus_int64_flagged(self):
+        src = NP + (
+            "def f():\n"
+            "    words = np.zeros(4, dtype=np.uint64)\n"
+            "    offs = np.ones(4, dtype=np.int64)\n"
+            "    return words + offs\n"
+        )
+        assert len(_active("HB601", src)) == 1
+
+    def test_same_sign_clean(self):
+        src = NP + (
+            "def f():\n"
+            "    words = np.zeros(4, dtype=np.uint64)\n"
+            "    offs = np.ones(4, dtype=np.uint64)\n"
+            "    return words + offs\n"
+        )
+        assert _active("HB601", src) == []
+
+    def test_cross_module_helper_mix_flagged(self):
+        helper = NP + (
+            "def make_words():\n"
+            "    return np.zeros(4, dtype=np.uint64)\n"
+        )
+        user = (
+            "import numpy as np\n"
+            "from repro._fh import make_words\n"
+            "def f():\n"
+            "    return make_words() + np.int64(3)\n"
+        )
+        hits = _active_multi(
+            "HB601",
+            {"src/repro/_fh.py": helper, "src/repro/_fu.py": user},
+        )
+        assert [f.path for f in hits] == ["src/repro/_fu.py"]
+
+
+class TestShiftWidth:
+    def test_shift_by_dtype_width_flagged(self):
+        src = NP + (
+            "def f():\n"
+            "    w = np.uint32(1)\n"
+            "    return w << 32\n"
+        )
+        assert len(_active("HB602", src)) == 1
+
+    def test_shift_within_width_clean(self):
+        src = NP + (
+            "def f():\n"
+            "    w = np.uint32(1)\n"
+            "    return w << 31\n"
+        )
+        assert _active("HB602", src) == []
+
+
+class TestSilentDowncast:
+    def test_wide_store_into_narrow_array_flagged(self):
+        src = NP + (
+            "def f():\n"
+            "    out = np.zeros(4, dtype=np.int32)\n"
+            "    wide = np.int64(1) << 40\n"
+            "    out[0] = wide\n"
+            "    return out\n"
+        )
+        assert len(_active("HB603", src)) == 1
+
+    def test_same_width_store_clean(self):
+        src = NP + (
+            "def f():\n"
+            "    out = np.zeros(4, dtype=np.int64)\n"
+            "    out[0] = np.int64(1) << 40\n"
+            "    return out\n"
+        )
+        assert _active("HB603", src) == []
+
+
+class TestPlatformWidth:
+    def test_platform_dtype_flagged_in_library(self):
+        src = NP + "def f(n):\n    return np.zeros(n, dtype=np.intp)\n"
+        assert len(_active("HB604", src)) == 1
+
+    def test_fixed_width_clean(self):
+        src = NP + "def f(n):\n    return np.zeros(n, dtype=np.int64)\n"
+        assert _active("HB604", src) == []
+
+    def test_tests_are_exempt(self):
+        src = NP + "def f(n):\n    return np.zeros(n, dtype=np.intp)\n"
+        assert _active("HB604", src, path="tests/test_fixture.py") == []
+
+
+class TestNarrowAccumulator:
+    def test_uint8_matmul_flagged(self):
+        # the shipped-kernel defect this rule caught: @ accumulates in
+        # the operand dtype, so a uint8 frontier wraps at 256
+        src = NP + (
+            "def f(adj):\n"
+            "    frontier = np.zeros(300, dtype=np.bool_)\n"
+            "    return adj @ frontier.astype(np.uint8)\n"
+        )
+        assert len(_active("HB605", src)) == 1
+
+    def test_int32_matmul_clean(self):
+        src = NP + (
+            "def f(adj):\n"
+            "    frontier = np.zeros(300, dtype=np.bool_)\n"
+            "    return adj @ frontier.astype(np.int32)\n"
+        )
+        assert _active("HB605", src) == []
+
+    def test_bare_narrow_sum_flagged_pinned_sum_clean(self):
+        bare = NP + (
+            "def f():\n"
+            "    x = np.zeros(4, dtype=np.uint8)\n"
+            "    return x.sum()\n"
+        )
+        pinned = NP + (
+            "def f():\n"
+            "    x = np.zeros(4, dtype=np.uint8)\n"
+            "    return x.sum(dtype=np.int64)\n"
+        )
+        assert len(_active("HB605", bare)) == 1
+        assert _active("HB605", pinned) == []
+
+
+POOL = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+class TestPicklablePayload:
+    def test_lambda_payload_flagged(self):
+        src = POOL + (
+            "def run(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x + 1, xs))\n"
+        )
+        assert len(_active("HB701", src)) == 1
+
+    def test_top_level_payload_clean(self):
+        src = POOL + (
+            "def work(x):\n"
+            "    return x + 1\n"
+            "def run(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert _active("HB701", src) == []
+
+
+class TestWorkerGlobals:
+    def test_global_statement_in_worker_flagged(self):
+        src = POOL + (
+            "_COUNT = 0\n"
+            "def work(x):\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"
+            "    return x\n"
+            "def run(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert len(_active("HB702", src)) >= 1
+
+    def test_pure_worker_clean(self):
+        src = POOL + (
+            "def work(x):\n"
+            "    return x * 2\n"
+            "def run(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert _active("HB702", src) == []
+
+
+class TestExecutorContext:
+    def test_bare_executor_flagged(self):
+        src = POOL + (
+            "def work(x):\n"
+            "    return x\n"
+            "def run(xs):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    return list(pool.map(work, xs))\n"
+        )
+        assert len(_active("HB703", src)) == 1
+
+    def test_with_block_clean(self):
+        src = POOL + (
+            "def work(x):\n"
+            "    return x\n"
+            "def run(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert _active("HB703", src) == []
+
+
+class TestSharedRng:
+    def test_module_rng_read_in_worker_flagged(self):
+        src = POOL + (
+            "import numpy as np\n"
+            "_RNG = np.random.default_rng(0)\n"
+            "def work(x):\n"
+            "    return x + _RNG.random()\n"
+            "def run(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert len(_active("HB704", src)) == 1
+
+    def test_worker_local_rng_clean(self):
+        src = POOL + (
+            "import numpy as np\n"
+            "def work(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.random()\n"
+            "def run(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n"
+        )
+        assert _active("HB704", src) == []
+
+
+class TestExplicitContext:
+    def test_missing_mp_context_flagged(self):
+        src = POOL + (
+            "def run():\n"
+            "    with ProcessPoolExecutor(max_workers=2) as pool:\n"
+            "        pass\n"
+        )
+        assert len(_active("HB705", src)) == 1
+
+    def test_mp_context_clean(self):
+        src = (
+            "import multiprocessing\n"
+            + POOL
+            + "def run():\n"
+            "    ctx = multiprocessing.get_context('spawn')\n"
+            "    with ProcessPoolExecutor(max_workers=2, mp_context=ctx) as pool:\n"
+            "        pass\n"
+        )
+        assert _active("HB705", src) == []
+
+    def test_thread_pool_exempt(self):
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def run():\n"
+            "    with ThreadPoolExecutor(max_workers=2) as pool:\n"
+            "        pass\n"
+        )
+        assert _active("HB705", src) == []

@@ -91,7 +91,7 @@ class TestIntrospection:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("HB101", "HB201", "HB301", "HB401", "HB501"):
+        for rule_id in ("HB101", "HB201", "HB301", "HB401", "HB501", "HB601", "HB701"):
             assert rule_id in out
 
     def test_list_rules_grouped_with_self_test_status(self, capsys):
@@ -104,6 +104,8 @@ class TestIntrospection:
             "HB3xx numerics",
             "HB4xx architecture",
             "HB5xx taint",
+            "HB6xx numerics-flow",
+            "HB7xx concurrency",
         ]
         rule_lines = [ln for ln in lines if ln.startswith("  ")]
         assert rule_lines and all("[  ok]" in ln for ln in rule_lines)

@@ -66,6 +66,8 @@ class TestGenericFixtureContract:
                 "numerics",
                 "architecture",
                 "taint",
+                "numerics-flow",
+                "concurrency",
             }
 
 

@@ -13,14 +13,17 @@ import sys
 import pytest
 
 from repro.devtools.sanitize import (
+    OVERFLOW_ERRSTATE,
     SanitizeError,
     SanitizeTarget,
     default_targets,
     metrics_probe,
     run_target,
     sanitize,
+    sanitize_overflow,
     structural_diff,
 )
+from repro.fastgraph.guard import ERRSTATE_ENV
 
 
 class TestStructuralDiff:
@@ -117,6 +120,73 @@ class TestSanitize:
     def test_equal_seeds_rejected(self):
         with pytest.raises(SanitizeError, match="must differ"):
             sanitize([_py_target("print('{}')")], hash_seeds=("4", "4"))
+
+
+#: a target that installs the guard (like the repro CLI does) and then
+#: overflows a float64 — loud only when the trap env var is exported
+_OVERFLOWING = (
+    "import json; "
+    "from repro.fastgraph.guard import install_errstate_from_env; "
+    "install_errstate_from_env(); "
+    "import numpy as np; "
+    "x = np.float64(1e308) * np.float64(10.0); "
+    "print(json.dumps({'finite': bool(np.isfinite(x))}))"
+)
+
+
+class TestRunTargetExtraEnv:
+    def test_extra_env_reaches_subprocess(self):
+        code = (
+            "import os, json; "
+            f"print(json.dumps(os.environ.get({ERRSTATE_ENV!r})))"
+        )
+        assert (
+            run_target(
+                _py_target(code), "0", extra_env={ERRSTATE_ENV: "over=raise"}
+            )
+            == "over=raise"
+        )
+        assert run_target(_py_target(code), "0") is None
+
+
+class TestSanitizeOverflow:
+    def test_clean_target_passes(self, capsys):
+        code = (
+            "import json; "
+            "from repro.fastgraph.guard import install_errstate_from_env; "
+            "install_errstate_from_env(); "
+            "import numpy as np; "
+            "print(json.dumps({'v': float(np.float64(2.0) ** 10)}))"
+        )
+        assert sanitize_overflow([_py_target(code)]) == 0
+        assert "no numpy overflow" in capsys.readouterr().out
+
+    def test_swallowed_overflow_is_trapped(self, capsys):
+        # stock run: inf + a warning; trapped run: FloatingPointError
+        assert sanitize_overflow([_py_target(_OVERFLOWING)]) == 1
+        assert "OVERFLOW TRAPPED" in capsys.readouterr().out
+
+    def test_errstate_spec_is_the_guard_protocol(self):
+        # the spec shipped to subprocesses parses under the guard itself
+        import numpy as np
+
+        from repro.fastgraph.guard import install_errstate_from_env
+
+        saved = np.geterr()
+        try:
+            import os
+
+            os.environ[ERRSTATE_ENV] = OVERFLOW_ERRSTATE
+            assert install_errstate_from_env() is True
+            assert np.geterr()["over"] == "raise"
+            assert np.geterr()["invalid"] == "raise"
+        finally:
+            os.environ.pop(ERRSTATE_ENV, None)
+            np.seterr(**saved)
+
+    def test_crash_without_trap_is_an_error_not_a_finding(self):
+        with pytest.raises(SanitizeError, match="exited"):
+            sanitize_overflow([_py_target("import sys; sys.exit(5)")])
 
 
 class TestDefaultTargets:

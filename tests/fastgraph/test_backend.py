@@ -85,7 +85,7 @@ class TestFastMatchesPython:
                 assert path is not None
                 assert path[0] == u and path[-1] == v
                 assert len(path) - 1 == reference[v]
-                for a, b in zip(path, path[1:]):
+                for a, b in zip(path, path[1:], strict=False):
                     assert b in topology.neighbors(a)
 
     def test_edges_identical(self, topology):

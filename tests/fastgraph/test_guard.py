@@ -1,0 +1,41 @@
+"""Env-propagated numpy error-state guard used by the overflow sanitizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fastgraph.guard import ERRSTATE_ENV, install_errstate_from_env
+
+
+@pytest.fixture(autouse=True)
+def _restore_errstate():
+    saved = np.geterr()
+    yield
+    np.seterr(**saved)
+
+
+class TestInstallErrstateFromEnv:
+    def test_unset_env_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv(ERRSTATE_ENV, raising=False)
+        before = np.geterr()
+        assert install_errstate_from_env() is False
+        assert np.geterr() == before
+
+    def test_spec_turns_warnings_into_raises(self, monkeypatch):
+        monkeypatch.setenv(ERRSTATE_ENV, "over=raise,invalid=raise")
+        assert install_errstate_from_env() is True
+        with pytest.raises(FloatingPointError):
+            np.float64(1e308) * np.float64(10.0)
+
+    def test_malformed_spec_raises_instead_of_running_untrapped(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(ERRSTATE_ENV, "overraise")
+        with pytest.raises(ValueError):
+            install_errstate_from_env()
+
+    def test_unknown_key_is_rejected_by_numpy(self, monkeypatch):
+        monkeypatch.setenv(ERRSTATE_ENV, "bogus=raise")
+        with pytest.raises(TypeError):
+            install_errstate_from_env()

@@ -16,7 +16,13 @@ from repro.core.hyperbutterfly import HyperButterfly
 from repro.errors import DisconnectedError, InvalidParameterError
 from repro.fastgraph.backend import get_fastgraph
 from repro.fastgraph.kernels import batched_eccentricities, distance_histogram
-from repro.fastgraph.parallel import SweepResult, parallel_sweep, source_chunks
+from repro.fastgraph.parallel import (
+    START_METHOD_ENV,
+    SweepResult,
+    parallel_sweep,
+    resolve_start_method,
+    source_chunks,
+)
 from repro.topologies.debruijn import DeBruijn
 from repro.topologies.mesh import Mesh
 
@@ -69,6 +75,29 @@ class TestDeterminism:
         assert np.array_equal(
             pooled.eccentricities, serial.eccentricities
         )
+        assert pooled.histogram == serial.histogram
+
+
+class TestStartMethod:
+    """The pool pins an explicit start method; fork and spawn agree."""
+
+    def test_default_is_spawn(self, monkeypatch):
+        monkeypatch.delenv(START_METHOD_ENV, raising=False)
+        assert resolve_start_method() == "spawn"
+
+    def test_env_override_and_explicit_arg_win(self, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "fork")
+        assert resolve_start_method() == "fork"
+        assert resolve_start_method("forkserver") == "forkserver"
+
+    @pytest.mark.parametrize("start_method", ["spawn", "fork"])
+    def test_start_methods_are_bit_identical_to_serial(self, start_method):
+        csr = get_fastgraph(HyperButterfly(2, 3)).csr
+        serial = parallel_sweep(csr, jobs=1, batch=16, name="HB(2,3)")
+        pooled = parallel_sweep(
+            csr, jobs=2, batch=16, name="HB(2,3)", start_method=start_method
+        )
+        assert np.array_equal(pooled.eccentricities, serial.eccentricities)
         assert pooled.histogram == serial.histogram
 
 

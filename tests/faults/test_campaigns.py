@@ -57,7 +57,7 @@ class TestShape:
     def test_delivery_never_increases_with_faults(self, quick_results):
         hb = quick_results["networks"][0]
         ratios = [row["delivery_ratio"] for row in hb["curve"]]
-        assert all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:]))
+        assert all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:], strict=False))
 
     def test_breaking_point_beyond_guarantee(self, quick_results):
         hb = quick_results["networks"][0]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidLabelError, InvalidParameterError
 from repro.faults.dynamic import FaultEvent, FaultSchedule, FaultState
 from repro.topologies.hypercube import Hypercube
 
@@ -45,7 +45,7 @@ class TestScheduleValidation:
         assert [e.time for e in sched] == [1.0, 5.0]
 
     def test_rejects_bad_node(self):
-        with pytest.raises(Exception):
+        with pytest.raises(InvalidLabelError):
             FaultSchedule(Hypercube(2), [FaultEvent(0.0, "fail", "node", 99)])
 
     def test_rejects_non_edge_link(self):

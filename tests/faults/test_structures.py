@@ -69,7 +69,7 @@ class TestGenerators:
         long = path_structure(cube4, c, length=5)
         assert long.nodes[:3] == short.nodes
         # consecutive nodes are adjacent
-        for a, b in zip(long.nodes, long.nodes[1:]):
+        for a, b in zip(long.nodes, long.nodes[1:], strict=False):
             assert cube4.has_edge(a, b)
 
     def test_subcube_node_count_and_closure(self, hb23):
@@ -96,7 +96,7 @@ class TestGenerators:
         h0, (_, ci0) = c
         assert all(h == h0 and ci == ci0 for h, (_, ci) in s.nodes)
         # consecutive levels are generator-adjacent, so the coset is a ring
-        for a, b in zip(s.nodes, s.nodes[1:]):
+        for a, b in zip(s.nodes, s.nodes[1:], strict=False):
             assert hb23.has_edge(a, b)
 
     def test_ring_rejects_families_without_butterfly(self, cube4, hd23):

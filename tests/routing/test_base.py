@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import RoutingError
+from repro.errors import InvalidLabelError, RoutingError
 from repro.routing.base import (
     loop_erase,
     path_length,
@@ -41,7 +41,7 @@ class TestValidatePath:
         validate_path(c, [0, 1, 0], simple=False)
 
     def test_rejects_foreign_node(self):
-        with pytest.raises(Exception):
+        with pytest.raises(InvalidLabelError):
             validate_path(Hypercube(2), [0, 4])
 
 

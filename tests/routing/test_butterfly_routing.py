@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import InvalidParameterError, RoutingError
+from repro.errors import InvalidLabelError, InvalidParameterError, RoutingError
 from repro.routing.base import paths_internally_disjoint, validate_path
 from repro.routing.butterfly import (
     butterfly_disjoint_paths,
@@ -34,7 +34,7 @@ class TestCoveringWalk:
         required = {0, 3}
         walk = covering_walk(n, 1, 1, required)
         crossed = set()
-        for p, q in zip(walk, walk[1:]):
+        for p, q in zip(walk, walk[1:], strict=False):
             crossed.add((1 + min(p, q)) % n)
         assert required <= crossed
 
@@ -87,7 +87,7 @@ class TestExactness:
         assert butterfly_distance(n, u, v) <= (3 * n) // 2
 
     def test_route_validates_nodes(self, bf3):
-        with pytest.raises(Exception):
+        with pytest.raises(InvalidLabelError):
             butterfly_route(bf3, (0, 0), (3, 0))
 
 

@@ -52,7 +52,7 @@ class TestHDOblivious:
                     continue
                 path = _cached_debruijn_route(4, u, v)
                 assert path[0] == u and path[-1] == v
-                for a, b in zip(path, path[1:]):
+                for a, b in zip(path, path[1:], strict=False):
                     assert b in d.neighbors(a), (u, v, path)
                 assert len(path) - 1 <= 4  # at most n hops
 

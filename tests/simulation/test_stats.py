@@ -1,0 +1,105 @@
+"""LatencyStats aggregation: from_packets and the merge identities.
+
+``merge`` must behave exactly as if the shards' packets had been one set:
+``merge([from_packets(a), from_packets(b)]) == from_packets(a + b)``,
+with the empty sequence as identity and shard order irrelevant — the
+algebra a pooled simulation reduction relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.stats import LatencyStats
+
+
+@dataclass(frozen=True)
+class FakePacket:
+    delivered_at: float | None
+    dropped: bool
+    latency: float
+    hops: int
+    retransmissions: int = 0
+    duplicates: int = 0
+
+
+def _packet_strategy():
+    delivered = st.builds(
+        FakePacket,
+        delivered_at=st.floats(0.0, 1e3, allow_nan=False),
+        dropped=st.just(False),
+        latency=st.floats(0.0, 1e3, allow_nan=False),
+        hops=st.integers(0, 40),
+        retransmissions=st.integers(0, 5),
+        duplicates=st.integers(0, 5),
+    )
+    undelivered = st.builds(
+        FakePacket,
+        delivered_at=st.none(),
+        dropped=st.booleans(),
+        latency=st.just(0.0),
+        hops=st.just(0),
+        retransmissions=st.integers(0, 5),
+        duplicates=st.integers(0, 5),
+    )
+    return st.one_of(delivered, undelivered)
+
+
+def _close(a: LatencyStats, b: LatencyStats) -> None:
+    assert (a.injected, a.delivered, a.dropped) == (
+        b.injected,
+        b.delivered,
+        b.dropped,
+    )
+    assert (a.retransmissions, a.duplicates) == (b.retransmissions, b.duplicates)
+    assert math.isclose(a.mean_latency, b.mean_latency, abs_tol=1e-9)
+    assert math.isclose(a.mean_hops, b.mean_hops, abs_tol=1e-9)
+    assert a.max_latency == b.max_latency
+    assert a.makespan == b.makespan
+
+
+class TestMergeIdentities:
+    def test_empty_merge_is_the_identity(self):
+        empty = LatencyStats.merge([])
+        _close(empty, LatencyStats.from_packets([]))
+        assert math.isclose(empty.delivery_rate, 1.0, abs_tol=1e-9)
+
+    @given(st.lists(_packet_strategy(), max_size=30), st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_a_split_equals_the_whole(self, packets, cut):
+        cut = min(cut, len(packets))
+        whole = LatencyStats.from_packets(packets)
+        parts = [
+            LatencyStats.from_packets(packets[:cut]),
+            LatencyStats.from_packets(packets[cut:]),
+        ]
+        _close(LatencyStats.merge(parts), whole)
+
+    @given(st.lists(st.lists(_packet_strategy(), max_size=10), max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_shard_order_invariant(self, shards):
+        parts = [LatencyStats.from_packets(s) for s in shards]
+        _close(LatencyStats.merge(parts), LatencyStats.merge(parts[::-1]))
+
+    @given(st.lists(_packet_strategy(), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_singleton_merge_is_lossless(self, packets):
+        stats = LatencyStats.from_packets(packets)
+        _close(LatencyStats.merge([stats]), stats)
+        assert LatencyStats.merge([stats]).delivery_rate == stats.delivery_rate
+
+    def test_summary_of_merged(self):
+        a = LatencyStats.from_packets(
+            [FakePacket(delivered_at=2.0, dropped=False, latency=2.0, hops=2)]
+        )
+        b = LatencyStats.from_packets(
+            [FakePacket(delivered_at=6.0, dropped=False, latency=4.0, hops=4)]
+        )
+        merged = LatencyStats.merge([a, b])
+        assert math.isclose(merged.mean_latency, 3.0, abs_tol=1e-9)
+        assert math.isclose(merged.makespan, 6.0, abs_tol=1e-9)
+        assert "2/2 delivered" in merged.summary()

@@ -92,7 +92,7 @@ class TestGray:
     def test_gray_cycle_is_hamiltonian_cycle(self, width):
         seq = list(gray_cycle(width))
         assert sorted(seq) == list(range(1 << width))
-        for a, b in zip(seq, seq[1:] + [seq[0]]):
+        for a, b in zip(seq, seq[1:] + [seq[0]], strict=True):
             assert popcount(a ^ b) == 1
 
     def test_gray_code_start(self):

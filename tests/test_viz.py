@@ -7,9 +7,16 @@ import pytest
 from repro.core.disjoint_paths import disjoint_paths
 from repro.core.routing import HBRouter
 from repro.embeddings.trees import butterfly_tree_embedding
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidLabelError, InvalidParameterError
+from repro.topologies.butterfly import WrappedButterfly
 from repro.topologies.hypercube import Hypercube
-from repro.viz import embedding_to_dot, path_family_to_dot, to_dot
+from repro.viz import (
+    embedding_to_dot,
+    node_stage,
+    path_family_to_dot,
+    stage_positions,
+    to_dot,
+)
 
 
 class TestToDot:
@@ -39,8 +46,48 @@ class TestToDot:
             to_dot(HyperButterfly(3, 8))
 
     def test_invalid_highlight(self):
-        with pytest.raises(Exception):
+        with pytest.raises(InvalidLabelError):
             to_dot(Hypercube(2), highlight_nodes=[9])
+
+
+class TestStageLayout:
+    def test_butterfly_node_stage(self):
+        b = WrappedButterfly(3)
+        assert node_stage(b, (0b101, 2)) == 2
+
+    def test_hb_node_stage(self, hb13):
+        # HB nodes are (hypercube word, (butterfly word, stage))
+        assert node_stage(hb13, (1, (0b010, 2))) == 2
+
+    def test_stageless_family_returns_none(self):
+        h = Hypercube(3)
+        assert node_stage(h, 0) is None
+        assert stage_positions(h) is None
+
+    def test_positions_cover_all_nodes_one_column_per_stage(self):
+        b = WrappedButterfly(3)
+        positions = stage_positions(b)
+        assert positions is not None and len(positions) == b.num_nodes
+        xs = {v: xy[0] for v, xy in positions.items()}
+        # same stage -> same column; n distinct columns total
+        assert len(set(xs.values())) == b.n
+        for v, x in xs.items():
+            assert x == node_stage(b, v) * 1.6
+        # no two nodes collide
+        assert len(set(positions.values())) == b.num_nodes
+
+    def test_positions_are_deterministic(self, hb13):
+        assert stage_positions(hb13) == stage_positions(hb13)
+
+    def test_to_dot_stage_layout_pins_positions(self):
+        b = WrappedButterfly(3)
+        dot = to_dot(b, stage_layout=True)
+        assert dot.count('pos="') == b.num_nodes
+        assert '!"' in dot  # pinned for neato/fdp
+
+    def test_to_dot_stage_layout_rejects_stageless(self):
+        with pytest.raises(InvalidParameterError):
+            to_dot(Hypercube(2), stage_layout=True)
 
 
 class TestPathFamilyDot:
