@@ -21,6 +21,11 @@ Subcommands:
   (``--force-bfs`` pins the sweep, ``--backend`` pins the BFS substrate
   — csr, implicit, or python — ``--jobs`` pools it, ``--output`` writes
   sorted JSON).
+* ``prove``               — verify the paper invariants of every registered
+  family: exhaustive sweeps at the small parameter grids, abstract
+  bit-vector certificates at the large ones (``--family``, ``--max-bits``,
+  ``--format text|json``, ``--output`` for the proof ledger); exit 0
+  proved / 1 counterexample / 2 error.
 * ``lint [PATHS]``        — run the reprolint paper-invariant checks
   (``--format text|json``, ``--baseline``, ``--self-test``,
   ``--list-rules``); exit 0 clean / 1 findings / 2 linter error.
@@ -160,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the payload as sorted JSON",
     )
+
+    p_prove = sub.add_parser(
+        "prove",
+        help="verify paper invariants: exhaustive small grids, abstract "
+        "bit-vector certificates at large ones",
+    )
+    from repro.devtools.reprolint.prove import configure_parser as _configure_prove
+
+    _configure_prove(p_prove)
 
     p_lint = sub.add_parser(
         "lint", help="run the reprolint paper-invariant static checks"
@@ -342,6 +356,12 @@ def _cmd_structure_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from repro.devtools.reprolint.prove import run
+
+    return run(args)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.reprolint.cli import run
 
@@ -468,6 +488,7 @@ _HANDLERS = {
     "structure-campaign": _cmd_structure_campaign,
     "broadcast": _cmd_broadcast,
     "metrics": _cmd_metrics,
+    "prove": _cmd_prove,
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
 }

@@ -38,6 +38,7 @@ from repro.errors import InvalidLabelError, InvalidParameterError
 from repro.topologies.base import Topology
 from repro.topologies.butterfly_cayley import CayleyButterfly
 from repro.topologies.hypercube import Hypercube
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["HyperButterfly"]
 
@@ -213,3 +214,16 @@ class HyperButterfly(Topology):
         self.validate_node(v)
         cube_dist = (u[0] ^ v[0]).bit_count()
         return cube_dist + self.butterfly.distance(u[1], v[1])
+
+
+register_invariants(
+    InvariantSpec(
+        family="HyperButterfly",
+        params=("m", "n"),
+        build=HyperButterfly,
+        small=((0, 3), (1, 3), (2, 3), (2, 4), (3, 4)),
+        large=((8, 10), (5, 16)),
+        degree="m + 4",
+        paper="Theorem 2(1)",
+    )
+)

@@ -79,7 +79,7 @@ class LintReport:
 
 
 def _sorted_findings(findings: Iterable[Finding]) -> list[Finding]:
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return sorted(findings, key=Finding.sort_key)
 
 
 def _run_rules(

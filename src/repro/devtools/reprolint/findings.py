@@ -53,6 +53,16 @@ class Finding:
         """Whether this finding should count toward a non-zero exit."""
         return not (self.suppressed or self.baselined)
 
+    def sort_key(self) -> tuple[str, int, int, str, str]:
+        """Total order over findings: position, then rule id, then message.
+
+        Every field that can differ between two findings participates, so
+        report order — and therefore the JSON report — is byte-stable
+        across runs even when one line triggers several rules at the same
+        column.
+        """
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation (schema asserted by the CLI tests)."""
         return {
@@ -78,3 +88,26 @@ class Finding:
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule_id} {self.message}{flags}"
         )
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command rendering (PR annotations).
+
+        ``::error file=...,line=...,col=...,title=RULE::message`` — the
+        runner surfaces these as inline annotations on the diff.
+        """
+        level = "error" if self.severity is Severity.ERROR else "warning"
+        props = (
+            f"file={_gh_property(self.path)},line={self.line},"
+            f"col={self.col + 1},title={_gh_property(self.rule_id)}"
+        )
+        return f"::{level} {props}::{_gh_data(self.message)}"
+
+
+def _gh_data(text: str) -> str:
+    """Escape workflow-command message data (order matters: % first)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _gh_property(text: str) -> str:
+    """Escape workflow-command property values (also , and :)."""
+    return _gh_data(text).replace(":", "%3A").replace(",", "%2C")

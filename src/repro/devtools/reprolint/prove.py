@@ -1,0 +1,527 @@
+"""Runtime prover behind ``hyperbutterfly prove``.
+
+The static HB8xx rules verify kernels *without importing them*; this
+module is the complementary runtime engine.  For every registered
+:class:`~repro.topologies.invariants.InvariantSpec` it
+
+* sweeps the spec's ``small`` parameter grids **exhaustively** — every
+  vertex, every codec index — checking the same five paper invariants
+  the HB8xx rules own (codec bijectivity, neighbor symmetry, the paper
+  degree formula, self-loop/label-range safety, scalar-vs-block
+  agreement), and
+* certifies the ``large`` grids with the **abstract bit-vector domain**
+  of :mod:`.symexec`: the real codec object is reflected into the
+  symbolic machine and ``neighbors_block`` is run on the whole rank
+  range ``[0, N)`` at once, proving every reachable neighbor rank stays
+  inside ``[-1, N)`` for node counts (millions) far past enumeration.
+
+The result is a deterministic *proof ledger* (no timestamps, sorted
+keys) suitable for committing — ``.reprolint-proofs.json`` at the repo
+root — and diffing in CI.  Statuses per (family, invariant):
+
+* ``proved``          — exhaustively verified at ≥ 1 small point
+* ``proved-abstract`` — only the abstract certificate applies
+* ``failed``          — a concrete counterexample witness was found
+* ``skipped``         — out of model (no codec, no implicit support, …)
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import sys
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:
+    from repro.devtools.reprolint.symexec import Evaluator
+    from repro.topologies.base import Topology
+    from repro.topologies.invariants import InvariantSpec
+
+__all__ = [
+    "DEFAULT_MAX_BITS",
+    "INVARIANTS",
+    "LEDGER_PATH",
+    "prove",
+    "prove_family",
+    "render_text",
+    "configure_parser",
+    "run",
+]
+
+#: exhaustive sweeps are capped at ``2**max_bits`` nodes per point
+DEFAULT_MAX_BITS = 13
+
+#: the default ledger location, committed at the repo root
+LEDGER_PATH = ".reprolint-proofs.json"
+
+#: the five paper invariants, in ledger order
+INVARIANTS = (
+    "codec-bijectivity",
+    "degree-formula",
+    "label-safety",
+    "neighbor-symmetry",
+    "scalar-block-agreement",
+)
+
+
+class _Tally:
+    """Per-invariant accumulator across a family's parameter points."""
+
+    __slots__ = ("exhaustive", "abstract", "skips", "witness")
+
+    def __init__(self) -> None:
+        self.exhaustive: list[tuple[int, ...]] = []
+        self.abstract: list[tuple[int, ...]] = []
+        self.skips: list[str] = []
+        self.witness: dict[str, Any] | None = None
+
+    @property
+    def status(self) -> str:
+        if self.witness is not None:
+            return "failed"
+        if self.exhaustive:
+            return "proved"
+        if self.abstract:
+            return "proved-abstract"
+        return "skipped"
+
+    def fail(self, point: tuple[int, ...], **detail: Any) -> None:
+        if self.witness is None:
+            self.witness = {"params": list(point), **detail}
+
+    def to_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "status": self.status,
+            "exhaustive_points": len(self.exhaustive),
+            "abstract_points": len(self.abstract),
+        }
+        if self.witness is not None:
+            entry["witness"] = self.witness
+        if self.status == "skipped" and self.skips:
+            entry["reasons"] = sorted(set(self.skips))
+        return entry
+
+
+def _load_evaluator() -> "Evaluator":
+    """Reflect the installed ``repro`` sources into a symbolic Evaluator."""
+    import repro
+    from repro.devtools.reprolint.symexec import Evaluator, Program
+
+    pkg_root = pathlib.Path(repro.__file__).resolve().parent
+    sources = []
+    for path in sorted(pkg_root.rglob("*.py")):
+        parts = ("repro",) + path.relative_to(pkg_root).with_suffix("").parts
+        module = ".".join(parts)
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        sources.append((module, ast.parse(path.read_text())))
+    return Evaluator(Program.from_sources(sources))
+
+
+# -- exhaustive sweeps (small grids) ----------------------------------------
+
+
+def _check_exhaustive(
+    spec: "InvariantSpec",
+    point: tuple[int, ...],
+    topo: "Topology",
+    tallies: dict[str, _Tally],
+) -> None:
+    nodes = list(topo.nodes())
+    n = topo.num_nodes
+    _check_bijectivity(spec, point, topo, nodes, n, tallies["codec-bijectivity"])
+    adjacency = {v: list(topo.neighbors(v)) for v in nodes}
+    _check_symmetry(point, adjacency, tallies["neighbor-symmetry"])
+    _check_degree(spec, point, adjacency, tallies["degree-formula"])
+    _check_label_safety(point, topo, adjacency, n, tallies["label-safety"])
+    _check_scalar_block(point, topo, adjacency, n, tallies["scalar-block-agreement"])
+
+
+def _check_bijectivity(
+    spec: "InvariantSpec",
+    point: tuple[int, ...],
+    topo: "Topology",
+    nodes: list,
+    n: int,
+    tally: _Tally,
+) -> None:
+    if tally.witness is not None:
+        return
+    if len(nodes) != n:
+        tally.fail(point, kind="node-count-mismatch", nodes=len(nodes), num_nodes=n)
+        return
+    from repro.fastgraph.codecs import codec_for
+
+    codec = codec_for(topo)
+    if codec is None:
+        tally.skips.append("no registered codec")
+        return
+    seen: dict[int, Any] = {}
+    for v in nodes:
+        idx = codec.rank(v)
+        if not isinstance(idx, int) or not 0 <= idx < n:
+            tally.fail(point, kind="rank-out-of-range", label=repr(v), idx=repr(idx))
+            return
+        if idx in seen:
+            tally.fail(
+                point,
+                kind="rank-collision",
+                idx=idx,
+                labels=[repr(seen[idx]), repr(v)],
+            )
+            return
+        seen[idx] = v
+        if codec.unrank(idx) != v:
+            tally.fail(
+                point,
+                kind="round-trip-broken",
+                label=repr(v),
+                idx=idx,
+                unrank=repr(codec.unrank(idx)),
+            )
+            return
+    tally.exhaustive.append(point)
+
+
+def _check_symmetry(
+    point: tuple[int, ...], adjacency: dict, tally: _Tally
+) -> None:
+    if tally.witness is not None:
+        return
+    for v, nbrs in adjacency.items():
+        for u in nbrs:
+            back = adjacency.get(u)
+            if back is not None and v not in back:
+                tally.fail(point, kind="asymmetric-edge", v=repr(v), u=repr(u))
+                return
+    tally.exhaustive.append(point)
+
+
+def _check_degree(
+    spec: "InvariantSpec",
+    point: tuple[int, ...],
+    adjacency: dict,
+    tally: _Tally,
+) -> None:
+    if tally.witness is not None:
+        return
+    lo, hi = spec.degree_bounds_at(point)
+    degrees = set()
+    for v, nbrs in adjacency.items():
+        deg = len(nbrs)
+        degrees.add(deg)
+        if (lo is not None and deg < lo) or (hi is not None and deg > hi):
+            tally.fail(
+                point,
+                kind="degree-out-of-bounds",
+                v=repr(v),
+                degree=deg,
+                expected_min=lo,
+                expected_max=hi,
+            )
+            return
+    if spec.regular and len(degrees) > 1:
+        tally.fail(point, kind="not-regular", degrees_seen=sorted(degrees))
+        return
+    tally.exhaustive.append(point)
+
+
+def _check_label_safety(
+    point: tuple[int, ...],
+    topo: "Topology",
+    adjacency: dict,
+    n: int,
+    tally: _Tally,
+) -> None:
+    if tally.witness is not None:
+        return
+    for v, nbrs in adjacency.items():
+        for u in nbrs:
+            if u == v:
+                tally.fail(point, kind="self-loop", v=repr(v))
+                return
+            if not topo.has_node(u):
+                tally.fail(point, kind="invalid-label", v=repr(v), u=repr(u))
+                return
+    for row, entries in _block_rows(topo, n):
+        for entry in entries:
+            if entry < -1 or entry >= n:
+                tally.fail(
+                    point, kind="out-of-range-rank", idx=row, entry=int(entry)
+                )
+                return
+    tally.exhaustive.append(point)
+
+
+def _check_scalar_block(
+    point: tuple[int, ...],
+    topo: "Topology",
+    adjacency: dict,
+    n: int,
+    tally: _Tally,
+) -> None:
+    if tally.witness is not None:
+        return
+    from repro.fastgraph.codecs import codec_for
+
+    codec = codec_for(topo)
+    if codec is None:
+        tally.skips.append("no registered codec")
+        return
+    if not codec.supports_implicit():
+        tally.skips.append("codec does not support implicit adjacency")
+        return
+    for idx, entries in _block_rows(topo, n):
+        block = [int(e) for e in entries if e >= 0]
+        scalar = [codec.rank(u) for u in adjacency[codec.unrank(idx)]]
+        if block != scalar:
+            tally.fail(
+                point,
+                kind="block-scalar-divergence",
+                idx=idx,
+                block_row=block,
+                scalar_ranks=scalar,
+            )
+            return
+    tally.exhaustive.append(point)
+
+
+def _block_rows(topo: "Topology", n: int) -> Iterable[tuple[int, list]]:
+    """``(idx, row)`` pairs of the codec's implicit adjacency, if any."""
+    from repro.fastgraph.codecs import codec_for
+
+    codec = codec_for(topo)
+    if codec is None or not codec.supports_implicit():
+        return
+    import numpy as np
+
+    rows = codec.neighbors_block(np.arange(n, dtype=np.int64))
+    for idx in range(n):
+        yield idx, list(rows[idx])
+
+
+# -- abstract certificates (large grids) ------------------------------------
+
+
+def _certify_abstract(
+    spec: "InvariantSpec",
+    point: tuple[int, ...],
+    evaluator: "Evaluator",
+    tallies: dict[str, _Tally],
+) -> None:
+    """Certify ``neighbors_block`` over the whole rank range symbolically.
+
+    Proves two facts without enumerating a single vertex: every
+    reachable neighbor rank lies in ``[-1, N)`` (label safety), and —
+    for regular families whose block has no padding — the block width
+    equals the paper degree (degree formula).
+    """
+    from repro.devtools.reprolint.symexec import (
+        ArrayVal,
+        BitVec,
+        SymRaise,
+        Unsupported,
+    )
+    from repro.fastgraph.codecs import codec_for
+
+    safety = tallies["label-safety"]
+    try:
+        topo = spec.build_instance(point)
+        n = topo.num_nodes
+        codec = codec_for(topo)
+        if codec is None or not codec.supports_implicit():
+            safety.skips.append("no implicit codec for abstract certificate")
+            return
+        sym = evaluator.reflect(codec)
+        out = evaluator.call_method(
+            sym, "neighbors_block", [BitVec.range(0, n - 1)]
+        )
+    except (Unsupported, SymRaise) as exc:
+        safety.skips.append(f"abstract certificate out of model: {exc}")
+        return
+    if not isinstance(out, ArrayVal):
+        safety.skips.append("neighbors_block did not reflect to a column array")
+        return
+    cols = [
+        c if isinstance(c, BitVec) else BitVec.concrete(c) for c in out.cols
+    ]
+    for col_idx, col in enumerate(cols):
+        if col.lo < -1 or col.hi >= n:
+            safety.fail(
+                point,
+                kind="abstract-range-escape",
+                col=col_idx,
+                bounds=[col.lo, col.hi],
+                num_nodes=n,
+            )
+            return
+    if safety.witness is None:
+        safety.abstract.append(point)
+    degree = tallies["degree-formula"]
+    if degree.witness is None and spec.regular and spec.degree is not None:
+        expected = spec.degree_at(point)
+        if len(cols) == expected and all(c.lo >= 0 for c in cols):
+            degree.abstract.append(point)
+
+
+# -- per-family and whole-registry drivers ----------------------------------
+
+
+def prove_family(
+    spec: "InvariantSpec",
+    *,
+    max_bits: int = DEFAULT_MAX_BITS,
+    evaluator: "Evaluator | None" = None,
+) -> dict[str, Any]:
+    """Prove one family's invariants; returns its ledger entry."""
+    node_cap = 1 << max_bits
+    tallies = {name: _Tally() for name in INVARIANTS}
+    swept: list[tuple[int, ...]] = []
+    out_of_cap: list[tuple[int, ...]] = []
+    for point in spec.small:
+        topo = spec.build_instance(point)
+        if topo.num_nodes > node_cap:
+            out_of_cap.append(point)
+            continue
+        swept.append(point)
+        _check_exhaustive(spec, point, topo, tallies)
+    abstract_points = tuple(spec.large) + tuple(out_of_cap)
+    if abstract_points:
+        if evaluator is None:
+            evaluator = _load_evaluator()
+        for point in abstract_points:
+            _certify_abstract(spec, point, evaluator, tallies)
+    return {
+        "params": list(spec.params),
+        "paper": spec.paper,
+        "points": {
+            "exhaustive": [list(p) for p in swept],
+            "abstract": [list(p) for p in abstract_points],
+            "out_of_cap": [list(p) for p in out_of_cap],
+        },
+        "invariants": {name: tallies[name].to_dict() for name in INVARIANTS},
+    }
+
+
+def prove(
+    families: Iterable[str] | None = None,
+    *,
+    max_bits: int = DEFAULT_MAX_BITS,
+) -> dict[str, Any]:
+    """Prove every registered family (or a subset); returns the ledger."""
+    import repro  # noqa: F401  — registers every family's invariant spec
+    import repro.fastgraph.codecs  # noqa: F401  — populates the codec registry
+    from repro.errors import InvalidParameterError
+    from repro.topologies.invariants import all_invariant_specs
+
+    specs = all_invariant_specs()
+    if families is not None:
+        wanted = list(families)
+        unknown = sorted(set(wanted) - set(specs))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown families {unknown}; registered: {sorted(specs)}"
+            )
+        specs = {name: specs[name] for name in sorted(wanted)}
+    needs_abstract = any(
+        spec.large for spec in specs.values()
+    )
+    evaluator = _load_evaluator() if needs_abstract else None
+    ledger: dict[str, Any] = {
+        "version": 1,
+        "max_bits": max_bits,
+        "families": {},
+    }
+    counts = {"proved": 0, "proved-abstract": 0, "failed": 0, "skipped": 0}
+    for name, spec in specs.items():
+        entry = prove_family(spec, max_bits=max_bits, evaluator=evaluator)
+        ledger["families"][name] = entry
+        for inv in entry["invariants"].values():
+            counts[inv["status"]] += 1
+    ledger["summary"] = {"families": len(specs), **counts}
+    return ledger
+
+
+# -- rendering and CLI ------------------------------------------------------
+
+
+def render_text(ledger: dict[str, Any]) -> str:
+    lines = []
+    for family in sorted(ledger["families"]):
+        entry = ledger["families"][family]
+        params = ", ".join(entry["params"])
+        paper = f"  [{entry['paper']}]" if entry["paper"] else ""
+        lines.append(f"{family}({params}){paper}")
+        points = entry["points"]
+        lines.append(
+            f"  points: {len(points['exhaustive'])} exhaustive, "
+            f"{len(points['abstract'])} abstract"
+        )
+        for name in INVARIANTS:
+            inv = entry["invariants"][name]
+            detail = ""
+            if inv["status"] == "failed":
+                detail = f"  {json.dumps(inv['witness'], sort_keys=True)}"
+            elif inv["status"] == "skipped" and inv.get("reasons"):
+                detail = f"  ({'; '.join(inv['reasons'])})"
+            lines.append(f"  {name:<24} {inv['status']}{detail}")
+    summary = ledger["summary"]
+    lines.append(
+        f"{summary['families']} families: {summary['proved']} proved, "
+        f"{summary['proved-abstract']} proved-abstract, "
+        f"{summary['failed']} failed, {summary['skipped']} skipped"
+    )
+    return "\n".join(lines)
+
+
+def write_ledger(ledger: dict[str, Any], path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(ledger, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="prove only this family (repeatable; default: all registered)",
+    )
+    parser.add_argument(
+        "--max-bits",
+        type=int,
+        default=DEFAULT_MAX_BITS,
+        help=f"exhaustive-sweep cap: at most 2**MAX_BITS nodes per point "
+        f"(default {DEFAULT_MAX_BITS}; larger points use the abstract domain)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help=f"also write the proof ledger as sorted JSON (e.g. {LEDGER_PATH})",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """CLI entry point; exit 0 proved / 1 counterexample / 2 error."""
+    from repro.errors import ReproError
+
+    try:
+        ledger = prove(args.family, max_bits=args.max_bits)
+    except ReproError as exc:
+        print(f"prove: error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(json.dumps(ledger, indent=2, sort_keys=True))
+    else:
+        print(render_text(ledger))
+    if args.output is not None:
+        write_ledger(ledger, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 1 if ledger["summary"]["failed"] else 0

@@ -57,6 +57,7 @@ class Rule(ABC):
             "5": "taint",
             "6": "numerics-flow",
             "7": "concurrency",
+            "8": "verification",
         }.get(block, "other")
 
 

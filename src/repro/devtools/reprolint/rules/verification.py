@@ -1,0 +1,312 @@
+"""Symbolic verification rules (HB8xx).
+
+These rules *execute* the linted kernels instead of pattern-matching
+them: the :class:`~repro.devtools.reprolint.verification.VerificationIndex`
+builds each invariant-spec family symbolically (through
+:mod:`~repro.devtools.reprolint.symexec`, never by importing the linted
+code) and sweeps small parameter points exhaustively.  A finding is
+always a *definite counterexample* — a concrete index, label, or vertex
+that violates a paper invariant; anything outside the executor's modelled
+subset is skipped here and covered at runtime by ``hyperbutterfly
+prove``.
+
+* HB801 — codec rank/unrank is not a bijection on ``[0, N)``
+* HB802 — scalar neighbor relation is asymmetric (graphs are undirected)
+* HB803 — vertex degree deviates from the paper formula in the spec
+* HB804 — a self-loop or invalid/out-of-range neighbor label is reachable
+* HB805 — ``neighbors_block`` row order diverges from scalar ``neighbors``
+* HB806 — codec-registered family with no invariant spec registered
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.devtools.reprolint.findings import Finding
+from repro.devtools.reprolint.registry import register_rule
+from repro.devtools.reprolint.rules.base import ProjectRule
+
+if TYPE_CHECKING:
+    from repro.devtools.reprolint.context import ProjectContext
+
+__all__ = [
+    "CodecBijectivityRule",
+    "NeighborSymmetryRule",
+    "DegreeFormulaRule",
+    "LabelSafetyRule",
+    "ScalarBlockAgreementRule",
+    "MissingInvariantSpecRule",
+]
+
+
+def _fmt_witness(witness: dict) -> str:
+    parts = [f"{k}={v}" for k, v in witness.items() if k not in ("family", "params")]
+    point = ",".join(str(p) for p in witness.get("params", []))
+    return f"{witness['family']}({point}): " + ", ".join(parts)
+
+
+# -- shared fixture sources -------------------------------------------------
+#
+# A minimal self-contained family ("Ringlet", a k-cycle): topology, codec,
+# factory, and spec registration.  Each rule's hit fixture breaks exactly
+# the invariant that rule owns; the clean fixture is the correct family.
+
+_TOPOLOGY_OK = (
+    "class Ringlet:\n"
+    "    def __init__(self, k):\n"
+    "        self.k = k\n"
+    "    @property\n"
+    "    def num_nodes(self):\n"
+    "        return self.k\n"
+    "    def nodes(self):\n"
+    "        return iter(range(self.k))\n"
+    "    def has_node(self, v):\n"
+    "        return isinstance(v, int) and 0 <= v < self.k\n"
+    "    def neighbors(self, v):\n"
+    "        return [(v + 1) % self.k, (v - 1) % self.k]\n"
+)
+
+_SPEC_OK = (
+    "register_invariants(\n"
+    "    InvariantSpec(\n"
+    "        family='Ringlet', params=('k',), build=Ringlet,\n"
+    "        small=((5,),), degree='2',\n"
+    "    )\n"
+    ")\n"
+)
+
+_CODEC_OK = (
+    "class RingletCodec:\n"
+    "    def __init__(self, k):\n"
+    "        self.k = k\n"
+    "        self.num_nodes = k\n"
+    "    def rank(self, label):\n"
+    "        return label\n"
+    "    def unrank(self, idx):\n"
+    "        return idx\n"
+    "    def supports_implicit(self):\n"
+    "        return True\n"
+    "    def neighbors_block(self, idx):\n"
+    "        return [(idx + 1) % self.k, (idx - 1) % self.k]\n"
+    "\n"
+    "def _ringlet_factory(t):\n"
+    "    return RingletCodec(t.k)\n"
+    "\n"
+    "register_codec('Ringlet', _ringlet_factory)\n"
+)
+
+_TOPO_PATH = "src/repro/topologies/ringlet.py"
+_CODEC_PATH = "src/repro/fastgraph/ringletcodec.py"
+
+_CLEAN_PROJECT = {
+    _TOPO_PATH: _TOPOLOGY_OK + "\n" + _SPEC_OK,
+    _CODEC_PATH: _CODEC_OK,
+}
+
+
+@register_rule
+class CodecBijectivityRule(ProjectRule):
+    rule_id = "HB801"
+    title = "codec rank/unrank is not a bijection on [0, num_nodes)"
+    rationale = (
+        "the fastgraph backend identifies vertices with their ranks; a "
+        "non-bijective codec silently merges or drops vertices, corrupting "
+        "every CSR build and BFS sweep downstream — the witness is a "
+        "concrete index whose unrank/rank round trip fails"
+    )
+
+    fixture_hits = {
+        _TOPO_PATH: _TOPOLOGY_OK + "\n" + _SPEC_OK,
+        _CODEC_PATH: _CODEC_OK.replace(
+            "    def rank(self, label):\n        return label\n",
+            "    def rank(self, label):\n        return label % (self.k - 1)\n",
+        ),
+    }
+    fixture_clean = _CLEAN_PROJECT
+
+    def check_project(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        index = ctx.verification
+        for family in sorted(index.specs):
+            spec = index.specs[family]
+            fctx = ctx.by_module(spec.module)
+            if fctx is None:
+                continue
+            for point in index.lint_points(spec):
+                for witness in index.check_bijectivity(spec, point):
+                    yield fctx.finding(
+                        self.rule_id,
+                        spec.lineno,
+                        f"codec round trip broken — {_fmt_witness(witness)}",
+                    )
+
+
+@register_rule
+class NeighborSymmetryRule(ProjectRule):
+    rule_id = "HB802"
+    title = "scalar neighbor relation is asymmetric"
+    rationale = (
+        "every topology in the paper is an undirected graph: u in N(v) "
+        "must imply v in N(u); an asymmetric generator breaks BFS distance "
+        "symmetry and the fault-tolerance bounds of Section 3"
+    )
+
+    fixture_hits = {
+        _TOPO_PATH: _TOPOLOGY_OK.replace(
+            "        return [(v + 1) % self.k, (v - 1) % self.k]\n",
+            "        return [(v + 1) % self.k]\n",
+        )
+        + "\n"
+        + _SPEC_OK.replace("degree='2'", "degree='1'"),
+    }
+    fixture_clean = {_TOPO_PATH: _TOPOLOGY_OK + "\n" + _SPEC_OK}
+
+    def check_project(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        index = ctx.verification
+        for family in sorted(index.specs):
+            spec = index.specs[family]
+            fctx = ctx.by_module(spec.module)
+            if fctx is None:
+                continue
+            for point in index.lint_points(spec):
+                for witness in index.check_neighbor_symmetry(spec, point):
+                    yield fctx.finding(
+                        self.rule_id,
+                        spec.lineno,
+                        f"asymmetric adjacency — {_fmt_witness(witness)}",
+                    )
+
+
+@register_rule
+class DegreeFormulaRule(ProjectRule):
+    rule_id = "HB803"
+    title = "vertex degree deviates from the paper formula"
+    rationale = (
+        "the degree formulas (m for H_m, 4 for B_n, m+4 for HB(m,n) — "
+        "Theorem 2(1)) are load-bearing: fault-tolerance equals degree for "
+        "optimally fault-tolerant graphs, so a degree drift invalidates "
+        "Corollary 1; the spec's degree expression is checked against an "
+        "exhaustive sweep"
+    )
+
+    fixture_hits = {
+        _TOPO_PATH: _TOPOLOGY_OK + "\n" + _SPEC_OK.replace("degree='2'", "degree='3'"),
+    }
+    fixture_clean = {_TOPO_PATH: _TOPOLOGY_OK + "\n" + _SPEC_OK}
+
+    def check_project(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        index = ctx.verification
+        for family in sorted(index.specs):
+            spec = index.specs[family]
+            fctx = ctx.by_module(spec.module)
+            if fctx is None:
+                continue
+            for point in index.lint_points(spec):
+                for witness in index.check_degree_formula(spec, point):
+                    yield fctx.finding(
+                        self.rule_id,
+                        spec.lineno,
+                        f"degree mismatch — {_fmt_witness(witness)}",
+                    )
+
+
+@register_rule
+class LabelSafetyRule(ProjectRule):
+    rule_id = "HB804"
+    title = "self-loop or invalid neighbor label is reachable"
+    rationale = (
+        "a neighbor generator that can emit the vertex itself or a label "
+        "outside the vertex set produces phantom edges in the CSR build "
+        "and corrupts fault simulations (a faulty phantom node is "
+        "unreachable by definition); simple graphs have neither"
+    )
+
+    fixture_hits = {
+        _TOPO_PATH: _TOPOLOGY_OK.replace(
+            "        return [(v + 1) % self.k, (v - 1) % self.k]\n",
+            "        return [(v + 1) % self.k, v]\n",
+        )
+        + "\n"
+        + _SPEC_OK,
+    }
+    fixture_clean = {_TOPO_PATH: _TOPOLOGY_OK + "\n" + _SPEC_OK}
+
+    def check_project(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        index = ctx.verification
+        for family in sorted(index.specs):
+            spec = index.specs[family]
+            fctx = ctx.by_module(spec.module)
+            if fctx is None:
+                continue
+            for point in index.lint_points(spec):
+                for witness in index.check_label_safety(spec, point):
+                    yield fctx.finding(
+                        self.rule_id,
+                        spec.lineno,
+                        f"unsafe neighbor label — {_fmt_witness(witness)}",
+                    )
+
+
+@register_rule
+class ScalarBlockAgreementRule(ProjectRule):
+    rule_id = "HB805"
+    title = "neighbors_block diverges from scalar neighbors"
+    rationale = (
+        "the implicit BFS backend trusts neighbors_block rows to be the "
+        "ranked scalar adjacency in exact order (padding aside); a "
+        "divergent vectorised kernel silently changes the graph the exact "
+        "sweeps explore, which no runtime assertion would catch"
+    )
+
+    fixture_hits = {
+        _TOPO_PATH: _TOPOLOGY_OK + "\n" + _SPEC_OK,
+        _CODEC_PATH: _CODEC_OK.replace(
+            "        return [(idx + 1) % self.k, (idx - 1) % self.k]\n",
+            "        return [(idx - 1) % self.k, (idx + 1) % self.k]\n",
+        ),
+    }
+    fixture_clean = _CLEAN_PROJECT
+
+    def check_project(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        index = ctx.verification
+        for family in sorted(index.specs):
+            spec = index.specs[family]
+            fctx = ctx.by_module(spec.module)
+            if fctx is None:
+                continue
+            for point in index.lint_points(spec):
+                for witness in index.check_scalar_block_agreement(spec, point):
+                    yield fctx.finding(
+                        self.rule_id,
+                        spec.lineno,
+                        f"block/scalar divergence — {_fmt_witness(witness)}",
+                    )
+
+
+@register_rule
+class MissingInvariantSpecRule(ProjectRule):
+    rule_id = "HB806"
+    title = "codec-registered family has no invariant spec"
+    rationale = (
+        "a family in the codec registry without a matching "
+        "register_invariants entry is invisible to both the HB80x sweeps "
+        "and `hyperbutterfly prove` — its paper invariants are simply "
+        "never checked; register a spec (or remove the codec)"
+    )
+
+    fixture_hits = {
+        _CODEC_PATH: _CODEC_OK,  # codec registered, no spec anywhere
+    }
+    fixture_clean = _CLEAN_PROJECT
+
+    def check_project(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        index = ctx.verification
+        for reg in index.families_missing_specs():
+            fctx = ctx.by_module(reg.module)
+            if fctx is None:
+                continue
+            yield fctx.finding(
+                self.rule_id,
+                reg.lineno,
+                f"family {reg.family!r} is codec-registered but has no "
+                f"invariant spec — its paper invariants are never verified",
+            )

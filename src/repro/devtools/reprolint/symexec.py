@@ -1,0 +1,2151 @@
+"""Symbolic execution of pure bit-arithmetic kernels over their ASTs.
+
+The verification layer (the HB8xx rules and ``hyperbutterfly prove``)
+needs to evaluate the *linted sources themselves* — codec ``rank`` /
+``unrank`` / ``neighbors_block`` kernels and scalar ``Topology.neighbors``
+generators — without importing them, both concretely (exhaustive
+small-width enumeration) and abstractly (fixed-width bit-vector reasoning
+at widths where enumeration is out of reach).  This module provides both
+engines:
+
+* :class:`BitVec` — an abstract integer combining an interval with
+  known-bits information over Python's arbitrary-precision two's
+  complement, precise enough to prove e.g. that the butterfly rank
+  ``(x2 << n) | (c ^ rotated)`` stays below ``n·2^n``.
+* :class:`Machine` — an AST interpreter with join semantics: concrete
+  Python values flow through untouched (the fast path behind the rules'
+  exhaustive sweeps); an abstract operand lifts the operation into the
+  bit-vector domain; an ``if`` on an undecidable condition executes both
+  arms and joins the environments.  numpy array code is modelled
+  element-wise (an array is one abstract element, :class:`ArrayVal` is a
+  row of columns), which matches the pointwise ``neighbors_block``
+  kernels exactly — and with concrete inputs the same model reproduces
+  one concrete row.
+* :class:`Evaluator` — the facade used by rules and the prover: resolve
+  classes and functions across the linted file set, instantiate classes,
+  call methods, and *reflect* live runtime objects into symbolic
+  instances for abstract certification.
+
+Soundness contract: anything outside the modelled subset raises
+:class:`Unsupported` — callers must skip, never report.  A lint finding is
+therefore always backed by a concrete counterexample, and the prover
+labels abstract-only results as such in the ledger.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = [
+    "Unsupported",
+    "BudgetExceeded",
+    "SymRaise",
+    "Bool3",
+    "BitVec",
+    "ArrayVal",
+    "InstanceVal",
+    "ClassVal",
+    "FuncVal",
+    "Program",
+    "Machine",
+    "Evaluator",
+    "OPAQUE",
+]
+
+#: sentinel trailing-known-bit count meaning "every bit is known"
+_INF_BITS = 1 << 16
+#: cap on members enumerated when joining over an abstract operand
+_ENUM_LIMIT = 128
+
+
+class Unsupported(Exception):
+    """The executor met a construct outside its modelled subset.
+
+    Callers must treat this as "no information" and skip — conservative
+    by design, so ignorance can never produce a false finding.
+    """
+
+
+class BudgetExceeded(Unsupported):
+    """The per-call step budget ran out (runaway loop guard)."""
+
+
+class SymRaise(Exception):
+    """The interpreted code *definitely* raises on the given input."""
+
+    def __init__(self, exc_name: str, detail: str = "") -> None:
+        super().__init__(f"{exc_name}: {detail}" if detail else exc_name)
+        self.exc_name = exc_name
+        self.detail = detail
+
+
+class Bool3(Enum):
+    """Three-valued truth for abstract comparisons."""
+
+    TRUE = "true"
+    FALSE = "false"
+    MAYBE = "maybe"
+
+    @staticmethod
+    def of(flag: bool) -> "Bool3":
+        return Bool3.TRUE if flag else Bool3.FALSE
+
+    def negate(self) -> "Bool3":
+        if self is Bool3.TRUE:
+            return Bool3.FALSE
+        if self is Bool3.FALSE:
+            return Bool3.TRUE
+        return Bool3.MAYBE
+
+    def and3(self, other: "Bool3") -> "Bool3":
+        if Bool3.FALSE in (self, other):
+            return Bool3.FALSE
+        if self is Bool3.TRUE and other is Bool3.TRUE:
+            return Bool3.TRUE
+        return Bool3.MAYBE
+
+    def or3(self, other: "Bool3") -> "Bool3":
+        if Bool3.TRUE in (self, other):
+            return Bool3.TRUE
+        if self is Bool3.FALSE and other is Bool3.FALSE:
+            return Bool3.FALSE
+        return Bool3.MAYBE
+
+    def join(self, other: "Bool3") -> "Bool3":
+        return self if self is other else Bool3.MAYBE
+
+
+def _trailing_known(mask: int) -> int:
+    """Number of consecutive known low bits in a known-bits ``mask``."""
+    inv = ~mask
+    if inv == 0:
+        return _INF_BITS
+    return (inv & -inv).bit_length() - 1
+
+
+@dataclass(frozen=True)
+class BitVec:
+    """Abstract integer: interval ``[lo, hi]`` + known bits.
+
+    ``mask`` marks the known bit positions of every member and ``value``
+    holds those bits (``value == value & mask``).  Python integers are
+    infinite two's complement, so ``mask = -1`` means fully known and a
+    *negative* mask (e.g. ``-(1 << k)``) means "all bits from ``k``
+    upward known" — which is how non-negativity is tracked.
+    """
+
+    lo: int
+    hi: int
+    mask: int
+    value: int
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def concrete(v: int) -> "BitVec":
+        return BitVec(v, v, -1, v)
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "BitVec":
+        if lo > hi:
+            raise Unsupported(f"empty bitvec range [{lo}, {hi}]")
+        return _make(lo, hi, 0, 0)
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, v: int) -> bool:
+        return self.lo <= v <= self.hi and (v & self.mask) == self.value
+
+    def members(self, limit: int = _ENUM_LIMIT) -> list[int]:
+        """All members, if there are at most ``limit`` interval points."""
+        if self.hi - self.lo + 1 > limit:
+            raise Unsupported(f"bitvec [{self.lo}, {self.hi}] too wide to enumerate")
+        return [v for v in range(self.lo, self.hi + 1) if (v & self.mask) == self.value]
+
+    def join(self, other: "BitVec") -> "BitVec":
+        mask = self.mask & other.mask & ~(self.value ^ other.value)
+        return _make(min(self.lo, other.lo), max(self.hi, other.hi), mask, self.value & mask)
+
+    # -- arithmetic transfer functions ------------------------------------
+
+    def add(self, other: "BitVec") -> "BitVec":
+        t = min(_trailing_known(self.mask), _trailing_known(other.mask))
+        tm = -1 if t >= _INF_BITS else (1 << t) - 1
+        return _make(
+            self.lo + other.lo, self.hi + other.hi, tm, (self.value + other.value) & tm
+        )
+
+    def sub(self, other: "BitVec") -> "BitVec":
+        t = min(_trailing_known(self.mask), _trailing_known(other.mask))
+        tm = -1 if t >= _INF_BITS else (1 << t) - 1
+        return _make(
+            self.lo - other.hi, self.hi - other.lo, tm, (self.value - other.value) & tm
+        )
+
+    def mul(self, other: "BitVec") -> "BitVec":
+        corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        t = min(_trailing_known(self.mask), _trailing_known(other.mask))
+        tm = -1 if t >= _INF_BITS else (1 << t) - 1
+        return _make(
+            min(corners), max(corners), tm, (self.value * other.value) & tm
+        )
+
+    def floordiv(self, other: "BitVec") -> "BitVec":
+        if not other.is_concrete:
+            return self._enum_binop(other, BitVec.floordiv)
+        k = other.lo
+        if k == 0:
+            raise SymRaise("ZeroDivisionError", "integer division by zero")
+        if k > 0 and k & (k - 1) == 0:
+            # x // 2**j == x >> j for every Python int (both floor)
+            return self.rshift(BitVec.concrete(k.bit_length() - 1))
+        lo, hi = (self.lo // k, self.hi // k) if k > 0 else (self.hi // k, self.lo // k)
+        return _make(lo, hi, 0, 0)
+
+    def mod(self, other: "BitVec") -> "BitVec":
+        if not other.is_concrete:
+            return self._enum_binop(other, BitVec.mod)
+        k = other.lo
+        if k == 0:
+            raise SymRaise("ZeroDivisionError", "integer modulo by zero")
+        if k < 0:
+            raise Unsupported("modulo by negative divisor")
+        if self.lo // k == self.hi // k:
+            # whole interval in one residue block — exact
+            return _make(self.lo % k, self.hi % k, self.mask & (k - 1) if k & (k - 1) == 0 else 0, 0) \
+                if False else _make(self.lo % k, self.hi % k, 0, 0)
+        if k & (k - 1) == 0:
+            # x % 2**j == x & (2**j - 1) for every Python int
+            low = k - 1
+            mask = (self.mask & low) | ~low
+            return _make(0, low, mask, self.value & low & mask)
+        return _make(0, k - 1, 0, 0)
+
+    def neg(self) -> "BitVec":
+        return BitVec.concrete(0).sub(self)
+
+    def invert(self) -> "BitVec":
+        return _make(-self.hi - 1, -self.lo - 1, self.mask, ~self.value & self.mask)
+
+    def _span_bits(self, other: "BitVec") -> int:
+        """``k`` such that every member of both operands lies in
+        ``[-2^k, 2^k)`` — bitwise ops cannot escape that band."""
+        return 1 + max(
+            self.lo.bit_length(), self.hi.bit_length(),
+            other.lo.bit_length(), other.hi.bit_length(),
+        )
+
+    def and_(self, other: "BitVec") -> "BitVec":
+        ones = (self.mask & self.value) & (other.mask & other.value)
+        zeros = (self.mask & ~self.value) | (other.mask & ~other.value)
+        mask = ones | zeros
+        if self.lo >= 0 and other.lo >= 0:
+            lo, hi = 0, min(self.hi, other.hi)
+        elif self.lo >= 0:
+            # a non-negative operand clears the sign and caps the result
+            lo, hi = 0, self.hi
+        elif other.lo >= 0:
+            lo, hi = 0, other.hi
+        else:
+            # x & y <= max(x, y) always; below, the ±2^k band bounds it
+            lo, hi = -(1 << self._span_bits(other)), max(self.hi, other.hi)
+        return _make(lo, hi, mask, ones)
+
+    def or_(self, other: "BitVec") -> "BitVec":
+        ones = (self.mask & self.value) | (other.mask & other.value)
+        zeros = (self.mask & ~self.value) & (other.mask & ~other.value)
+        mask = ones | zeros
+        # x | y >= max(x, y) for same-sign pairs and >= the negative operand
+        # for mixed pairs, so min of the lows is always a sound floor (and
+        # max of the lows when both operands are certainly non-negative)
+        if self.lo >= 0 and other.lo >= 0:
+            lo = max(self.lo, other.lo)
+        else:
+            lo = min(self.lo, other.lo)
+        if self.hi >= 0 and other.hi >= 0:
+            # a non-negative result needs both operands non-negative
+            width = max(self.hi.bit_length(), other.hi.bit_length())
+            hi = min(self.hi + other.hi, (1 << width) - 1)
+        else:
+            hi = -1
+        return _make(lo, hi, mask, ones)
+
+    def xor(self, other: "BitVec") -> "BitVec":
+        mask = self.mask & other.mask
+        if self.lo >= 0 and other.lo >= 0:
+            width = max(self.hi.bit_length(), other.hi.bit_length())
+            lo, hi = 0, (1 << width) - 1
+        else:
+            width = max(
+                self.lo.bit_length(), self.hi.bit_length(),
+                other.lo.bit_length(), other.hi.bit_length(),
+            ) + 1
+            lo, hi = -(1 << width), (1 << width) - 1
+        return _make(lo, hi, mask, (self.value ^ other.value) & mask)
+
+    def lshift(self, other: "BitVec") -> "BitVec":
+        if not other.is_concrete:
+            return self._enum_binop(other, BitVec.lshift, enumerate_other=True)
+        k = other.lo
+        if k < 0:
+            raise SymRaise("ValueError", "negative shift count")
+        return _make(
+            self.lo << k, self.hi << k,
+            (self.mask << k) | ((1 << k) - 1), self.value << k,
+        )
+
+    def rshift(self, other: "BitVec") -> "BitVec":
+        if not other.is_concrete:
+            return self._enum_binop(other, BitVec.rshift, enumerate_other=True)
+        k = other.lo
+        if k < 0:
+            raise SymRaise("ValueError", "negative shift count")
+        return _make(self.lo >> k, self.hi >> k, self.mask >> k, self.value >> k)
+
+    def _enum_binop(
+        self,
+        other: "BitVec",
+        op: Callable[["BitVec", "BitVec"], "BitVec"],
+        *,
+        enumerate_other: bool = True,
+    ) -> "BitVec":
+        """Join ``op`` over every member of the (small) abstract operand."""
+        out: BitVec | None = None
+        for v in other.members():
+            res = op(self, BitVec.concrete(v))
+            out = res if out is None else out.join(res)
+        if out is None:
+            raise Unsupported("empty operand enumeration")
+        return out
+
+    # -- comparisons ------------------------------------------------------
+
+    def eq(self, other: "BitVec") -> Bool3:
+        if self.is_concrete and other.is_concrete:
+            return Bool3.of(self.lo == other.lo)
+        if self.hi < other.lo or other.hi < self.lo:
+            return Bool3.FALSE
+        if (self.value ^ other.value) & self.mask & other.mask:
+            return Bool3.FALSE
+        return Bool3.MAYBE
+
+    def lt(self, other: "BitVec") -> Bool3:
+        if self.hi < other.lo:
+            return Bool3.TRUE
+        if self.lo >= other.hi:
+            return Bool3.FALSE
+        return Bool3.MAYBE
+
+    def le(self, other: "BitVec") -> Bool3:
+        if self.hi <= other.lo:
+            return Bool3.TRUE
+        if self.lo > other.hi:
+            return Bool3.FALSE
+        return Bool3.MAYBE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_concrete:
+            return f"BitVec({self.lo})"
+        return f"BitVec[{self.lo}, {self.hi}; mask={self.mask:#x}, value={self.value:#x}]"
+
+
+def _make(lo: int, hi: int, mask: int, value: int) -> BitVec:
+    """Normalize: reconcile interval and known bits, collapse to concrete."""
+    value &= mask
+    if lo == hi:
+        return BitVec(lo, lo, -1, lo)
+    if mask < 0:
+        # all high bits known: members are value | (subset of ~mask)
+        unknown = ~mask
+        lo = max(lo, value)
+        hi = min(hi, value | unknown)
+    if lo > hi:
+        raise Unsupported("contradictory bitvec (unsound transfer?)")
+    if lo == hi:
+        return BitVec(lo, lo, -1, lo)
+    diff = lo ^ hi
+    if diff >= 0:
+        # same-sign bounds share the prefix above the top differing bit
+        k = diff.bit_length()
+        pmask = -(1 << k)
+        pval = lo & pmask
+        if (mask & pmask) & (value ^ pval):
+            raise Unsupported("contradictory bitvec (interval vs known bits)")
+        value = (value & mask) | (pval & ~mask)
+        mask |= pmask
+    return BitVec(lo, hi, mask, value & mask)
+
+
+# ---------------------------------------------------------------------------
+# interpreter values
+# ---------------------------------------------------------------------------
+
+
+class _OpaqueType:
+    """Marker for a binding the executor can't model (attribute access on
+    it raises :class:`Unsupported`)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "OPAQUE"
+
+
+OPAQUE = _OpaqueType()
+
+
+class _NumpyModule:
+    """Marker bound to ``np`` by ``import numpy as np``."""
+
+
+_NUMPY = _NumpyModule()
+
+
+@dataclass
+class _NumpyFunc:
+    name: str
+
+
+@dataclass
+class FuncVal:
+    """A function (or method) definition found in the linted sources."""
+
+    node: ast.FunctionDef
+    module: str
+
+    def _decorators(self) -> list[str]:
+        out = []
+        for dec in self.node.decorator_list:
+            if isinstance(dec, ast.Name):
+                out.append(dec.id)
+            elif isinstance(dec, ast.Attribute):
+                out.append(dec.attr)
+        return out
+
+    @property
+    def is_property(self) -> bool:
+        return "property" in self._decorators()
+
+    @property
+    def is_static(self) -> bool:
+        return "staticmethod" in self._decorators()
+
+
+@dataclass
+class ClassVal:
+    """A class definition found in the linted sources."""
+
+    node: ast.ClassDef
+    module: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.module, self.node.name)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_dataclass(self) -> bool:
+        for dec in self.node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if isinstance(target, ast.Name) and target.id == "dataclass":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+                return True
+        return False
+
+
+@dataclass
+class InstanceVal:
+    """An object: its (resolved) class plus an attribute environment."""
+
+    cls: ClassVal | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.cls.name if self.cls else "?"
+        return f"<sym {name} {sorted(self.attrs)}>"
+
+
+@dataclass
+class BoundMethod:
+    func: FuncVal
+    self_val: Any
+    defining_class: ClassVal | None
+
+
+@dataclass
+class _SuperProxy:
+    instance: Any
+    after: ClassVal
+
+
+@dataclass
+class _ConcreteCallable:
+    """A real bound method of a concrete builtin value (``list.append``…)."""
+
+    fn: Callable[..., Any]
+
+
+@dataclass
+class ArrayVal:
+    """Scalar model of a 2-D numpy array: a list of per-column elements."""
+
+    cols: list[Any]
+
+
+_SAFE_CONCRETE = (bool, int, float, str, bytes, list, tuple, set, frozenset, dict)
+
+
+def _is_plain(value: Any) -> bool:
+    """Whether ``value`` is a fully concrete Python value (recursively)."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return True
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return all(_is_plain(v) for v in value)
+    if isinstance(value, dict):
+        return all(_is_plain(k) and _is_plain(v) for k, v in value.items())
+    if isinstance(value, range):
+        return True
+    return False
+
+
+def _lift(value: Any) -> BitVec:
+    if isinstance(value, BitVec):
+        return value
+    if isinstance(value, bool):
+        return BitVec.concrete(int(value))
+    if isinstance(value, int):
+        return BitVec.concrete(value)
+    raise Unsupported(f"cannot lift {type(value).__name__} into the bit-vector domain")
+
+
+# ---------------------------------------------------------------------------
+# program: the linted file set as a resolvable module universe
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ImportBinding:
+    module: str
+    name: str | None  # None: ``import module`` binding
+
+
+@dataclass
+class _ExprBinding:
+    expr: ast.expr
+    module: str
+
+
+class Program:
+    """All linted modules, with lazy cross-module name resolution."""
+
+    def __init__(self, modules: dict[str, ast.Module]) -> None:
+        self.modules = modules
+        self._bindings: dict[str, dict[str, Any]] = {}
+        self._resolving: set[tuple[str, str]] = set()
+
+    @classmethod
+    def from_sources(cls, sources: Iterable[tuple[str, ast.Module]]) -> "Program":
+        """Build from ``(dotted module name, parsed tree)`` pairs."""
+        return cls(dict(sources))
+
+    # -- binding tables ----------------------------------------------------
+
+    def _table(self, module: str) -> dict[str, Any]:
+        cached = self._bindings.get(module)
+        if cached is not None:
+            return cached
+        table: dict[str, Any] = {}
+        tree = self.modules.get(module)
+        if tree is not None:
+            for stmt in tree.body:
+                self._scan_stmt(stmt, module, table)
+        self._bindings[module] = table
+        return table
+
+    def _scan_stmt(self, stmt: ast.stmt, module: str, table: dict[str, Any]) -> None:
+        if isinstance(stmt, ast.FunctionDef):
+            table[stmt.name] = FuncVal(stmt, module)
+        elif isinstance(stmt, ast.ClassDef):
+            table[stmt.name] = ClassVal(stmt, module)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                table[alias.asname or alias.name.split(".")[0]] = _ImportBinding(
+                    alias.name, None
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    table[alias.asname or alias.name] = _ImportBinding(
+                        stmt.module, alias.name
+                    )
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    table[target.id] = _ExprBinding(stmt.value, module)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                table[stmt.target.id] = _ExprBinding(stmt.value, module)
+        # deliberately not descending into If/Try bodies: TYPE_CHECKING-only
+        # imports must stay invisible at runtime
+
+    # -- resolution --------------------------------------------------------
+
+    def lookup(self, module: str, name: str) -> Any:
+        """Resolve ``name`` in ``module``'s top level (may chain imports).
+
+        Raises :class:`KeyError` when the name is unbound there.
+        """
+        key = (module, name)
+        if key in self._resolving:
+            raise Unsupported(f"circular resolution of {module}.{name}")
+        binding = self._table(module)[name]
+        if isinstance(binding, _ImportBinding):
+            self._resolving.add(key)
+            try:
+                resolved = self._resolve_import(binding)
+            finally:
+                self._resolving.discard(key)
+            self._table(module)[name] = resolved
+            return resolved
+        return binding
+
+    def _resolve_import(self, binding: _ImportBinding) -> Any:
+        if binding.module.split(".")[0] == "numpy":
+            return _NUMPY if binding.name is None else OPAQUE
+        if binding.name is None:
+            return OPAQUE
+        target = binding.module
+        if target in self.modules:
+            try:
+                return self.lookup(target, binding.name)
+            except KeyError:
+                pass
+        pkg_init = target  # ``from pkg import name`` can also mean a submodule
+        sub = f"{pkg_init}.{binding.name}"
+        if sub in self.modules:
+            return OPAQUE
+        return OPAQUE
+
+    def class_named(self, name: str) -> ClassVal | None:
+        """Search every module for a top-level class definition ``name``."""
+        for module in sorted(self.modules):
+            binding = self._table(module).get(name)
+            if isinstance(binding, ClassVal):
+                return binding
+        return None
+
+    def classes(self) -> Iterator[ClassVal]:
+        for module in sorted(self.modules):
+            for binding in self._table(module).values():
+                if isinstance(binding, ClassVal):
+                    yield binding
+
+    def mro(self, cls: ClassVal) -> list[ClassVal]:
+        """Left-to-right depth-first linearization over resolvable bases.
+
+        Exact for the single-inheritance chains used here; unresolvable
+        bases (stdlib ABCs, ``object``) terminate a branch.
+        """
+        out: list[ClassVal] = []
+        seen: set[tuple[str, str]] = set()
+
+        def visit(c: ClassVal) -> None:
+            if c.key in seen:
+                return
+            seen.add(c.key)
+            out.append(c)
+            for base in c.node.bases:
+                name: str | None = None
+                if isinstance(base, ast.Name):
+                    name = base.id
+                elif isinstance(base, ast.Attribute):
+                    name = base.attr
+                if name is None:
+                    continue
+                try:
+                    resolved = self.lookup(c.module, name)
+                except KeyError:
+                    resolved = None
+                if isinstance(resolved, ClassVal):
+                    visit(resolved)
+
+        visit(cls)
+        return out
+
+    def base_chain_names(self, cls: ClassVal) -> set[str]:
+        """All class names in the resolvable base chain (incl. unresolved
+        terminal base names, so "reaches a class named NodeCodec" works
+        even if the base file isn't in the program)."""
+        names: set[str] = set()
+        for c in self.mro(cls):
+            names.add(c.name)
+            for base in c.node.bases:
+                if isinstance(base, ast.Name):
+                    names.add(base.id)
+                elif isinstance(base, ast.Attribute):
+                    names.add(base.attr)
+        return names
+
+
+# ---------------------------------------------------------------------------
+# the machine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Frame:
+    module: str
+    defining_class: ClassVal | None
+    self_val: Any
+    returns: list[Any] = field(default_factory=list)
+    possible_raises: list[str] = field(default_factory=list)
+    #: non-None when executing a generator body: yields collect here
+    yields: list[Any] | None = None
+
+
+class _Flow:
+    NORMAL = "normal"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+    RAISE = "raise"
+
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: Any = None) -> None:
+        self.kind = kind
+        self.value = value
+
+
+_NORMAL = _Flow(_Flow.NORMAL)
+
+_BUILTIN_NAMES = frozenset(
+    {
+        "range", "len", "abs", "min", "max", "divmod", "int", "bool", "str",
+        "float", "tuple", "list", "set", "dict", "zip", "enumerate", "sorted",
+        "reversed", "sum", "isinstance", "super", "print", "iter",
+    }
+)
+
+_EXCEPTION_NAMES = frozenset(
+    {
+        "ValueError", "TypeError", "KeyError", "IndexError", "RuntimeError",
+        "NotImplementedError", "AssertionError", "ZeroDivisionError",
+        "Exception", "ArithmeticError", "OverflowError", "StopIteration",
+    }
+)
+
+
+@dataclass
+class _BuiltinVal:
+    name: str
+
+
+class Machine:
+    """AST interpreter over concrete values lifted into the BitVec domain."""
+
+    def __init__(self, program: Program, max_steps: int = 300_000) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self._steps = 0
+        self._frames: list[_Frame] = []
+        #: messages from raises inside MAYBE branches of the last call
+        self.possible_raises: list[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def call(self, fn: Any, args: list[Any], kwargs: dict[str, Any] | None = None) -> Any:
+        """Call a callable value from a fresh budget; outermost entry point."""
+        self._steps = 0
+        self.possible_raises = []
+        result = self._call(fn, args, dict(kwargs or {}))
+        return result
+
+    def getattr_value(self, obj: Any, name: str) -> Any:
+        """Attribute access with the machine's semantics (fresh budget)."""
+        self._steps = 0
+        return self._getattr(obj, name)
+
+    def instantiate(self, cls: ClassVal, args: list[Any], kwargs: dict[str, Any] | None = None) -> InstanceVal:
+        value = self.call(cls, args, kwargs)
+        if not isinstance(value, InstanceVal):
+            raise Unsupported(f"instantiating {cls.name} did not yield an instance")
+        return value
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise BudgetExceeded(f"step budget {self.max_steps} exceeded")
+
+    # -- calls -------------------------------------------------------------
+
+    def _call(self, fn: Any, args: list[Any], kwargs: dict[str, Any]) -> Any:
+        self._tick()
+        if isinstance(fn, BoundMethod):
+            return self._call_func(
+                fn.func, [fn.self_val, *args], kwargs, defining_class=fn.defining_class
+            )
+        if isinstance(fn, FuncVal):
+            return self._call_func(fn, args, kwargs, defining_class=None)
+        if isinstance(fn, ClassVal):
+            return self._instantiate(fn, args, kwargs)
+        if isinstance(fn, _BuiltinVal):
+            return self._call_builtin(fn.name, args, kwargs)
+        if isinstance(fn, _NumpyFunc):
+            return self._call_numpy(fn.name, args, kwargs)
+        if isinstance(fn, _ConcreteCallable):
+            return self._call_concrete(fn.fn, args, kwargs)
+        raise Unsupported(f"call of unmodelled value {type(fn).__name__}")
+
+    def _call_func(
+        self,
+        fn: FuncVal,
+        args: list[Any],
+        kwargs: dict[str, Any],
+        *,
+        defining_class: ClassVal | None,
+    ) -> Any:
+        env = self._bind_params(fn, args, kwargs)
+        self_val = args[0] if defining_class is not None and args else None
+        frame = _Frame(fn.module, defining_class, self_val)
+        if any(
+            isinstance(sub, (ast.Yield, ast.YieldFrom))
+            for body_stmt in fn.node.body
+            for sub in ast.walk(body_stmt)
+        ):
+            # generator body: run it eagerly into a list (concrete-only —
+            # an abstract branch would scramble the yield order)
+            frame.yields = []
+        self._frames.append(frame)
+        try:
+            flow = self._exec_block(fn.node.body, env, frame)
+        finally:
+            self._frames.pop()
+            self.possible_raises.extend(frame.possible_raises)
+        if frame.yields is not None:
+            if flow.kind == _Flow.RAISE:
+                raise SymRaise(*flow.value) if isinstance(flow.value, tuple) else SymRaise(str(flow.value))
+            return list(frame.yields)
+        returns = list(frame.returns)
+        if flow.kind == _Flow.RETURN:
+            returns.append(flow.value)
+        elif flow.kind == _Flow.RAISE:
+            if returns:
+                # some path returned, another raises — callers of the prover
+                # treat a possible raise as advisory, not a counterexample
+                frame_msg = str(flow.value)
+                self.possible_raises.append(frame_msg)
+            else:
+                raise SymRaise(*flow.value) if isinstance(flow.value, tuple) else SymRaise(str(flow.value))
+        elif flow.kind == _Flow.NORMAL:
+            returns.append(None)
+        else:  # break/continue escaping a function body — malformed
+            raise Unsupported(f"loose {flow.kind} at function scope")
+        out = returns[0]
+        for other in returns[1:]:
+            out = self._join_values(out, other)
+        return out
+
+    def _bind_params(
+        self, fn: FuncVal, args: list[Any], kwargs: dict[str, Any]
+    ) -> dict[str, Any]:
+        node_args = fn.node.args
+        if node_args.vararg or node_args.kwarg:
+            raise Unsupported(f"{fn.node.name} uses *args/**kwargs")
+        names = [a.arg for a in (*node_args.posonlyargs, *node_args.args)]
+        env: dict[str, Any] = {}
+        if len(args) > len(names):
+            raise Unsupported(f"too many positional args for {fn.node.name}")
+        for name, value in zip(names, args):
+            env[name] = value
+        defaults = node_args.defaults
+        default_map = dict(zip(names[len(names) - len(defaults):], defaults))
+        for name in names[len(args):]:
+            if name in kwargs:
+                env[name] = kwargs.pop(name)
+            elif name in default_map:
+                env[name] = self._eval(default_map[name], {}, _Frame(fn.module, None, None))
+            else:
+                raise Unsupported(f"missing argument {name!r} for {fn.node.name}")
+        for kw_arg, kw_default in zip(node_args.kwonlyargs, node_args.kw_defaults):
+            name = kw_arg.arg
+            if name in kwargs:
+                env[name] = kwargs.pop(name)
+            elif kw_default is not None:
+                env[name] = self._eval(kw_default, {}, _Frame(fn.module, None, None))
+            else:
+                raise Unsupported(f"missing keyword argument {name!r} for {fn.node.name}")
+        if kwargs:
+            raise Unsupported(
+                f"unexpected keyword(s) {sorted(kwargs)} for {fn.node.name}"
+            )
+        return env
+
+    def _instantiate(self, cls: ClassVal, args: list[Any], kwargs: dict[str, Any]) -> Any:
+        if cls.name in _EXCEPTION_NAMES or cls.name.endswith(("Error", "Exception", "Warning")):
+            detail = ", ".join(self._safe_str(a) for a in args)
+            return _ExceptionInstance(cls.name, detail)
+        if cls.is_dataclass:
+            raise Unsupported(f"dataclass {cls.name} has no explicit __init__")
+        instance = InstanceVal(cls)
+        init = self._find_method(cls, "__init__")
+        if init is not None:
+            fn, defining = init
+            self._call_func(fn, [instance, *args], kwargs, defining_class=defining)
+        elif args or kwargs:
+            raise Unsupported(f"{cls.name} has no resolvable __init__ but got args")
+        return instance
+
+    def _find_method(
+        self, cls: ClassVal, name: str, *, start_after: ClassVal | None = None
+    ) -> tuple[FuncVal, ClassVal] | None:
+        mro = self.program.mro(cls)
+        if start_after is not None:
+            for i, c in enumerate(mro):
+                if c.key == start_after.key:
+                    mro = mro[i + 1:]
+                    break
+        for c in mro:
+            for stmt in c.node.body:
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                    return (FuncVal(stmt, c.module), c)
+        return None
+
+    def _find_class_attr(
+        self, cls: ClassVal, name: str, *, start_after: ClassVal | None = None
+    ) -> Any:
+        mro = self.program.mro(cls)
+        if start_after is not None:
+            for i, c in enumerate(mro):
+                if c.key == start_after.key:
+                    mro = mro[i + 1:]
+                    break
+        for c in mro:
+            for stmt in c.node.body:
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and target.id == name:
+                            value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                        value = stmt.value
+                if value is not None:
+                    return self._eval(value, {}, _Frame(c.module, None, None))
+        raise KeyError(name)  # reprolint: disable=HB202 -- mapping-style miss signal; callers catch it to fall through to other resolution, exactly like a dict lookup
+
+    # -- builtins ----------------------------------------------------------
+
+    def _call_builtin(self, name: str, args: list[Any], kwargs: dict[str, Any]) -> Any:
+        if name == "super":
+            if args:
+                raise Unsupported("only zero-argument super() is modelled")
+            frame = self._frames[-1] if self._frames else None
+            if frame is None or frame.defining_class is None or frame.self_val is None:
+                raise Unsupported("super() outside a method")
+            return _SuperProxy(frame.self_val, frame.defining_class)
+        if name == "isinstance":
+            return self._builtin_isinstance(args)
+        if name == "range":
+            if not all(isinstance(a, int) for a in self._dewrap_ints(args)):
+                raise Unsupported("abstract range bounds")
+            return range(*self._dewrap_ints(args))
+        if name == "len":
+            obj = args[0]
+            if isinstance(obj, (list, tuple, set, frozenset, dict, str, range)):
+                return len(obj)
+            if isinstance(obj, ArrayVal):
+                raise Unsupported("len() of an abstract array")
+            raise Unsupported(f"len() of {type(obj).__name__}")
+        if name == "divmod":
+            a, b = args
+            return (self._binary("FloorDiv", a, b), self._binary("Mod", a, b))
+        if name == "abs":
+            (a,) = args
+            if isinstance(a, (int, float)):
+                return abs(a)
+            bv = _lift(a)
+            if bv.lo >= 0:
+                return bv
+            return bv.join(bv.neg())
+        if name in ("min", "max"):
+            values = list(args[0]) if len(args) == 1 and isinstance(args[0], (list, tuple, set)) else args
+            if kwargs:
+                raise Unsupported(f"{name}() with keywords")
+            if all(isinstance(v, (int, float, str)) for v in values):
+                return min(values) if name == "min" else max(values)
+            lifted = [_lift(v) for v in values]
+            if name == "min":
+                return BitVec.range(
+                    min(v.lo for v in lifted), min(v.hi for v in lifted)
+                )
+            return BitVec.range(max(v.lo for v in lifted), max(v.hi for v in lifted))
+        if name == "int":
+            (a,) = args or [0]
+            if isinstance(a, (bool, int)):
+                return int(a)
+            if isinstance(a, BitVec):
+                return a
+            raise Unsupported("int() of non-integer")
+        if name == "bool":
+            (a,) = args or [False]
+            truth = self._truth(a)
+            if truth is Bool3.MAYBE:
+                return Bool3.MAYBE
+            return truth is Bool3.TRUE
+        if name == "str":
+            (a,) = args or [""]
+            return self._safe_str(a)
+        if name == "float":
+            (a,) = args or [0.0]
+            if isinstance(a, (bool, int, float)):
+                return float(a)
+            raise Unsupported("float() of abstract value")
+        if name == "tuple":
+            return tuple(self._iterate(args[0])) if args else ()
+        if name == "list":
+            return list(self._iterate(args[0])) if args else []
+        if name == "set":
+            items = list(self._iterate(args[0])) if args else []
+            if not _is_plain(items):
+                raise Unsupported("set of abstract values")
+            return set(items)
+        if name == "dict":
+            if args or kwargs:
+                raise Unsupported("dict() with arguments")
+            return {}
+        if name == "zip":
+            strict = bool(kwargs.pop("strict", False))
+            seqs = [list(self._iterate(a)) for a in args]
+            if strict and len({len(s) for s in seqs}) > 1:
+                raise SymRaise("ValueError", "zip() argument lengths differ")
+            return [tuple(t) for t in zip(*seqs)]
+        if name == "enumerate":
+            start = int(kwargs.pop("start", 0))
+            return list(enumerate(self._iterate(args[0]), start))
+        if name == "sorted":
+            items = list(self._iterate(args[0]))
+            if not _is_plain(items) or kwargs:
+                raise Unsupported("sorted() of abstract values")
+            return sorted(items)
+        if name == "reversed":
+            return list(reversed(list(self._iterate(args[0]))))
+        if name == "iter":
+            return list(self._iterate(args[0]))
+        if name == "sum":
+            total: Any = 0
+            for item in self._iterate(args[0]):
+                total = self._binary("Add", total, item)
+            return total
+        if name == "print":
+            return None
+        raise Unsupported(f"builtin {name}() is not modelled")
+
+    def _dewrap_ints(self, args: list[Any]) -> list[Any]:
+        out = []
+        for a in args:
+            if isinstance(a, BitVec) and a.is_concrete:
+                out.append(a.lo)
+            else:
+                out.append(a)
+        return out
+
+    def _builtin_isinstance(self, args: list[Any]) -> Any:
+        obj, spec = args
+        specs = spec if isinstance(spec, tuple) else (spec,)
+        verdict = Bool3.FALSE
+        for s in specs:
+            verdict = verdict.or3(self._isinstance_one(obj, s))
+        if verdict is Bool3.MAYBE:
+            return Bool3.MAYBE
+        return verdict is Bool3.TRUE
+
+    def _isinstance_one(self, obj: Any, spec: Any) -> Bool3:
+        if isinstance(spec, _BuiltinVal):
+            name = spec.name
+            if name == "int":
+                return Bool3.of(isinstance(obj, (bool, int, BitVec)))
+            if name == "bool":
+                if isinstance(obj, bool):
+                    return Bool3.TRUE
+                if isinstance(obj, BitVec):
+                    return Bool3.MAYBE
+                return Bool3.FALSE
+            if name == "tuple":
+                return Bool3.of(isinstance(obj, tuple))
+            if name == "list":
+                return Bool3.of(isinstance(obj, list))
+            if name == "str":
+                return Bool3.of(isinstance(obj, str))
+            if name == "float":
+                return Bool3.of(isinstance(obj, float))
+            if name == "set":
+                return Bool3.of(isinstance(obj, (set, frozenset)))
+            if name == "dict":
+                return Bool3.of(isinstance(obj, dict))
+            raise Unsupported(f"isinstance against builtin {name}")
+        if isinstance(spec, ClassVal):
+            if isinstance(obj, InstanceVal) and obj.cls is not None:
+                names = {c.key for c in self.program.mro(obj.cls)}
+                if spec.key in names:
+                    return Bool3.TRUE
+                # the instance's class chain may extend past resolvable files
+                return Bool3.FALSE
+            return Bool3.FALSE
+        raise Unsupported("isinstance against unmodelled spec")
+
+    def _call_concrete(self, fn: Callable[..., Any], args: list[Any], kwargs: dict[str, Any]) -> Any:
+        plain_args = self._dewrap_ints(args)
+        if not _is_plain(plain_args) or not _is_plain(list(kwargs.values())):
+            raise Unsupported("abstract argument to a concrete builtin method")
+        try:
+            return fn(*plain_args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - mapped into the machine
+            raise SymRaise(type(exc).__name__, str(exc)) from None
+
+    # -- numpy scalar model ------------------------------------------------
+
+    _NUMPY_DTYPES = frozenset(
+        {"int64", "int32", "int16", "int8", "uint64", "uint32", "uint16", "uint8", "intp"}
+    )
+
+    def _numpy_attr(self, name: str) -> Any:
+        if name in self._NUMPY_DTYPES or name in {
+            "divmod", "where", "column_stack", "concatenate", "zeros", "arange",
+            "array", "asarray", "full", "int_",
+        }:
+            return _NumpyFunc(name)
+        raise Unsupported(f"numpy attribute {name} is not modelled")
+
+    def _call_numpy(self, name: str, args: list[Any], kwargs: dict[str, Any]) -> Any:
+        kwargs.pop("dtype", None)
+        kwargs.pop("axis", None)
+        if kwargs:
+            raise Unsupported(f"np.{name} keyword(s) not modelled")
+        if name in self._NUMPY_DTYPES or name in {"array", "asarray", "int_"}:
+            (a,) = args or [0]
+            return a
+        if name == "divmod":
+            a, b = args
+            return (self._binary("FloorDiv", a, b), self._binary("Mod", a, b))
+        if name == "where":
+            cond, x, y = args
+            return self._select(cond, x, y)
+        if name == "column_stack":
+            (seq,) = args
+            return ArrayVal(list(self._iterate(seq)))
+        if name == "concatenate":
+            (seq,) = args
+            cols: list[Any] = []
+            for part in self._iterate(seq):
+                if isinstance(part, ArrayVal):
+                    cols.extend(part.cols)
+                else:
+                    cols.append(part)
+            return ArrayVal(cols)
+        if name == "zeros":
+            (shape,) = args
+            if isinstance(shape, tuple) and 0 in shape:
+                return ArrayVal([])
+            raise Unsupported("np.zeros of non-empty shape")
+        if name == "arange":
+            (n,) = self._dewrap_ints(args)
+            if not isinstance(n, int) or n <= 0:
+                raise Unsupported("np.arange needs a concrete positive stop")
+            return BitVec.range(0, n - 1)
+        if name == "full":
+            shape, fill = args
+            return fill
+        raise Unsupported(f"np.{name} is not modelled")
+
+    def _select(self, cond: Any, x: Any, y: Any) -> Any:
+        if isinstance(cond, ArrayVal):
+            n = len(cond.cols)
+            xs = x.cols if isinstance(x, ArrayVal) else [x] * n
+            ys = y.cols if isinstance(y, ArrayVal) else [y] * n
+            if len(xs) != n or len(ys) != n:
+                raise Unsupported("np.where column mismatch")
+            return ArrayVal(
+                [self._select(c, xv, yv) for c, xv, yv in zip(cond.cols, xs, ys)]
+            )
+        truth = self._truth(cond)
+        if truth is Bool3.TRUE:
+            return x
+        if truth is Bool3.FALSE:
+            return y
+        return self._join_values(x, y)
+
+    # -- attribute access --------------------------------------------------
+
+    def _getattr(self, obj: Any, name: str) -> Any:
+        self._tick()
+        if isinstance(obj, InstanceVal):
+            if name in obj.attrs:
+                return obj.attrs[name]
+            if obj.cls is not None:
+                found = self._find_method(obj.cls, name)
+                if found is not None:
+                    fn, defining = found
+                    if fn.is_property:
+                        return self._call_func(
+                            fn, [obj], {}, defining_class=defining
+                        )
+                    if fn.is_static:
+                        return fn
+                    return BoundMethod(fn, obj, defining)
+                try:
+                    return self._find_class_attr(obj.cls, name)
+                except KeyError:
+                    pass
+            raise Unsupported(f"unresolvable attribute {name!r} on {obj!r}")
+        if isinstance(obj, _SuperProxy):
+            base_cls = obj.instance.cls if isinstance(obj.instance, InstanceVal) else None
+            if base_cls is None:
+                raise Unsupported("super() over a classless instance")
+            found = self._find_method(base_cls, name, start_after=obj.after)
+            if found is not None:
+                fn, defining = found
+                if fn.is_property:
+                    return self._call_func(fn, [obj.instance], {}, defining_class=defining)
+                return BoundMethod(fn, obj.instance, defining)
+            try:
+                return self._find_class_attr(base_cls, name, start_after=obj.after)
+            except KeyError:
+                raise Unsupported(f"unresolvable super().{name}") from None
+        if isinstance(obj, _NumpyModule):
+            return self._numpy_attr(name)
+        if obj is OPAQUE:
+            raise Unsupported(f"attribute {name!r} on opaque value")
+        if isinstance(obj, ClassVal):
+            found = self._find_method(obj, name)
+            if found is not None:
+                return found[0]
+            try:
+                return self._find_class_attr(obj, name)
+            except KeyError:
+                raise Unsupported(f"unresolvable class attribute {obj.name}.{name}") from None
+        if isinstance(obj, _SAFE_CONCRETE) and not name.startswith("_"):
+            try:
+                attr = getattr(obj, name)
+            except AttributeError:
+                raise Unsupported(f"no attribute {name!r} on {type(obj).__name__}") from None
+            if callable(attr):
+                return _ConcreteCallable(attr)
+            return attr
+        raise Unsupported(f"attribute {name!r} on {type(obj).__name__}")
+
+    # -- statements --------------------------------------------------------
+
+    def _exec_block(self, stmts: list[ast.stmt], env: dict[str, Any], frame: _Frame) -> _Flow:
+        for stmt in stmts:
+            flow = self._exec(stmt, env, frame)
+            if flow.kind != _Flow.NORMAL:
+                return flow
+        return _NORMAL
+
+    def _exec(self, stmt: ast.stmt, env: dict[str, Any], frame: _Frame) -> _Flow:
+        self._tick()
+        if isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, env, frame) if stmt.value else None
+            return _Flow(_Flow.RETURN, value)
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env, frame)
+            for target in stmt.targets:
+                self._assign(target, value, env, frame)
+            return _NORMAL
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value, env, frame), env, frame)
+            return _NORMAL
+        if isinstance(stmt, ast.AugAssign):
+            current = self._eval_target(stmt.target, env, frame)
+            value = self._binary(
+                type(stmt.op).__name__, current, self._eval(stmt.value, env, frame)
+            )
+            self._assign(stmt.target, value, env, frame)
+            return _NORMAL
+        if isinstance(stmt, ast.Expr):
+            if not isinstance(stmt.value, ast.Constant):  # skip docstrings
+                self._eval(stmt.value, env, frame)
+            return _NORMAL
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, env, frame)
+        if isinstance(stmt, ast.For):
+            return self._exec_for(stmt, env, frame)
+        if isinstance(stmt, ast.While):
+            return self._exec_while(stmt, env, frame)
+        if isinstance(stmt, ast.Raise):
+            return _Flow(_Flow.RAISE, self._raise_payload(stmt, env, frame))
+        if isinstance(stmt, ast.Assert):
+            truth = self._truth(self._eval(stmt.test, env, frame))
+            if truth is Bool3.FALSE:
+                return _Flow(_Flow.RAISE, ("AssertionError", ""))
+            if truth is Bool3.MAYBE:
+                frame.possible_raises.append("AssertionError")
+            return _NORMAL
+        if isinstance(stmt, ast.Pass):
+            return _NORMAL
+        if isinstance(stmt, ast.Break):
+            return _Flow(_Flow.BREAK)
+        if isinstance(stmt, ast.Continue):
+            return _Flow(_Flow.CONTINUE)
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name.split(".")[0] == "numpy":
+                    env[alias.asname or alias.name.split(".")[0]] = _NUMPY
+                else:
+                    env[alias.asname or alias.name.split(".")[0]] = OPAQUE
+            return _NORMAL
+        if isinstance(stmt, ast.ImportFrom):
+            if stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    binding = _ImportBinding(stmt.module, alias.name)
+                    env[alias.asname or alias.name] = self.program._resolve_import(binding)
+            return _NORMAL
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return _NORMAL
+        raise Unsupported(f"statement {type(stmt).__name__} is not modelled")
+
+    def _raise_payload(self, stmt: ast.Raise, env: dict[str, Any], frame: _Frame) -> tuple[str, str]:
+        if stmt.exc is None:
+            return ("Exception", "bare re-raise")
+        try:
+            value = self._eval(stmt.exc, env, frame)
+        except Unsupported:
+            return ("Exception", "<unevaluated>")
+        if isinstance(value, _ExceptionInstance):
+            return (value.exc_name, value.detail)
+        if isinstance(value, ClassVal):
+            return (value.name, "")
+        if isinstance(value, _BuiltinVal):
+            return (value.name, "")
+        return ("Exception", self._safe_str(value))
+
+    def _exec_if(self, stmt: ast.If, env: dict[str, Any], frame: _Frame) -> _Flow:
+        truth = self._truth(self._eval(stmt.test, env, frame))
+        if truth is Bool3.TRUE:
+            return self._exec_block(stmt.body, env, frame)
+        if truth is Bool3.FALSE:
+            return self._exec_block(stmt.orelse, env, frame)
+        if frame.yields is not None:
+            raise Unsupported("abstract branch inside a generator body")
+        env_true = dict(env)
+        env_false = dict(env)
+        flow_true = self._exec_block(stmt.body, env_true, frame)
+        flow_false = self._exec_block(stmt.orelse, env_false, frame)
+        return self._merge_branches(env, (flow_true, env_true), (flow_false, env_false), frame)
+
+    def _merge_branches(
+        self,
+        env: dict[str, Any],
+        first: tuple[_Flow, dict[str, Any]],
+        second: tuple[_Flow, dict[str, Any]],
+        frame: _Frame,
+    ) -> _Flow:
+        flow_a, env_a = first
+        flow_b, env_b = second
+        # absorb raises: note them and continue along the other branch
+        for flow, _branch_env in ((flow_a, env_a), (flow_b, env_b)):
+            if flow.kind == _Flow.RAISE:
+                payload = flow.value
+                frame.possible_raises.append(
+                    payload[0] if isinstance(payload, tuple) else str(payload)
+                )
+        if flow_a.kind == _Flow.RAISE and flow_b.kind == _Flow.RAISE:
+            return flow_a
+        if flow_a.kind == _Flow.RAISE:
+            flow_a, env_a = _NORMAL if flow_b.kind == _Flow.NORMAL else flow_b, env_b
+            env.clear()
+            env.update(env_b)
+            return flow_b if flow_b.kind != _Flow.NORMAL else _NORMAL
+        if flow_b.kind == _Flow.RAISE:
+            env.clear()
+            env.update(env_a)
+            return flow_a if flow_a.kind != _Flow.NORMAL else _NORMAL
+        if flow_a.kind == _Flow.RETURN and flow_b.kind == _Flow.RETURN:
+            return _Flow(_Flow.RETURN, self._join_values(flow_a.value, flow_b.value))
+        if flow_a.kind == _Flow.RETURN and flow_b.kind == _Flow.NORMAL:
+            frame.returns.append(flow_a.value)
+            env.clear()
+            env.update(env_b)
+            return _NORMAL
+        if flow_b.kind == _Flow.RETURN and flow_a.kind == _Flow.NORMAL:
+            frame.returns.append(flow_b.value)
+            env.clear()
+            env.update(env_a)
+            return _NORMAL
+        if flow_a.kind == _Flow.NORMAL and flow_b.kind == _Flow.NORMAL:
+            merged = self._join_envs(env_a, env_b)
+            env.clear()
+            env.update(merged)
+            return _NORMAL
+        raise Unsupported(
+            f"cannot merge {flow_a.kind}/{flow_b.kind} branches of an abstract if"
+        )
+
+    def _exec_for(self, stmt: ast.For, env: dict[str, Any], frame: _Frame) -> _Flow:
+        iterable = self._eval(stmt.iter, env, frame)
+        broke = False
+        for item in self._iterate(iterable):
+            self._assign(stmt.target, item, env, frame)
+            flow = self._exec_block(stmt.body, env, frame)
+            if flow.kind == _Flow.BREAK:
+                broke = True
+                break
+            if flow.kind == _Flow.CONTINUE:
+                continue
+            if flow.kind != _Flow.NORMAL:
+                return flow
+        if not broke and stmt.orelse:
+            return self._exec_block(stmt.orelse, env, frame)
+        return _NORMAL
+
+    def _exec_while(self, stmt: ast.While, env: dict[str, Any], frame: _Frame) -> _Flow:
+        while True:
+            self._tick()
+            truth = self._truth(self._eval(stmt.test, env, frame))
+            if truth is Bool3.MAYBE:
+                raise Unsupported("while loop with an abstract condition")
+            if truth is Bool3.FALSE:
+                break
+            flow = self._exec_block(stmt.body, env, frame)
+            if flow.kind == _Flow.BREAK:
+                break
+            if flow.kind == _Flow.CONTINUE:
+                continue
+            if flow.kind != _Flow.NORMAL:
+                return flow
+        return _NORMAL
+
+    # -- assignment --------------------------------------------------------
+
+    def _assign(self, target: ast.expr, value: Any, env: dict[str, Any], frame: _Frame) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            items = self._destructure(value, len(target.elts))
+            for elt, item in zip(target.elts, items):
+                self._assign(elt, item, env, frame)
+            return
+        if isinstance(target, ast.Attribute):
+            obj = self._eval(target.value, env, frame)
+            if isinstance(obj, InstanceVal):
+                obj.attrs[target.attr] = value
+                return
+            raise Unsupported(f"attribute assignment on {type(obj).__name__}")
+        if isinstance(target, ast.Subscript):
+            obj = self._eval(target.value, env, frame)
+            index = self._eval(target.slice, env, frame)
+            if isinstance(obj, (list, dict)) and _is_plain(index):
+                try:
+                    obj[index] = value  # type: ignore[index]
+                except Exception as exc:  # noqa: BLE001
+                    raise SymRaise(type(exc).__name__, str(exc)) from None
+                return
+            raise Unsupported("abstract subscript assignment")
+        raise Unsupported(f"assignment target {type(target).__name__}")
+
+    def _eval_target(self, target: ast.expr, env: dict[str, Any], frame: _Frame) -> Any:
+        return self._eval(target, env, frame)
+
+    def _destructure(self, value: Any, n: int) -> list[Any]:
+        if isinstance(value, (tuple, list)):
+            if len(value) != n:
+                raise SymRaise("ValueError", "unpacking length mismatch")
+            return list(value)
+        raise Unsupported(f"cannot destructure {type(value).__name__}")
+
+    # -- iteration ---------------------------------------------------------
+
+    def _iterate(self, value: Any) -> Iterator[Any]:
+        if isinstance(value, (list, tuple, range, str)):
+            return iter(value)
+        if isinstance(value, (set, frozenset)):
+            if _is_plain(value):
+                try:
+                    return iter(sorted(value))
+                except TypeError:
+                    return iter(value)
+            raise Unsupported("iteration over an abstract set")
+        if isinstance(value, dict):
+            return iter(list(value))
+        if isinstance(value, ArrayVal):
+            return iter(value.cols)
+        raise Unsupported(f"iteration over {type(value).__name__}")
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: dict[str, Any], frame: _Frame) -> Any:
+        self._tick()
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self._load_name(node.id, env, frame)
+        if isinstance(node, ast.Attribute):
+            return self._getattr(self._eval(node.value, env, frame), node.attr)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, frame)
+            right = self._eval(node.right, env, frame)
+            return self._binary(type(node.op).__name__, left, right)
+        if isinstance(node, ast.UnaryOp):
+            return self._unary(node, env, frame)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node, env, frame)
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env, frame)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, frame)
+        if isinstance(node, ast.Tuple):
+            return tuple(self._eval(e, env, frame) for e in node.elts)
+        if isinstance(node, ast.List):
+            return [self._eval(e, env, frame) for e in node.elts]
+        if isinstance(node, ast.Set):
+            items = [self._eval(e, env, frame) for e in node.elts]
+            if not _is_plain(items):
+                raise Unsupported("set literal with abstract members")
+            return set(items)
+        if isinstance(node, ast.Dict):
+            out: dict[Any, Any] = {}
+            for k, v in zip(node.keys, node.values):
+                if k is None:
+                    raise Unsupported("dict ** expansion")
+                key = self._eval(k, env, frame)
+                if not _is_plain(key):
+                    raise Unsupported("abstract dict key")
+                out[key] = self._eval(v, env, frame)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node, env, frame)
+        if isinstance(node, ast.Slice):
+            lower = self._eval(node.lower, env, frame) if node.lower else None
+            upper = self._eval(node.upper, env, frame) if node.upper else None
+            step = self._eval(node.step, env, frame) if node.step else None
+            return slice(lower, upper, step)
+        if isinstance(node, ast.IfExp):
+            truth = self._truth(self._eval(node.test, env, frame))
+            if truth is Bool3.TRUE:
+                return self._eval(node.body, env, frame)
+            if truth is Bool3.FALSE:
+                return self._eval(node.orelse, env, frame)
+            return self._join_values(
+                self._eval(node.body, env, frame), self._eval(node.orelse, env, frame)
+            )
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            return self._comprehension(node, env, frame)
+        if isinstance(node, ast.JoinedStr):
+            parts = []
+            for piece in node.values:
+                if isinstance(piece, ast.Constant):
+                    parts.append(str(piece.value))
+                elif isinstance(piece, ast.FormattedValue):
+                    parts.append(self._safe_str(self._eval(piece.value, env, frame)))
+            return "".join(parts)
+        if isinstance(node, ast.Yield):
+            if frame.yields is None:
+                raise Unsupported("yield outside a generator frame")
+            frame.yields.append(
+                self._eval(node.value, env, frame) if node.value else None
+            )
+            return None
+        if isinstance(node, ast.YieldFrom):
+            if frame.yields is None:
+                raise Unsupported("yield from outside a generator frame")
+            frame.yields.extend(self._iterate(self._eval(node.value, env, frame)))
+            return None
+        if isinstance(node, ast.Starred):
+            raise Unsupported("starred expression")
+        raise Unsupported(f"expression {type(node).__name__} is not modelled")
+
+    def _load_name(self, name: str, env: dict[str, Any], frame: _Frame) -> Any:
+        if name in env:
+            return env[name]
+        try:
+            value = self.program.lookup(frame.module, name)
+        except KeyError:
+            value = None
+        else:
+            if isinstance(value, _ExprBinding):
+                return self._eval(value.expr, {}, _Frame(value.module, None, None))
+            return value
+        if name in _BUILTIN_NAMES:
+            return _BuiltinVal(name)
+        if name in _EXCEPTION_NAMES:
+            return _BuiltinVal(name)
+        if name == "True":
+            return True
+        if name == "False":
+            return False
+        if name == "None":
+            return None
+        raise Unsupported(f"unresolvable name {name!r} in {frame.module}")
+
+    def _eval_call(self, node: ast.Call, env: dict[str, Any], frame: _Frame) -> Any:
+        fn = self._eval(node.func, env, frame)
+        args = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                raise Unsupported("*args call expansion")
+            args.append(self._eval(arg, env, frame))
+        kwargs: dict[str, Any] = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                raise Unsupported("**kwargs call expansion")
+            kwargs[kw.arg] = self._eval(kw.value, env, frame)
+        if isinstance(fn, _BuiltinVal) and fn.name in _EXCEPTION_NAMES:
+            detail = ", ".join(self._safe_str(a) for a in args)
+            return _ExceptionInstance(fn.name, detail)
+        return self._call(fn, args, kwargs)
+
+    def _comprehension(
+        self,
+        node: ast.ListComp | ast.GeneratorExp | ast.SetComp,
+        env: dict[str, Any],
+        frame: _Frame,
+    ) -> Any:
+        results: list[Any] = []
+
+        def run(generators: list[ast.comprehension], scope: dict[str, Any]) -> None:
+            if not generators:
+                results.append(self._eval(node.elt, scope, frame))
+                return
+            gen = generators[0]
+            if gen.is_async:
+                raise Unsupported("async comprehension")
+            for item in self._iterate(self._eval(gen.iter, scope, frame)):
+                inner = dict(scope)
+                self._assign(gen.target, item, inner, frame)
+                keep = True
+                for cond in gen.ifs:
+                    truth = self._truth(self._eval(cond, inner, frame))
+                    if truth is Bool3.MAYBE:
+                        raise Unsupported("abstract comprehension filter")
+                    if truth is Bool3.FALSE:
+                        keep = False
+                        break
+                if keep:
+                    run(generators[1:], inner)
+
+        run(node.generators, dict(env))
+        if isinstance(node, ast.SetComp):
+            if not _is_plain(results):
+                raise Unsupported("abstract set comprehension")
+            return set(results)
+        return results
+
+    def _subscript(self, node: ast.Subscript, env: dict[str, Any], frame: _Frame) -> Any:
+        obj = self._eval(node.value, env, frame)
+        index = self._eval(node.slice, env, frame)
+        if isinstance(obj, BitVec):
+            # array-as-scalar: any indexing/reshaping preserves element values
+            return obj
+        if isinstance(obj, ArrayVal):
+            return obj
+        if isinstance(obj, (list, tuple, str)):
+            if isinstance(index, BitVec) and index.is_concrete:
+                index = index.lo
+            if isinstance(index, (int, slice)) and _is_plain(index):
+                try:
+                    return obj[index]
+                except Exception as exc:  # noqa: BLE001
+                    raise SymRaise(type(exc).__name__, str(exc)) from None
+            if isinstance(index, BitVec):
+                joined: Any = None
+                for member in index.members():
+                    if not 0 <= member < len(obj):
+                        raise SymRaise("IndexError", "abstract index out of range")
+                    joined = obj[member] if joined is None else self._join_values(joined, obj[member])
+                if joined is None:
+                    raise Unsupported("empty abstract index")
+                return joined
+            raise Unsupported("unmodelled sequence index")
+        if isinstance(obj, dict):
+            if _is_plain(index):
+                try:
+                    return obj[index]
+                except KeyError:
+                    raise SymRaise("KeyError", self._safe_str(index)) from None
+            raise Unsupported("abstract dict key lookup")
+        raise Unsupported(f"subscript on {type(obj).__name__}")
+
+    def _unary(self, node: ast.UnaryOp, env: dict[str, Any], frame: _Frame) -> Any:
+        operand = self._eval(node.operand, env, frame)
+        if isinstance(node.op, ast.Not):
+            truth = self._truth(operand)
+            if truth is Bool3.MAYBE:
+                return Bool3.MAYBE
+            return truth is Bool3.FALSE
+        if isinstance(node.op, ast.USub):
+            if isinstance(operand, (bool, int, float)):
+                return -operand
+            return _lift(operand).neg()
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Invert):
+            if isinstance(operand, (bool, int)):
+                return ~operand
+            return _lift(operand).invert()
+        raise Unsupported("unary operator not modelled")
+
+    def _boolop(self, node: ast.BoolOp, env: dict[str, Any], frame: _Frame) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        result: Any = None
+        pending = Bool3.TRUE if is_and else Bool3.FALSE
+        for i, value_node in enumerate(node.values):
+            value = self._eval(value_node, env, frame)
+            truth = self._truth(value)
+            if truth is Bool3.MAYBE:
+                # fold the remaining operands three-valued
+                acc = Bool3.MAYBE
+                for rest in node.values[i + 1:]:
+                    rest_truth = self._truth(self._eval(rest, env, frame))
+                    acc = acc.and3(rest_truth) if is_and else acc.or3(rest_truth)
+                return pending.and3(acc) if is_and else pending.or3(acc)
+            if is_and and truth is Bool3.FALSE:
+                return value
+            if not is_and and truth is Bool3.TRUE:
+                return value
+            result = value
+        return result
+
+    def _compare(self, node: ast.Compare, env: dict[str, Any], frame: _Frame) -> Any:
+        left = self._eval(node.left, env, frame)
+        verdict: Any = True
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self._eval(comparator, env, frame)
+            step = self._compare_one(op, left, right)
+            if step is False or step is Bool3.FALSE:
+                return False if isinstance(step, bool) and verdict is True else step
+            if isinstance(verdict, Bool3) or isinstance(step, Bool3):
+                verdict = (
+                    verdict if isinstance(verdict, Bool3) else Bool3.of(bool(verdict))
+                ).and3(step if isinstance(step, Bool3) else Bool3.of(bool(step)))
+            left = right
+        return verdict
+
+    def _compare_one(self, op: ast.cmpop, left: Any, right: Any) -> Any:
+        # numpy broadcast: comparing an array yields an elementwise mask
+        if isinstance(left, ArrayVal) or isinstance(right, ArrayVal):
+            lc = left.cols if isinstance(left, ArrayVal) else None
+            rc = right.cols if isinstance(right, ArrayVal) else None
+            n = len(lc) if lc is not None else len(rc or [])
+            ls = lc if lc is not None else [left] * n
+            rs = rc if rc is not None else [right] * n
+            if len(ls) != len(rs):
+                raise Unsupported("array comparison length mismatch")
+            return ArrayVal([self._compare_one(op, a, b) for a, b in zip(ls, rs)])
+        if isinstance(op, (ast.Is, ast.IsNot)):
+            if right is None or left is None:
+                same = left is right
+            elif _is_plain(left) and _is_plain(right):
+                same = left is right
+            elif isinstance(left, (InstanceVal, ClassVal)) or isinstance(right, (InstanceVal, ClassVal)):
+                same = left is right
+            elif isinstance(left, BitVec) or isinstance(right, BitVec):
+                # an abstract int is never identical to None; other identity
+                # questions on abstract values are out of scope
+                if right is None or left is None:
+                    same = False
+                else:
+                    raise Unsupported("identity test on abstract values")
+            else:
+                same = left is right
+            return same if isinstance(op, ast.Is) else not same
+        if isinstance(op, (ast.In, ast.NotIn)):
+            verdict = self._membership(left, right)
+            if isinstance(op, ast.NotIn):
+                if isinstance(verdict, Bool3):
+                    return verdict.negate()
+                return not verdict
+            return verdict
+        if isinstance(op, (ast.Eq, ast.NotEq)):
+            verdict = self._equal(left, right)
+            if isinstance(op, ast.NotEq):
+                if isinstance(verdict, Bool3):
+                    return verdict.negate()
+                return not verdict
+            return verdict
+        # ordering comparisons
+        if isinstance(left, (bool, int)) and isinstance(right, (bool, int)):
+            if isinstance(op, ast.Lt):
+                return left < right
+            if isinstance(op, ast.LtE):
+                return left <= right
+            if isinstance(op, ast.Gt):
+                return left > right
+            if isinstance(op, ast.GtE):
+                return left >= right
+        if isinstance(left, (str, float)) and isinstance(right, (str, float)):
+            if isinstance(op, ast.Lt):
+                return left < right  # type: ignore[operator]
+            if isinstance(op, ast.LtE):
+                return left <= right  # type: ignore[operator]
+            if isinstance(op, ast.Gt):
+                return left > right  # type: ignore[operator]
+            if isinstance(op, ast.GtE):
+                return left >= right  # type: ignore[operator]
+        lv, rv = _lift(left), _lift(right)
+        if isinstance(op, ast.Lt):
+            return lv.lt(rv)
+        if isinstance(op, ast.LtE):
+            return lv.le(rv)
+        if isinstance(op, ast.Gt):
+            return rv.lt(lv)
+        if isinstance(op, ast.GtE):
+            return rv.le(lv)
+        raise Unsupported("comparison operator not modelled")
+
+    def _membership(self, item: Any, container: Any) -> Any:
+        if isinstance(container, ArrayVal):
+            container = container.cols
+        if isinstance(container, (set, frozenset, dict)) and _is_plain(item):
+            return item in container
+        if isinstance(container, (list, tuple, set, frozenset)):
+            verdict: Any = False
+            for member in container:
+                step = self._equal(item, member)
+                if step is True or step is Bool3.TRUE:
+                    return True
+                if isinstance(step, Bool3):
+                    verdict = Bool3.MAYBE
+            return verdict
+        if isinstance(container, str) and isinstance(item, str):
+            return item in container
+        raise Unsupported(f"membership in {type(container).__name__}")
+
+    def _equal(self, left: Any, right: Any) -> Any:
+        if isinstance(left, (BitVec,)) or isinstance(right, (BitVec,)):
+            if isinstance(left, (bool, int, BitVec)) and isinstance(right, (bool, int, BitVec)):
+                verdict = _lift(left).eq(_lift(right))
+                if verdict is Bool3.TRUE:
+                    return True
+                if verdict is Bool3.FALSE:
+                    return False
+                return Bool3.MAYBE
+            return False  # abstract int vs non-int structure
+        if isinstance(left, tuple) and isinstance(right, tuple):
+            if len(left) != len(right):
+                return False
+            verdict = True
+            for a, b in zip(left, right):
+                step = self._equal(a, b)
+                if step is False:
+                    return False
+                if isinstance(step, Bool3):
+                    if step is Bool3.FALSE:
+                        return False
+                    verdict = Bool3.MAYBE
+            return verdict
+        if _is_plain(left) and _is_plain(right):
+            return left == right
+        if type(left) is not type(right):
+            return False
+        raise Unsupported("equality of unmodelled values")
+
+    # -- binary dispatch ---------------------------------------------------
+
+    def _binary(self, opname: str, left: Any, right: Any) -> Any:
+        self._tick()
+        # array broadcast
+        if isinstance(left, ArrayVal) or isinstance(right, ArrayVal):
+            lc = left.cols if isinstance(left, ArrayVal) else None
+            rc = right.cols if isinstance(right, ArrayVal) else None
+            n = len(lc) if lc is not None else len(rc or [])
+            lcols = lc if lc is not None else [left] * n
+            rcols = rc if rc is not None else [right] * n
+            if len(lcols) != len(rcols):
+                raise Unsupported("array column mismatch")
+            return ArrayVal([self._binary(opname, a, b) for a, b in zip(lcols, rcols)])
+        # list semantics: concrete python lists behave like python, lists
+        # holding abstract values behave element-wise (numpy-land)
+        if isinstance(left, list) or isinstance(right, list):
+            return self._binary_list(opname, left, right)
+        # numpy boolean masks combine with &/|/^ — three-valued here
+        if isinstance(left, Bool3) or isinstance(right, Bool3):
+            lt = left if isinstance(left, Bool3) else Bool3.of(bool(left))
+            rt = right if isinstance(right, Bool3) else Bool3.of(bool(right))
+            if opname == "BitAnd":
+                return lt.and3(rt)
+            if opname == "BitOr":
+                return lt.or3(rt)
+            if opname == "BitXor":
+                eq = lt.and3(rt).or3(lt.negate().and3(rt.negate()))
+                return eq.negate()
+            raise Unsupported(f"binary {opname} on three-valued booleans")
+        if isinstance(left, (bool, int)) and isinstance(right, (bool, int)):
+            return self._binary_concrete(opname, left, right)
+        if isinstance(left, (str, tuple)) and isinstance(right, (str, tuple)) and opname == "Add":
+            return left + right  # type: ignore[operator]
+        if isinstance(left, str) and opname == "Mod":
+            raise Unsupported("%-formatting")
+        if isinstance(left, float) or isinstance(right, float):
+            if isinstance(left, (bool, int, float)) and isinstance(right, (bool, int, float)):
+                return self._binary_concrete(opname, left, right)
+            raise Unsupported("abstract float arithmetic")
+        lv, rv = _lift(left), _lift(right)
+        if opname == "Add":
+            return lv.add(rv)
+        if opname == "Sub":
+            return lv.sub(rv)
+        if opname == "Mult":
+            return lv.mul(rv)
+        if opname == "FloorDiv":
+            return lv.floordiv(rv)
+        if opname == "Mod":
+            return lv.mod(rv)
+        if opname == "BitAnd":
+            return lv.and_(rv)
+        if opname == "BitOr":
+            return lv.or_(rv)
+        if opname == "BitXor":
+            return lv.xor(rv)
+        if opname == "LShift":
+            return lv.lshift(rv)
+        if opname == "RShift":
+            return lv.rshift(rv)
+        if opname == "Pow":
+            if rv.is_concrete and 0 <= rv.lo <= 8:
+                out = BitVec.concrete(1)
+                for _ in range(rv.lo):
+                    out = out.mul(lv)
+                return out
+            raise Unsupported("abstract exponent")
+        raise Unsupported(f"binary {opname} on abstract values")
+
+    def _binary_list(self, opname: str, left: Any, right: Any) -> Any:
+        left_list = isinstance(left, list)
+        right_list = isinstance(right, list)
+        both_plain = _is_plain(left) and _is_plain(right)
+        if both_plain and left_list and right_list and opname == "Add":
+            return list(left) + list(right)
+        if both_plain and opname == "Mult" and (
+            (left_list and isinstance(right, int)) or (right_list and isinstance(left, int))
+        ):
+            return left * right  # type: ignore[operator]
+        # element-wise (numpy-land) semantics
+        lcols = left if left_list else None
+        rcols = right if right_list else None
+        n = len(lcols) if lcols is not None else len(rcols or [])
+        ls = lcols if lcols is not None else [left] * n
+        rs = rcols if rcols is not None else [right] * n
+        if len(ls) != len(rs):
+            raise Unsupported("list broadcast length mismatch")
+        return [self._binary(opname, a, b) for a, b in zip(ls, rs)]
+
+    def _binary_concrete(self, opname: str, left: Any, right: Any) -> Any:
+        try:
+            if opname == "Add":
+                return left + right
+            if opname == "Sub":
+                return left - right
+            if opname == "Mult":
+                return left * right
+            if opname == "FloorDiv":
+                return left // right
+            if opname == "Div":
+                return left / right
+            if opname == "Mod":
+                return left % right
+            if opname == "Pow":
+                if isinstance(right, int) and right > 64:
+                    raise Unsupported("huge exponent")
+                return left ** right
+            if opname == "BitAnd":
+                return left & right
+            if opname == "BitOr":
+                return left | right
+            if opname == "BitXor":
+                return left ^ right
+            if opname == "LShift":
+                if right > 1 << 12:
+                    raise Unsupported("huge shift")
+                return left << right
+            if opname == "RShift":
+                return left >> right
+        except Unsupported:
+            raise
+        except Exception as exc:  # noqa: BLE001 - mapped into the machine
+            raise SymRaise(type(exc).__name__, str(exc)) from None
+        raise Unsupported(f"binary {opname} is not modelled")
+
+    # -- truth, joins ------------------------------------------------------
+
+    def _truth(self, value: Any) -> Bool3:
+        if isinstance(value, Bool3):
+            return value
+        if isinstance(value, bool):
+            return Bool3.of(value)
+        if isinstance(value, int):
+            return Bool3.of(value != 0)
+        if isinstance(value, BitVec):
+            verdict = value.eq(BitVec.concrete(0))
+            return verdict.negate()
+        if value is None:
+            return Bool3.FALSE
+        if isinstance(value, (str, list, tuple, set, frozenset, dict)):
+            return Bool3.of(bool(value))
+        if isinstance(value, (InstanceVal, ClassVal, FuncVal, BoundMethod)):
+            return Bool3.TRUE
+        raise Unsupported(f"truthiness of {type(value).__name__}")
+
+    def _join_values(self, a: Any, b: Any) -> Any:
+        if a is b:
+            return a
+        if isinstance(a, (bool, int, BitVec)) and isinstance(b, (bool, int, BitVec)):
+            if isinstance(a, (bool, int)) and isinstance(b, (bool, int)) and a == b:
+                return a
+            return _lift(a).join(_lift(b))
+        if isinstance(a, Bool3) or isinstance(b, Bool3):
+            ta = a if isinstance(a, Bool3) else Bool3.of(bool(a))
+            tb = b if isinstance(b, Bool3) else Bool3.of(bool(b))
+            return ta.join(tb)
+        if isinstance(a, tuple) and isinstance(b, tuple) and len(a) == len(b):
+            return tuple(self._join_values(x, y) for x, y in zip(a, b))
+        if isinstance(a, list) and isinstance(b, list) and len(a) == len(b):
+            return [self._join_values(x, y) for x, y in zip(a, b)]
+        if isinstance(a, ArrayVal) and isinstance(b, ArrayVal) and len(a.cols) == len(b.cols):
+            return ArrayVal([self._join_values(x, y) for x, y in zip(a.cols, b.cols)])
+        if a is None and b is None:
+            return None
+        if _is_plain(a) and _is_plain(b) and a == b:
+            return a
+        raise Unsupported(
+            f"cannot join {type(a).__name__} with {type(b).__name__}"
+        )
+
+    def _join_envs(self, env_a: dict[str, Any], env_b: dict[str, Any]) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for key in env_a:
+            if key in env_b:
+                out[key] = self._join_values(env_a[key], env_b[key])
+        return out
+
+    def _safe_str(self, value: Any) -> str:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return str(value)
+        if isinstance(value, BitVec):
+            return repr(value)
+        if isinstance(value, tuple):
+            return "(" + ", ".join(self._safe_str(v) for v in value) + ")"
+        return f"<{type(value).__name__}>"
+
+
+@dataclass
+class _ExceptionInstance:
+    exc_name: str
+    detail: str
+
+
+# ---------------------------------------------------------------------------
+# facade
+# ---------------------------------------------------------------------------
+
+
+class Evaluator:
+    """High-level entry point used by the HB8xx rules and the prover."""
+
+    def __init__(self, program: Program, max_steps: int = 300_000) -> None:
+        self.program = program
+        self.machine = Machine(program, max_steps)
+
+    # -- resolution --------------------------------------------------------
+
+    def class_named(self, name: str) -> ClassVal | None:
+        return self.program.class_named(name)
+
+    def function_at(self, module: str, name: str) -> FuncVal | None:
+        try:
+            value = self.program.lookup(module, name)
+        except KeyError:
+            return None
+        return value if isinstance(value, FuncVal) else None
+
+    # -- execution ---------------------------------------------------------
+
+    def instantiate(
+        self, cls: ClassVal, args: list[Any], kwargs: dict[str, Any] | None = None
+    ) -> InstanceVal:
+        return self.machine.instantiate(cls, args, kwargs)
+
+    def call_method(self, instance: Any, name: str, args: list[Any]) -> Any:
+        method = self.machine.getattr_value(instance, name)
+        return self.machine.call(method, args)
+
+    def get_attr(self, instance: Any, name: str) -> Any:
+        return self.machine.getattr_value(instance, name)
+
+    def call_function(self, fn: FuncVal, args: list[Any]) -> Any:
+        return self.machine.call(fn, args)
+
+    # -- reflection --------------------------------------------------------
+
+    def reflect(self, obj: Any) -> Any:
+        """Convert a live runtime object into a symbolic value.
+
+        Integers, strings, tuples and friends map to themselves; objects
+        whose class is defined in the linted sources become
+        :class:`InstanceVal` with reflected attributes (unconvertible
+        attributes become :data:`OPAQUE`, so touching them raises
+        :class:`Unsupported` instead of producing nonsense).
+        """
+        return self._reflect(obj, depth=0)
+
+    def _reflect(self, obj: Any, depth: int) -> Any:
+        if depth > 6:
+            return OPAQUE
+        if obj is None or isinstance(obj, (bool, str, float)):
+            return obj
+        if isinstance(obj, int):
+            return int(obj)  # collapses numpy scalar ints too
+        if isinstance(obj, tuple):
+            return tuple(self._reflect(v, depth + 1) for v in obj)
+        if isinstance(obj, list):
+            return [self._reflect(v, depth + 1) for v in obj]
+        if isinstance(obj, (set, frozenset)):
+            return obj if _is_plain(obj) else OPAQUE
+        if isinstance(obj, dict):
+            return obj if _is_plain(obj) else OPAQUE
+        cls = self._class_for_type(type(obj))
+        if cls is None:
+            return OPAQUE
+        try:
+            attrs = vars(obj)
+        except TypeError:
+            return OPAQUE
+        reflected = {k: self._reflect(v, depth + 1) for k, v in attrs.items()}
+        return InstanceVal(cls, reflected)
+
+    def _class_for_type(self, tp: type) -> ClassVal | None:
+        module = getattr(tp, "__module__", "")
+        name = getattr(tp, "__qualname__", getattr(tp, "__name__", ""))
+        if "." in name:  # nested classes are out of scope
+            return None
+        binding = None
+        if module in self.program.modules:
+            table_value: Any
+            try:
+                table_value = self.program.lookup(module, name)
+            except KeyError:
+                table_value = None
+            if isinstance(table_value, ClassVal):
+                binding = table_value
+        if binding is None:
+            binding = self.program.class_named(name)
+        return binding

@@ -1,0 +1,432 @@
+"""Static verification index: invariant specs × symbolic execution.
+
+This is the bridge between three ingredients:
+
+* the **invariant-spec registry** (``register_invariants(InvariantSpec(...))``
+  calls in the linted sources, extracted syntactically — the linted tree is
+  the source of truth, not whatever happens to be importable),
+* the **codec registry** (``register_codec("Family", factory)`` calls), and
+* the **symbolic executor** (:mod:`.symexec`), which evaluates the linted
+  kernels without importing them.
+
+The HB8xx rules consume the check methods below; each method enumerates a
+small parameter point exhaustively through the machine and returns
+*witness* dictionaries for definite violations only.  Anything the
+executor cannot model (``Unsupported``) silently skips — those families
+are covered at runtime by ``hyperbutterfly prove`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.devtools.reprolint.rules.base import dotted_name
+from repro.devtools.reprolint.symexec import (
+    ArrayVal,
+    Evaluator,
+    Program,
+    SymRaise,
+    Unsupported,
+)
+from repro.topologies.invariants import eval_param_expr
+
+if TYPE_CHECKING:
+    from repro.devtools.reprolint.context import FileContext, ProjectContext
+
+__all__ = ["SpecInfo", "CodecRegistration", "VerificationIndex"]
+
+#: lint-time sweeps stay below this node count (prove sweeps the full grids)
+LINT_NODE_CAP = 160
+#: lint-time sweeps use at most this many small points per family
+LINT_POINT_CAP = 2
+
+
+@dataclass(frozen=True)
+class SpecInfo:
+    """One statically extracted ``register_invariants`` call."""
+
+    family: str
+    params: tuple[str, ...]
+    build_name: str
+    module: str
+    path: str
+    lineno: int
+    col: int
+    small: tuple[tuple[int, ...], ...]
+    large: tuple[tuple[int, ...], ...]
+    degree: str | None
+    degree_min: str | None
+    degree_max: str | None
+    regular: bool
+    paper: str
+
+    def env_at(self, point: tuple[int, ...]) -> dict[str, int]:
+        return dict(zip(self.params, point))
+
+    def degree_bounds_at(self, point: tuple[int, ...]) -> tuple[int | None, int | None]:
+        env = self.env_at(point)
+        if self.degree is not None:
+            d = eval_param_expr(self.degree, env)
+            return (d, d)
+        lo = eval_param_expr(self.degree_min, env) if self.degree_min else None
+        hi = eval_param_expr(self.degree_max, env) if self.degree_max else None
+        return (lo, hi)
+
+
+@dataclass(frozen=True)
+class CodecRegistration:
+    """One statically extracted ``register_codec`` call."""
+
+    family: str
+    factory_name: str | None
+    module: str
+    path: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class _FamilyState:
+    """Cached symbolic instances for one (family, point)."""
+
+    topology: Any = None
+    codec: Any = None
+    nodes: list[Any] | None = None
+    skipped: bool = False
+
+
+class VerificationIndex:
+    """Spec/codec extraction plus cached symbolic instantiation."""
+
+    def __init__(self, ctx: "ProjectContext") -> None:
+        self.specs: dict[str, SpecInfo] = {}
+        self.codec_registrations: dict[str, CodecRegistration] = {}
+        sources = []
+        for fctx in ctx.library_files:
+            sources.append((fctx.module_name, fctx.tree))
+            self._scan_file(fctx)
+        self.evaluator = Evaluator(Program.from_sources(sources))
+        self._states: dict[tuple[str, tuple[int, ...]], _FamilyState] = {}
+
+    # -- extraction --------------------------------------------------------
+
+    def _scan_file(self, fctx: "FileContext") -> None:
+        for node in ast.walk(fctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            tail = callee.split(".")[-1] if callee else ""
+            if tail == "register_invariants":
+                spec = self._extract_spec(node, fctx)
+                if spec is not None:
+                    self.specs[spec.family] = spec
+            elif tail == "register_codec":
+                reg = self._extract_codec_registration(node, fctx)
+                if reg is not None:
+                    self.codec_registrations[reg.family] = reg
+
+    def _extract_spec(self, call: ast.Call, fctx: "FileContext") -> SpecInfo | None:
+        if not call.args:
+            return None
+        inner = call.args[0]
+        if not (isinstance(inner, ast.Call) and dotted_name(inner.func)):
+            return None
+        if dotted_name(inner.func).split(".")[-1] != "InvariantSpec":  # type: ignore[union-attr]
+            return None
+        fields: dict[str, Any] = {}
+        build_name: str | None = None
+        for kw in inner.keywords:
+            if kw.arg == "build":
+                build_name = dotted_name(kw.value)
+                continue
+            if kw.arg is None:
+                continue
+            try:
+                fields[kw.arg] = ast.literal_eval(kw.value)
+            except (ValueError, SyntaxError):
+                return None
+        family = fields.get("family")
+        params = fields.get("params")
+        if not isinstance(family, str) or not isinstance(params, tuple) or build_name is None:
+            return None
+        return SpecInfo(
+            family=family,
+            params=tuple(str(p) for p in params),
+            build_name=build_name.split(".")[-1],
+            module=fctx.module_name,
+            path=fctx.path,
+            lineno=call.lineno,
+            col=call.col_offset,
+            small=tuple(tuple(p) for p in fields.get("small", ())),
+            large=tuple(tuple(p) for p in fields.get("large", ())),
+            degree=fields.get("degree"),
+            degree_min=fields.get("degree_min"),
+            degree_max=fields.get("degree_max"),
+            regular=bool(fields.get("regular", True)),
+            paper=str(fields.get("paper", "")),
+        )
+
+    def _extract_codec_registration(
+        self, call: ast.Call, fctx: "FileContext"
+    ) -> CodecRegistration | None:
+        if not call.args:
+            return None
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            family = first.value
+        else:
+            name = dotted_name(first)
+            if name is None:
+                return None
+            family = name.split(".")[-1]
+        factory_name: str | None = None
+        if len(call.args) > 1:
+            factory_name_dotted = dotted_name(call.args[1])
+            if factory_name_dotted:
+                factory_name = factory_name_dotted.split(".")[-1]
+        return CodecRegistration(
+            family=family,
+            factory_name=factory_name,
+            module=fctx.module_name,
+            path=fctx.path,
+            lineno=call.lineno,
+            col=call.col_offset,
+        )
+
+    # -- derived views -----------------------------------------------------
+
+    def families_missing_specs(self) -> list[CodecRegistration]:
+        """Codec-registered families with no invariant spec (HB806)."""
+        return [
+            reg
+            for family, reg in sorted(self.codec_registrations.items())
+            if family not in self.specs
+        ]
+
+    def lint_points(self, spec: SpecInfo) -> list[tuple[int, ...]]:
+        """The small points a lint run sweeps (prove sweeps all of them)."""
+        return list(spec.small[:LINT_POINT_CAP])
+
+    # -- symbolic instantiation (cached) -----------------------------------
+
+    def _state(self, spec: SpecInfo, point: tuple[int, ...]) -> _FamilyState:
+        key = (spec.family, point)
+        state = self._states.get(key)
+        if state is not None:
+            return state
+        state = _FamilyState()
+        self._states[key] = state
+        ev = self.evaluator
+        try:
+            build = ev.program.lookup(spec.module, spec.build_name)
+        except KeyError:
+            build = ev.class_named(spec.build_name)
+        if build is None:
+            state.skipped = True
+            return state
+        try:
+            state.topology = ev.machine.call(build, list(point), {})
+            nodes = ev.call_method(state.topology, "nodes", [])
+            num_nodes = ev.get_attr(state.topology, "num_nodes")
+            if not isinstance(nodes, list) or len(nodes) != num_nodes:
+                # structural disagreement is caught by the degree/bijection
+                # checks; a non-list nodes() result is out of model
+                state.skipped = not isinstance(nodes, list)
+            state.nodes = nodes if isinstance(nodes, list) else None
+            if state.nodes is not None and len(state.nodes) > LINT_NODE_CAP:
+                state.skipped = True
+                state.nodes = None
+        except (Unsupported, SymRaise):
+            state.skipped = True
+            return state
+        reg = self.codec_registrations.get(spec.family)
+        if reg is not None and reg.factory_name is not None and not state.skipped:
+            try:
+                factory = ev.program.lookup(reg.module, reg.factory_name)
+                state.codec = ev.machine.call(factory, [state.topology], {})
+            except (KeyError, Unsupported, SymRaise):
+                state.codec = None
+        return state
+
+    # -- checks (each yields definite-counterexample witnesses) ------------
+
+    def check_bijectivity(self, spec: SpecInfo, point: tuple[int, ...]) -> Iterator[dict]:
+        """HB801: ``rank∘unrank`` must be the identity on ``[0, N)``."""
+        state = self._state(spec, point)
+        if state.skipped or state.codec is None or state.nodes is None:
+            return
+        ev = self.evaluator
+        n = len(state.nodes)
+        try:
+            for idx in range(n):
+                label = ev.call_method(state.codec, "unrank", [idx])
+                back = ev.call_method(state.codec, "rank", [label])
+                if back != idx:
+                    yield {
+                        "family": spec.family,
+                        "params": list(point),
+                        "idx": idx,
+                        "label": repr(label),
+                        "rank_of_unrank": repr(back),
+                    }
+                    return
+        except (Unsupported, SymRaise):
+            return
+
+    def check_neighbor_symmetry(self, spec: SpecInfo, point: tuple[int, ...]) -> Iterator[dict]:
+        """HB802: ``u ∈ N(v)`` must imply ``v ∈ N(u)`` (undirected graphs)."""
+        state = self._state(spec, point)
+        if state.skipped or state.nodes is None:
+            return
+        ev = self.evaluator
+        try:
+            adjacency = {
+                repr(v): (v, ev.call_method(state.topology, "neighbors", [v]))
+                for v in state.nodes
+            }
+            for _key, (v, nbrs) in adjacency.items():
+                for u in nbrs:
+                    entry = adjacency.get(repr(u))
+                    if entry is None:
+                        continue  # invalid labels are HB804's business
+                    if v not in entry[1]:
+                        yield {
+                            "family": spec.family,
+                            "params": list(point),
+                            "v": repr(v),
+                            "u": repr(u),
+                        }
+                        return
+        except (Unsupported, SymRaise):
+            return
+
+    def check_degree_formula(self, spec: SpecInfo, point: tuple[int, ...]) -> Iterator[dict]:
+        """HB803: vertex degrees must match the spec's paper formula."""
+        state = self._state(spec, point)
+        if state.skipped or state.nodes is None:
+            return
+        try:
+            lo, hi = spec.degree_bounds_at(point)
+        except Exception:  # malformed expr — the spec test suite owns this
+            return
+        ev = self.evaluator
+        degrees = set()
+        try:
+            for v in state.nodes:
+                nbrs = ev.call_method(state.topology, "neighbors", [v])
+                deg = len(nbrs)
+                degrees.add(deg)
+                if (lo is not None and deg < lo) or (hi is not None and deg > hi):
+                    yield {
+                        "family": spec.family,
+                        "params": list(point),
+                        "v": repr(v),
+                        "degree": deg,
+                        "expected_min": lo,
+                        "expected_max": hi,
+                    }
+                    return
+            if spec.regular and len(degrees) > 1:
+                yield {
+                    "family": spec.family,
+                    "params": list(point),
+                    "degrees_seen": sorted(degrees),
+                    "expected_regular": True,
+                }
+        except (Unsupported, SymRaise):
+            return
+
+    def check_label_safety(self, spec: SpecInfo, point: tuple[int, ...]) -> Iterator[dict]:
+        """HB804: no self-loops, no unreachable/invalid neighbor labels."""
+        state = self._state(spec, point)
+        if state.skipped or state.nodes is None:
+            return
+        ev = self.evaluator
+        try:
+            for v in state.nodes:
+                for u in ev.call_method(state.topology, "neighbors", [v]):
+                    if u == v:
+                        yield {
+                            "family": spec.family,
+                            "params": list(point),
+                            "v": repr(v),
+                            "kind": "self-loop",
+                        }
+                        return
+                    valid = ev.call_method(state.topology, "has_node", [u])
+                    if valid is False:
+                        yield {
+                            "family": spec.family,
+                            "params": list(point),
+                            "v": repr(v),
+                            "u": repr(u),
+                            "kind": "invalid-label",
+                        }
+                        return
+        except (Unsupported, SymRaise):
+            return
+        if state.codec is None or state.nodes is None:
+            return
+        n = len(state.nodes)
+        try:
+            for idx in range(n):
+                row = self._block_row(state.codec, idx)
+                if row is None:
+                    return
+                for entry in row:
+                    if not isinstance(entry, int) or entry < -1 or entry >= n:
+                        yield {
+                            "family": spec.family,
+                            "params": list(point),
+                            "idx": idx,
+                            "entry": repr(entry),
+                            "kind": "out-of-range-rank",
+                        }
+                        return
+        except (Unsupported, SymRaise):
+            return
+
+    def check_scalar_block_agreement(
+        self, spec: SpecInfo, point: tuple[int, ...]
+    ) -> Iterator[dict]:
+        """HB805: ``neighbors_block`` rows must equal ranked scalar neighbors."""
+        state = self._state(spec, point)
+        if state.skipped or state.codec is None or state.nodes is None:
+            return
+        ev = self.evaluator
+        n = len(state.nodes)
+        try:
+            supports = ev.call_method(state.codec, "supports_implicit", [])
+            if supports is not True:
+                return
+            for idx in range(n):
+                row = self._block_row(state.codec, idx)
+                if row is None:
+                    return
+                block = [e for e in row if not (isinstance(e, int) and e < 0)]
+                label = ev.call_method(state.codec, "unrank", [idx])
+                scalar = [
+                    ev.call_method(state.codec, "rank", [u])
+                    for u in ev.call_method(state.topology, "neighbors", [label])
+                ]
+                if block != scalar:
+                    yield {
+                        "family": spec.family,
+                        "params": list(point),
+                        "idx": idx,
+                        "block_row": repr(block),
+                        "scalar_ranks": repr(scalar),
+                    }
+                    return
+        except (Unsupported, SymRaise):
+            return
+
+    def _block_row(self, codec: Any, idx: int) -> list[Any] | None:
+        out = self.evaluator.call_method(codec, "neighbors_block", [idx])
+        if isinstance(out, ArrayVal):
+            return list(out.cols)
+        if isinstance(out, list):
+            return out
+        return None

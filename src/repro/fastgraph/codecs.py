@@ -50,6 +50,7 @@ __all__ = [
     "TorusCodec",
     "EnumerationCodec",
     "register_codec",
+    "registered_codec_families",
     "codec_for",
     "codec_for_group",
 ]
@@ -452,6 +453,13 @@ def register_codec(type_name: str | type, factory: Callable[[Any], NodeCodec | N
     """
     name = type_name if isinstance(type_name, str) else type_name.__name__
     _REGISTRY[name] = factory
+
+
+def registered_codec_families() -> tuple[str, ...]:
+    """The registered topology class names, sorted — the verification layer
+    (``hyperbutterfly prove``, HB806) joins this against the invariant-spec
+    registry of :mod:`repro.topologies.invariants`."""
+    return tuple(sorted(_REGISTRY))
 
 
 def codec_for(topology: Any) -> NodeCodec | None:

@@ -17,6 +17,12 @@ Guest graphs for Section 4 embeddings:
 """
 
 from repro.topologies.base import Topology
+from repro.topologies.invariants import (
+    InvariantSpec,
+    all_invariant_specs,
+    invariant_spec,
+    register_invariants,
+)
 from repro.topologies.hypercube import Hypercube
 from repro.topologies.butterfly import WrappedButterfly
 from repro.topologies.butterfly_cayley import (
@@ -39,6 +45,10 @@ from repro.topologies.quotients import (
 
 __all__ = [
     "Topology",
+    "InvariantSpec",
+    "register_invariants",
+    "invariant_spec",
+    "all_invariant_specs",
     "Hypercube",
     "WrappedButterfly",
     "CayleyButterfly",

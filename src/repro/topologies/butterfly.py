@@ -22,6 +22,7 @@ from typing import Hashable, Iterator
 from repro._bits import format_word
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["WrappedButterfly"]
 
@@ -115,3 +116,16 @@ class WrappedButterfly(Topology):
     def diameter_formula(self) -> int:
         """``⌊3n/2⌋`` (Remark 1) — cross-checked against exact BFS in tests."""
         return (3 * self.n) // 2
+
+
+register_invariants(
+    InvariantSpec(
+        family="WrappedButterfly",
+        params=("n",),
+        build=WrappedButterfly,
+        small=((3,), (4,), (5,)),
+        large=((16,), (24,)),
+        degree="4",
+        paper="Remark 1 / [3]",
+    )
+)

@@ -30,6 +30,7 @@ from repro.cayley.graph import CayleyGraph, DistanceOracle
 from repro.cayley.group import ButterflyGroup, GeneratorSet
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = [
     "CayleyButterfly",
@@ -198,3 +199,16 @@ def classic_to_cayley(v: tuple[int, int]) -> tuple[int, int]:
     """Inverse of :func:`cayley_to_classic`: ``(word, level) → (PI, CI)``."""
     w, level = v
     return (level, w)
+
+
+register_invariants(
+    InvariantSpec(
+        family="CayleyButterfly",
+        params=("n",),
+        build=CayleyButterfly,
+        small=((3,), (4,), (5,)),
+        large=((16,), (24,)),
+        degree="4",
+        paper="Remark 1 / [4]",
+    )
+)

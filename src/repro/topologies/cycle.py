@@ -6,6 +6,7 @@ from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["Cycle"]
 
@@ -50,3 +51,16 @@ class Cycle(Topology):
 
     def diameter(self) -> int:
         return self.k // 2
+
+
+register_invariants(
+    InvariantSpec(
+        family="Cycle",
+        params=("k",),
+        build=Cycle,
+        small=((3,), (4,), (5,), (8,), (12,)),
+        large=((1_000_000,),),
+        degree="2",
+        paper="Section 4",
+    )
+)

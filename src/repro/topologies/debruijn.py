@@ -18,6 +18,7 @@ from typing import Hashable, Iterator
 from repro._bits import format_word, mask
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["DeBruijn"]
 
@@ -69,3 +70,18 @@ class DeBruijn(Topology):
     def diameter_formula(self) -> int:
         """``n`` — shifting in the target word bit by bit."""
         return self.n
+
+
+register_invariants(
+    InvariantSpec(
+        family="DeBruijn",
+        params=("n",),
+        build=DeBruijn,
+        small=((2,), (3,), (4,), (5,), (6,)),
+        large=((16,), (24,)),
+        regular=False,
+        degree_min="2",
+        degree_max="4",
+        paper="Section 2.2 / [1]",
+    )
+)

@@ -17,6 +17,7 @@ from typing import Hashable, Iterator
 from repro._bits import flip, format_word, popcount
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["Hypercube"]
 
@@ -77,3 +78,16 @@ class Hypercube(Topology):
         """The unique vertex at distance ``m`` from ``v``."""
         self.validate_node(v)
         return v ^ ((1 << self.m) - 1)
+
+
+register_invariants(
+    InvariantSpec(
+        family="Hypercube",
+        params=("m",),
+        build=Hypercube,
+        small=((0,), (1,), (2,), (3,), (4,), (6,)),
+        large=((16,), (48,)),
+        degree="m",
+        paper="Section 2.1 / [5]",
+    )
+)

@@ -16,6 +16,7 @@ from typing import Iterator
 from repro.errors import InvalidParameterError
 from repro.topologies.debruijn import DeBruijn
 from repro.topologies.hypercube import Hypercube
+from repro.topologies.invariants import InvariantSpec, register_invariants
 from repro.topologies.product import CartesianProduct
 
 __all__ = ["HyperDeBruijn"]
@@ -64,3 +65,18 @@ class HyperDeBruijn(CartesianProduct):
         self.validate_node(v)
         h, d = v
         return f"({self.hypercube.format_node(h)};{self.debruijn.format_node(d)})"
+
+
+register_invariants(
+    InvariantSpec(
+        family="HyperDeBruijn",
+        params=("m", "n"),
+        build=HyperDeBruijn,
+        small=((1, 2), (2, 3), (1, 4)),
+        large=((8, 10),),
+        regular=False,
+        degree_min="m + 2",
+        degree_max="m + 4",
+        paper="Figure 1 / [1]",
+    )
+)

@@ -11,6 +11,7 @@ from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["Torus", "Mesh"]
 
@@ -112,3 +113,29 @@ class Mesh(Topology):
         if j - 1 >= 0:
             out.append((i, j - 1))
         return out
+
+
+register_invariants(
+    InvariantSpec(
+        family="Torus",
+        params=("n1", "n2"),
+        build=Torus,
+        small=((3, 3), (3, 4), (4, 5)),
+        large=((1024, 4096),),
+        degree="4",
+        paper="Lemma 2",
+    )
+)
+
+register_invariants(
+    InvariantSpec(
+        family="Mesh",
+        params=("n1", "n2"),
+        build=Mesh,
+        small=((1, 1), (1, 4), (3, 3), (3, 4), (4, 5)),
+        large=((1024, 4096),),
+        regular=False,
+        degree_max="4",
+        paper="Lemma 1",
+    )
+)

@@ -22,6 +22,7 @@ from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["MeshOfTrees"]
 
@@ -125,3 +126,16 @@ class MeshOfTrees(Topology):  # reprolint: disable=HB201 -- three node kinds (gr
         label = ("col", j, 1)
         self.validate_node(label)
         return label
+
+
+register_invariants(
+    InvariantSpec(
+        family="MeshOfTrees",
+        params=("rows", "cols"),
+        build=MeshOfTrees,
+        small=((2, 2), (2, 4), (4, 4)),
+        regular=False,
+        degree_max="3",
+        paper="Lemma 4",
+    )
+)

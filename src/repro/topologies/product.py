@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Hashable, Iterator
 
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["CartesianProduct"]
 
@@ -85,3 +86,26 @@ class CartesianProduct(Topology):
         self.left.validate_node(u)
         for x in self.right.nodes():
             yield (u, x)
+
+
+def _hypercube_times_cycle(m: int, k: int) -> CartesianProduct:
+    """Representative product ``H_m × C(k)`` used to verify the generic
+    product machinery itself (the concrete paper products — HB, HD —
+    register their own specs in their own modules)."""
+    from repro.topologies.cycle import Cycle
+    from repro.topologies.hypercube import Hypercube
+
+    return CartesianProduct(Hypercube(m), Cycle(k))
+
+
+register_invariants(
+    InvariantSpec(
+        family="CartesianProduct",
+        params=("m", "k"),
+        build=_hypercube_times_cycle,
+        small=((1, 3), (2, 4), (2, 5)),
+        large=((20, 1000),),
+        degree="m + 2",
+        paper="Section 2.2 preamble",
+    )
+)

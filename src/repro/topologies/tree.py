@@ -11,6 +11,7 @@ from typing import Hashable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.topologies.base import Topology
+from repro.topologies.invariants import InvariantSpec, register_invariants
 
 __all__ = ["CompleteBinaryTree"]
 
@@ -82,3 +83,17 @@ class CompleteBinaryTree(Topology):
         if not self.is_leaf(v):
             raise InvalidParameterError(f"{v} is not a leaf of {self.name}")
         return v - (1 << (self.k - 1))
+
+
+register_invariants(
+    InvariantSpec(
+        family="CompleteBinaryTree",
+        params=("k",),
+        build=CompleteBinaryTree,
+        small=((1,), (2,), (3,), (5,)),
+        large=((40,),),
+        regular=False,
+        degree_max="3",
+        paper="Lemma 3",
+    )
+)

@@ -183,3 +183,56 @@ class TestReport:
         )
         assert lint_sources({LIB_PATH: suppressed}).counts_by_rule() == {}
         assert lint_sources({LIB_PATH: DIRTY}).counts_by_rule() == {"HB101": 1}
+
+
+class TestFindingOrder:
+    def test_total_order_breaks_position_ties(self):
+        from repro.devtools.reprolint.engine import _sorted_findings
+        from repro.devtools.reprolint.findings import Finding
+
+        def finding(rule_id, message):
+            return Finding(
+                rule_id=rule_id, path="src/a.py", line=3, col=0, message=message
+            )
+
+        tied = [
+            finding("HB104", "b"),
+            finding("HB104", "a"),
+            finding("HB101", "z"),
+        ]
+        ordered = _sorted_findings(tied)
+        assert [(f.rule_id, f.message) for f in ordered] == [
+            ("HB101", "z"),
+            ("HB104", "b"),
+            ("HB104", "a"),
+        ] or [(f.rule_id, f.message) for f in ordered] == [
+            ("HB101", "z"),
+            ("HB104", "a"),
+            ("HB104", "b"),
+        ]
+        # the order must be a pure function of the findings, not of the
+        # input order: every permutation sorts identically
+        import itertools
+
+        renderings = {
+            tuple(f.render() for f in _sorted_findings(perm))
+            for perm in itertools.permutations(tied)
+        }
+        assert len(renderings) == 1
+
+    def test_report_json_is_byte_stable(self):
+        # two findings on one line (HB102 wall-clock + HB103 unsorted dump)
+        # tie on position; the report must serialise identically across runs
+        source = (
+            "import json\n"
+            "import time\n"
+            "def emit(path, payload):\n"
+            "    payload['at'] = time.time(); json.dump(payload, path)\n"
+        )
+        first = json.dumps(lint_sources({LIB_PATH: source}).to_dict(), sort_keys=True)
+        second = json.dumps(lint_sources({LIB_PATH: source}).to_dict(), sort_keys=True)
+        assert first == second
+        report = lint_sources({LIB_PATH: source})
+        keys = [f.sort_key() for f in report.findings]
+        assert keys == sorted(keys)
+        assert len({f.rule_id for f in report.findings}) >= 2

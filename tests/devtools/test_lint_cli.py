@@ -106,6 +106,7 @@ class TestIntrospection:
             "HB5xx taint",
             "HB6xx numerics-flow",
             "HB7xx concurrency",
+            "HB8xx verification",
         ]
         rule_lines = [ln for ln in lines if ln.startswith("  ")]
         assert rule_lines and all("[  ok]" in ln for ln in rule_lines)
@@ -113,6 +114,66 @@ class TestIntrospection:
     def test_self_test(self, capsys):
         assert main(["lint", "--self-test"]) == 0
         assert "self-test passed" in capsys.readouterr().out
+
+
+class TestGithubFormat:
+    def test_annotations_for_active_findings(self, tmp_path, capsys):
+        target = _write_pkg(tmp_path, DIRTY)
+        assert main(["lint", str(target), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        (annotation,) = [ln for ln in out.splitlines() if ln.startswith("::")]
+        assert annotation.startswith("::error file=")
+        assert "line=2" in annotation
+        assert "title=HB101" in annotation
+        assert "1 finding(s)" in out
+
+    def test_clean_tree_emits_only_summary(self, tmp_path, capsys):
+        target = _write_pkg(tmp_path, CLEAN)
+        assert main(["lint", str(target), "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert not [ln for ln in out.splitlines() if ln.startswith("::")]
+
+    def test_workflow_command_escaping(self):
+        from repro.devtools.reprolint.findings import Finding
+
+        finding = Finding(
+            rule_id="HB101",
+            path="src/a,b:c.py",
+            line=3,
+            col=0,
+            message="bad %\nnews",
+        )
+        rendered = finding.render_github()
+        assert "file=src/a%2Cb%3Ac.py" in rendered
+        assert rendered.endswith("::bad %25%0Anews")
+        assert "\n" not in rendered
+
+
+class TestRuleCatalog:
+    def test_md_catalog_lists_every_rule(self, capsys):
+        from repro.devtools.reprolint.registry import all_rules
+
+        assert main(["lint", "--list-rules", "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert f"### {rule.rule_id}: {rule.title}" in out
+
+    def test_md_without_list_rules_is_an_error(self, tmp_path, capsys):
+        target = _write_pkg(tmp_path, CLEAN)
+        assert main(["lint", str(target), "--format", "md"]) == 2
+        assert "--list-rules" in capsys.readouterr().err
+
+    def test_committed_catalog_is_fresh(self):
+        # CI diffs the generated catalog against docs/lint_rules.md; this
+        # is the same check so a stale doc fails locally first
+        import pathlib
+
+        from repro.devtools.reprolint.cli import render_rule_catalog_md
+
+        committed = (
+            pathlib.Path(__file__).resolve().parents[2] / "docs" / "lint_rules.md"
+        )
+        assert committed.read_text() == render_rule_catalog_md() + "\n"
 
 
 class TestShippedTree:

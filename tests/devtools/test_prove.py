@@ -1,0 +1,228 @@
+"""Tests for the runtime prover behind ``hyperbutterfly prove``.
+
+Covers the three contract layers: per-family proving (clean families
+prove, deliberately broken fixture kernels produce concrete
+counterexample witnesses), the whole-registry ledger (deterministic,
+committed at the repo root, matches a fresh run), and the CLI surface
+(exit codes, JSON output, --family filtering).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.reprolint.prove import (
+    DEFAULT_MAX_BITS,
+    INVARIANTS,
+    LEDGER_PATH,
+    prove,
+    prove_family,
+)
+from repro.topologies.invariants import InvariantSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class _Ringlet:
+    """A k-cycle: the minimal correct topology fixture."""
+
+    def __init__(self, k):
+        self.k = k
+
+    @property
+    def num_nodes(self):
+        return self.k
+
+    def nodes(self):
+        return iter(range(self.k))
+
+    def has_node(self, v):
+        return isinstance(v, int) and 0 <= v < self.k
+
+    def neighbors(self, v):
+        return [(v + 1) % self.k, (v - 1) % self.k]
+
+
+def _spec(build, **overrides) -> InvariantSpec:
+    fields = dict(
+        family=build.__name__,
+        params=("k",),
+        build=build,
+        small=((5,), (8,)),
+        degree="2",
+    )
+    fields.update(overrides)
+    return InvariantSpec(**fields)
+
+
+class TestProveFamily:
+    def test_clean_family_proves_topology_invariants(self):
+        entry = prove_family(_spec(_Ringlet))
+        inv = entry["invariants"]
+        for name in ("neighbor-symmetry", "degree-formula", "label-safety"):
+            assert inv[name]["status"] == "proved"
+            assert inv[name]["exhaustive_points"] == 2
+        # no codec registered for the fixture: codec invariants skip
+        assert inv["codec-bijectivity"]["status"] == "skipped"
+        assert inv["scalar-block-agreement"]["status"] == "skipped"
+
+    def test_self_loop_counterexample_witness(self):
+        class _Looped(_Ringlet):
+            def neighbors(self, v):
+                return [(v + 1) % self.k, v]
+
+        entry = prove_family(_spec(_Looped))
+        safety = entry["invariants"]["label-safety"]
+        assert safety["status"] == "failed"
+        assert safety["witness"]["kind"] == "self-loop"
+        assert safety["witness"]["params"] == [5]
+
+    def test_asymmetry_counterexample_witness(self):
+        class _OneWay(_Ringlet):
+            def neighbors(self, v):
+                return [(v + 1) % self.k]
+
+        entry = prove_family(_spec(_OneWay, degree="1"))
+        sym = entry["invariants"]["neighbor-symmetry"]
+        assert sym["status"] == "failed"
+        assert sym["witness"]["kind"] == "asymmetric-edge"
+
+    def test_degree_counterexample_witness(self):
+        entry = prove_family(_spec(_Ringlet, degree="3"))
+        deg = entry["invariants"]["degree-formula"]
+        assert deg["status"] == "failed"
+        assert deg["witness"]["kind"] == "degree-out-of-bounds"
+        assert deg["witness"]["degree"] == 2
+        assert deg["witness"]["expected_min"] == 3
+
+    def test_invalid_label_counterexample_witness(self):
+        class _Phantom(_Ringlet):
+            def neighbors(self, v):
+                return [(v + 1) % self.k, self.k + 7]
+
+        entry = prove_family(_spec(_Phantom))
+        safety = entry["invariants"]["label-safety"]
+        assert safety["status"] == "failed"
+        assert safety["witness"]["kind"] == "invalid-label"
+
+    def test_irregular_family_with_mixed_degrees(self):
+        class _Star(_Ringlet):
+            def neighbors(self, v):
+                if v == 0:
+                    return list(range(1, self.k))
+                return [0]
+
+        regular = prove_family(_spec(_Star, degree=None))
+        assert regular["invariants"]["degree-formula"]["status"] == "failed"
+        assert (
+            regular["invariants"]["degree-formula"]["witness"]["kind"]
+            == "not-regular"
+        )
+        ranged = prove_family(
+            _spec(
+                _Star,
+                degree=None,
+                regular=False,
+                degree_min="1",
+                degree_max="k - 1",
+            )
+        )
+        assert ranged["invariants"]["degree-formula"]["status"] == "proved"
+
+    def test_out_of_cap_points_are_not_enumerated(self):
+        class _Huge(_Ringlet):
+            def nodes(self):  # pragma: no cover — must never be called
+                raise AssertionError("enumerated a point past the cap")
+
+            neighbors = nodes
+
+        entry = prove_family(
+            _spec(_Huge, small=((1 << 20,),)), max_bits=DEFAULT_MAX_BITS
+        )
+        assert entry["points"]["exhaustive"] == []
+        assert entry["points"]["out_of_cap"] == [[1 << 20]]
+
+
+class TestProveRegistry:
+    @pytest.fixture(scope="class")
+    def ledger(self):
+        return prove()
+
+    def test_every_family_every_invariant_holds(self, ledger):
+        assert ledger["summary"]["failed"] == 0
+        for family, entry in ledger["families"].items():
+            for name in INVARIANTS:
+                status = entry["invariants"][name]["status"]
+                assert status in ("proved", "proved-abstract", "skipped"), (
+                    family,
+                    name,
+                    entry["invariants"][name],
+                )
+
+    def test_paper_families_prove_exhaustively(self, ledger):
+        for family in (
+            "HyperButterfly",
+            "Hypercube",
+            "WrappedButterfly",
+            "CayleyButterfly",
+            "DeBruijn",
+            "HyperDeBruijn",
+        ):
+            inv = ledger["families"][family]["invariants"]
+            for name in INVARIANTS:
+                assert inv[name]["status"] == "proved", (family, name)
+
+    def test_large_grids_certified_abstractly(self, ledger):
+        # HB(8,10) has 2.6M nodes — enumeration is out of reach, the
+        # abstract bit-vector certificate must cover it
+        hb = ledger["families"]["HyperButterfly"]
+        assert [8, 10] in hb["points"]["abstract"]
+        assert hb["invariants"]["label-safety"]["abstract_points"] == 2
+        assert hb["invariants"]["degree-formula"]["abstract_points"] == 2
+
+    def test_family_filter_and_unknown_family(self, ledger):
+        subset = prove(["Hypercube"])
+        assert list(subset["families"]) == ["Hypercube"]
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            prove(["NoSuchFamily"])
+
+    def test_committed_ledger_matches_fresh_run(self, ledger):
+        committed = json.loads((REPO_ROOT / LEDGER_PATH).read_text())
+        assert committed == ledger
+
+    def test_ledger_is_deterministic(self, ledger):
+        again = prove()
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            ledger, sort_keys=True
+        )
+
+
+class TestProveCLI:
+    def test_exit_zero_and_json_shape(self, capsys):
+        rc = main(["prove", "--family", "Hypercube", "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["failed"] == 0
+        assert list(payload["families"]) == ["Hypercube"]
+
+    def test_output_writes_ledger(self, tmp_path, capsys):
+        out = tmp_path / "ledger.json"
+        rc = main(
+            ["prove", "--family", "Cycle", "--output", str(out)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["families"]["Cycle"]["invariants"]
+        assert payload["version"] == 1
+
+    def test_unknown_family_exits_two(self, capsys):
+        rc = main(["prove", "--family", "NoSuchFamily"])
+        assert rc == 2
+        assert "unknown families" in capsys.readouterr().err

@@ -68,6 +68,7 @@ class TestGenericFixtureContract:
                 "taint",
                 "numerics-flow",
                 "concurrency",
+                "verification",
             }
 
 

@@ -1,0 +1,398 @@
+"""Unit tests for the reprolint symbolic bit-vector executor.
+
+The HB8xx rules and ``hyperbutterfly prove`` are only as good as two
+foundations: the :class:`BitVec` transfer functions must be *sound*
+(every concrete result of an operation on members must be a member of the
+abstract result), and the AST machine must agree with CPython on the
+concrete kernels it interprets.  Both are pinned here by exhaustive
+small-word enumeration against the real thing.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+import pathlib
+
+import pytest
+
+from repro.devtools.reprolint.symexec import (
+    ArrayVal,
+    BitVec,
+    Bool3,
+    Evaluator,
+    Program,
+    SymRaise,
+    Unsupported,
+)
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def _program_from_repo() -> Program:
+    sources = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        module = ".".join(path.relative_to(SRC_ROOT).with_suffix("").parts)
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        sources.append((module, ast.parse(path.read_text())))
+    return Program.from_sources(sources)
+
+
+@pytest.fixture(scope="module")
+def repo_eval() -> Evaluator:
+    return Evaluator(_program_from_repo())
+
+
+def _program_from_src(src: str, module: str = "m") -> Program:
+    return Program.from_sources([(module, ast.parse(src))])
+
+
+def _run(src: str, fn: str, args: list) -> object:
+    ev = Evaluator(_program_from_src(src))
+    func = ev.function_at("m", fn)
+    assert func is not None
+    return ev.call_function(func, args)
+
+
+# ---------------------------------------------------------------------------
+# BitVec soundness: abstract(op)(members) ⊇ {op(a, b) for members}
+# ---------------------------------------------------------------------------
+
+
+def _abstract_pairs():
+    """A small zoo of abstract values with their concrete member sets."""
+    out = []
+    for lo, hi in [(0, 0), (0, 3), (1, 6), (-4, 3), (-7, -2), (5, 9)]:
+        bv = BitVec.range(lo, hi)
+        out.append((bv, [v for v in range(lo, hi + 1) if bv.contains(v)]))
+    # known-bits-refined values
+    masked = BitVec.range(0, 7).or_(BitVec.concrete(1))  # odd, [1, 7]
+    out.append((masked, [v for v in range(-16, 17) if masked.contains(v)]))
+    return out
+
+
+_BINOPS = [
+    ("add", operator.add),
+    ("sub", operator.sub),
+    ("mul", operator.mul),
+    ("and_", operator.and_),
+    ("or_", operator.or_),
+    ("xor", operator.xor),
+]
+
+
+class TestBitVecSoundness:
+    @pytest.mark.parametrize("name, concrete_op", _BINOPS)
+    def test_binary_ops_sound(self, name, concrete_op):
+        pairs = _abstract_pairs()
+        for left, left_members in pairs:
+            for right, right_members in pairs:
+                result = getattr(left, name)(right)
+                for a in left_members:
+                    for b in right_members:
+                        assert result.contains(concrete_op(a, b)), (
+                            name, left, right, a, b, result,
+                        )
+
+    def test_floordiv_mod_sound(self):
+        pairs = _abstract_pairs()
+        for left, left_members in pairs:
+            for k in (1, 2, 3, 4, 5, 7, 8):
+                divisor = BitVec.concrete(k)
+                div = left.floordiv(divisor)
+                mod = left.mod(divisor)
+                for a in left_members:
+                    assert div.contains(a // k), (left, k, a, div)
+                    assert mod.contains(a % k), (left, k, a, mod)
+
+    def test_shifts_sound(self):
+        pairs = _abstract_pairs()
+        for left, left_members in pairs:
+            for k in (0, 1, 2, 5):
+                shift = BitVec.concrete(k)
+                ls = left.lshift(shift)
+                rs = left.rshift(shift)
+                for a in left_members:
+                    assert ls.contains(a << k)
+                    assert rs.contains(a >> k)
+
+    def test_shift_by_abstract_amount_sound(self):
+        value = BitVec.range(0, 7)
+        amount = BitVec.range(0, 3)
+        result = value.lshift(amount)
+        for a in range(8):
+            for k in range(4):
+                assert result.contains(a << k)
+
+    def test_unary_sound(self):
+        for bv, members in _abstract_pairs():
+            neg, inv = bv.neg(), bv.invert()
+            for a in members:
+                assert neg.contains(-a)
+                assert inv.contains(~a)
+
+    def test_join_sound(self):
+        a = BitVec.range(0, 3)
+        b = BitVec.range(8, 11)
+        joined = a.join(b)
+        for v in (0, 1, 2, 3, 8, 9, 10, 11):
+            assert joined.contains(v)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SymRaise):
+            BitVec.range(0, 3).floordiv(BitVec.concrete(0))
+        with pytest.raises(SymRaise):
+            BitVec.range(0, 3).mod(BitVec.concrete(0))
+
+    def test_comparisons_three_valued(self):
+        lo = BitVec.range(0, 3)
+        hi = BitVec.range(10, 12)
+        assert lo.lt(hi) is Bool3.TRUE
+        assert hi.lt(lo) is Bool3.FALSE
+        assert lo.lt(BitVec.range(2, 5)) is Bool3.MAYBE
+        assert lo.eq(hi) is Bool3.FALSE
+        # known-bit conflict: even vs odd can never be equal
+        even = BitVec.range(0, 6).and_(BitVec.concrete(~1))
+        odd = BitVec.range(0, 7).or_(BitVec.concrete(1))
+        assert even.eq(odd) is Bool3.FALSE
+
+    def test_known_bits_track_nonnegativity(self):
+        bv = BitVec.range(0, 100)
+        assert bv.mask < 0  # high bits known zero
+        assert not bv.contains(-1)
+
+    def test_power_of_two_identities_exact(self):
+        # x % 2**k and x // 2**k keep bit precision, the key to codec proofs
+        x = BitVec.range(0, 23)  # butterfly rank domain for n=3
+        low = x.mod(BitVec.concrete(8))
+        high = x.floordiv(BitVec.concrete(8))
+        assert (low.lo, low.hi) == (0, 7)
+        assert (high.lo, high.hi) == (0, 2)
+
+
+# ---------------------------------------------------------------------------
+# machine semantics on synthetic sources
+# ---------------------------------------------------------------------------
+
+
+class TestMachine:
+    def test_concrete_arithmetic_matches_python(self):
+        src = "def f(x, n):\n    return ((x << 1) | 1) & ((1 << n) - 1)\n"
+        for x in range(16):
+            assert _run(src, "f", [x, 4]) == ((x << 1) | 1) & 15
+
+    def test_maybe_branch_joins_envs(self):
+        src = (
+            "def f(x):\n"
+            "    if x >= 4:\n"
+            "        y = 10\n"
+            "    else:\n"
+            "        y = 20\n"
+            "    return y\n"
+        )
+        out = _run(src, "f", [BitVec.range(0, 7)])
+        assert isinstance(out, BitVec)
+        assert (out.lo, out.hi) == (10, 20)
+
+    def test_return_in_one_arm_joins_with_fallthrough(self):
+        src = (
+            "def f(x):\n"
+            "    if x == 0:\n"
+            "        return -1\n"
+            "    return x + 1\n"
+        )
+        out = _run(src, "f", [BitVec.range(0, 7)])
+        assert isinstance(out, BitVec)
+        assert out.contains(-1) and out.contains(8)
+
+    def test_definite_raise_propagates(self):
+        src = (
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('negative')\n"
+            "    return x\n"
+        )
+        with pytest.raises(SymRaise):
+            _run(src, "f", [-3])
+        assert _run(src, "f", [5]) == 5
+
+    def test_abstract_while_is_unsupported(self):
+        src = (
+            "def f(x):\n"
+            "    while x > 0:\n"
+            "        x = x - 1\n"
+            "    return x\n"
+        )
+        assert _run(src, "f", [3]) == 0
+        with pytest.raises(Unsupported):
+            _run(src, "f", [BitVec.range(0, 5)])
+
+    def test_dataclass_instantiation_is_unsupported(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class P:\n"
+            "    x: int\n"
+            "def f():\n"
+            "    return P(1)\n"
+        )
+        with pytest.raises(Unsupported):
+            _run(src, "f", [])
+
+    def test_comprehension_and_builtins(self):
+        src = "def f(n):\n    return [v ^ 1 for v in range(n)]\n"
+        assert _run(src, "f", [4]) == [1, 0, 3, 2]
+
+    def test_method_resolution_and_super(self):
+        src = (
+            "class A:\n"
+            "    def __init__(self, x):\n"
+            "        self.x = x\n"
+            "    def get(self):\n"
+            "        return self.x\n"
+            "class B(A):\n"
+            "    def __init__(self, x):\n"
+            "        super().__init__(x + 1)\n"
+            "    def get(self):\n"
+            "        return super().get() * 2\n"
+            "def f(x):\n"
+            "    return B(x).get()\n"
+        )
+        assert _run(src, "f", [10]) == 22
+
+    def test_property_access(self):
+        src = (
+            "class C:\n"
+            "    def __init__(self, n):\n"
+            "        self.n = n\n"
+            "    @property\n"
+            "    def doubled(self):\n"
+            "        return 2 * self.n\n"
+            "def f(n):\n"
+            "    return C(n).doubled\n"
+        )
+        assert _run(src, "f", [21]) == 42
+
+    def test_numpy_scalar_model(self):
+        src = (
+            "import numpy as np\n"
+            "def f(idx, n):\n"
+            "    a, b = np.divmod(idx, n)\n"
+            "    return np.column_stack([a, np.where(b > 0, b, np.int64(-1))])\n"
+        )
+        out = _run(src, "f", [7, 3])
+        assert isinstance(out, ArrayVal)
+        assert out.cols == [2, 1]
+        abstract = _run(src, "f", [BitVec.range(0, 8), 3])
+        assert isinstance(abstract, ArrayVal)
+        a_col, b_col = abstract.cols
+        assert a_col.contains(0) and a_col.contains(2)
+        assert b_col.contains(-1) and b_col.contains(2)
+
+    def test_budget_exceeded(self):
+        src = (
+            "def f():\n"
+            "    total = 0\n"
+            "    for i in range(10**6):\n"
+            "        total = total + i\n"
+            "    return total\n"
+        )
+        ev = Evaluator(_program_from_src(src), max_steps=1000)
+        func = ev.function_at("m", "f")
+        with pytest.raises(Unsupported):
+            ev.call_function(func, [])
+
+
+# ---------------------------------------------------------------------------
+# interpreting the real repo kernels
+# ---------------------------------------------------------------------------
+
+
+class TestRepoKernels:
+    def test_hypercube_codec_roundtrip(self, repo_eval):
+        cls = repo_eval.class_named("HypercubeCodec")
+        assert cls is not None
+        inst = repo_eval.instantiate(cls, [3])
+        for v in range(8):
+            assert repo_eval.call_method(inst, "rank", [v]) == v
+            assert repo_eval.call_method(inst, "unrank", [v]) == v
+
+    def test_butterfly_codec_roundtrip(self, repo_eval):
+        cls = repo_eval.class_named("ButterflyElementCodec")
+        inst = repo_eval.instantiate(cls, [3])
+        for x in range(3):
+            for c in range(8):
+                rank = repo_eval.call_method(inst, "rank", [(x, c)])
+                assert repo_eval.call_method(inst, "unrank", [rank]) == (x, c)
+
+    def test_butterfly_rank_abstract_certificate(self, repo_eval):
+        # the paper-critical proof: (x << n) | c stays inside [0, n·2^n)
+        cls = repo_eval.class_named("ButterflyElementCodec")
+        inst = repo_eval.instantiate(cls, [3])
+        rank = repo_eval.call_method(
+            inst, "rank", [(BitVec.range(0, 2), BitVec.range(0, 7))]
+        )
+        assert isinstance(rank, BitVec)
+        assert rank.lo >= 0 and rank.hi <= 23
+
+    def test_scalar_neighbors_match_runtime(self, repo_eval):
+        from repro.topologies.debruijn import DeBruijn
+        from repro.topologies.hypercube import Hypercube
+        from repro.topologies.mesh import Torus
+
+        for topo in (Hypercube(3), DeBruijn(3), Torus(3, 4)):
+            sym = repo_eval.reflect(topo)
+            for v in topo.nodes():
+                assert repo_eval.call_method(sym, "neighbors", [v]) == topo.neighbors(v)
+
+    def test_neighbors_block_abstract_certificate(self, repo_eval):
+        from repro.core.hyperbutterfly import HyperButterfly
+        from repro.fastgraph.codecs import codec_for
+
+        hb = HyperButterfly(8, 10)  # 2.6M nodes — far past enumeration
+        codec = codec_for(hb)
+        sym = repo_eval.reflect(codec)
+        n = hb.num_nodes
+        out = repo_eval.call_method(sym, "neighbors_block", [BitVec.range(0, n - 1)])
+        assert isinstance(out, ArrayVal)
+        assert len(out.cols) == hb.degree_formula
+        for col in out.cols:
+            assert isinstance(col, BitVec)
+            assert col.lo >= -1 and col.hi <= n - 1
+
+    def test_reflected_hyperbutterfly_neighbors_match_runtime(self, repo_eval):
+        # the whole Cayley tower (GeneratorSet -> DirectProductGroup ->
+        # ButterflyGroup) reflects into interpretable instances
+        from repro.core.hyperbutterfly import HyperButterfly
+
+        hb = HyperButterfly(1, 3)
+        sym = repo_eval.reflect(hb)
+        for v in list(hb.nodes())[:6]:
+            assert repo_eval.call_method(sym, "neighbors", [v]) == hb.neighbors(v)
+        assert repo_eval.get_attr(sym, "num_nodes") == hb.num_nodes
+
+    def test_opaque_attribute_poisons_only_its_uses(self):
+        src = (
+            "class C:\n"
+            "    def uses_opaque(self):\n"
+            "        return self.mystery + 1\n"
+            "    def pure(self):\n"
+            "        return self.x * 2\n"
+        )
+        ev = Evaluator(_program_from_src(src))
+
+        class _Runtime:
+            pass
+
+        obj = _Runtime()
+        obj.x = 21
+        obj.mystery = object()  # unconvertible -> OPAQUE
+        obj.__class__.__name__  # noqa: B018 - documents the reflection key
+        _Runtime.__module__ = "m"
+        _Runtime.__name__ = "C"
+        _Runtime.__qualname__ = "C"
+        sym = ev.reflect(obj)
+        assert ev.call_method(sym, "pure", []) == 42
+        with pytest.raises(Unsupported):
+            ev.call_method(sym, "uses_opaque", [])

@@ -1,0 +1,290 @@
+"""Tests for the HB8xx symbolic verification rules and their index.
+
+The rule fixtures already run in the engine self-test; here we pin the
+*semantics*: extraction of specs/codec registrations from source, witness
+contents for each violation kind, the skip-on-Unsupported contract, and
+that the real repository is HB8xx-clean.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.devtools.reprolint.context import FileContext, ProjectContext
+from repro.devtools.reprolint.engine import lint_paths, lint_sources
+from repro.devtools.reprolint.registry import get_rule
+from repro.devtools.reprolint.verification import VerificationIndex
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+TOPOLOGY = (
+    "class Ringlet:\n"
+    "    def __init__(self, k):\n"
+    "        self.k = k\n"
+    "    @property\n"
+    "    def num_nodes(self):\n"
+    "        return self.k\n"
+    "    def nodes(self):\n"
+    "        return iter(range(self.k))\n"
+    "    def has_node(self, v):\n"
+    "        return isinstance(v, int) and 0 <= v < self.k\n"
+    "    def neighbors(self, v):\n"
+    "        return [(v + 1) % self.k, (v - 1) % self.k]\n"
+)
+
+SPEC = (
+    "register_invariants(\n"
+    "    InvariantSpec(\n"
+    "        family='Ringlet', params=('k',), build=Ringlet,\n"
+    "        small=((5,), (6,)), degree='2', paper='Section 4',\n"
+    "    )\n"
+    ")\n"
+)
+
+CODEC = (
+    "class RingletCodec:\n"
+    "    def __init__(self, k):\n"
+    "        self.k = k\n"
+    "        self.num_nodes = k\n"
+    "    def rank(self, label):\n"
+    "        return label\n"
+    "    def unrank(self, idx):\n"
+    "        return idx\n"
+    "    def supports_implicit(self):\n"
+    "        return True\n"
+    "    def neighbors_block(self, idx):\n"
+    "        return [(idx + 1) % self.k, (idx - 1) % self.k]\n"
+    "\n"
+    "def _ringlet_factory(t):\n"
+    "    return RingletCodec(t.k)\n"
+    "\n"
+    "register_codec('Ringlet', _ringlet_factory)\n"
+)
+
+TOPO_PATH = "src/repro/topologies/ringlet.py"
+CODEC_PATH = "src/repro/fastgraph/ringletcodec.py"
+
+
+def _project(sources: dict[str, str]) -> ProjectContext:
+    return ProjectContext(
+        files=[FileContext.from_source(p, s) for p, s in sorted(sources.items())]
+    )
+
+
+def _index(sources: dict[str, str]) -> VerificationIndex:
+    return VerificationIndex(_project(sources))
+
+
+class TestExtraction:
+    def test_spec_fields_extracted(self):
+        index = _index({TOPO_PATH: TOPOLOGY + "\n" + SPEC})
+        assert set(index.specs) == {"Ringlet"}
+        spec = index.specs["Ringlet"]
+        assert spec.params == ("k",)
+        assert spec.build_name == "Ringlet"
+        assert spec.small == ((5,), (6,))
+        assert spec.degree == "2"
+        assert spec.regular is True
+        assert spec.paper == "Section 4"
+        assert spec.degree_bounds_at((5,)) == (2, 2)
+
+    def test_codec_registration_extracted(self):
+        index = _index({CODEC_PATH: CODEC})
+        assert set(index.codec_registrations) == {"Ringlet"}
+        reg = index.codec_registrations["Ringlet"]
+        assert reg.factory_name == "_ringlet_factory"
+
+    def test_missing_spec_listed(self):
+        index = _index({CODEC_PATH: CODEC})
+        assert [r.family for r in index.families_missing_specs()] == ["Ringlet"]
+        full = _index({TOPO_PATH: TOPOLOGY + "\n" + SPEC, CODEC_PATH: CODEC})
+        assert full.families_missing_specs() == []
+
+    def test_unparseable_spec_is_skipped(self):
+        bad = TOPOLOGY + (
+            "\nregister_invariants(\n"
+            "    InvariantSpec(family='Ringlet', params=('k',), build=Ringlet,\n"
+            "                  small=make_grid())\n"
+            ")\n"
+        )
+        index = _index({TOPO_PATH: bad})
+        assert index.specs == {}
+
+
+class TestWitnesses:
+    def test_clean_family_produces_no_witnesses(self):
+        index = _index({TOPO_PATH: TOPOLOGY + "\n" + SPEC, CODEC_PATH: CODEC})
+        spec = index.specs["Ringlet"]
+        for point in spec.small:
+            assert list(index.check_bijectivity(spec, point)) == []
+            assert list(index.check_neighbor_symmetry(spec, point)) == []
+            assert list(index.check_degree_formula(spec, point)) == []
+            assert list(index.check_label_safety(spec, point)) == []
+            assert list(index.check_scalar_block_agreement(spec, point)) == []
+
+    def test_bijectivity_witness_names_the_index(self):
+        broken = CODEC.replace(
+            "    def rank(self, label):\n        return label\n",
+            "    def rank(self, label):\n        return label % (self.k - 1)\n",
+        )
+        index = _index({TOPO_PATH: TOPOLOGY + "\n" + SPEC, CODEC_PATH: broken})
+        spec = index.specs["Ringlet"]
+        witnesses = list(index.check_bijectivity(spec, (5,)))
+        assert len(witnesses) == 1
+        w = witnesses[0]
+        assert w["family"] == "Ringlet" and w["params"] == [5]
+        # rank(unrank(4)) == 4 % 4 == 0 — the first failing index is 4
+        assert w["idx"] == 4
+
+    def test_symmetry_witness_names_the_pair(self):
+        broken = TOPOLOGY.replace(
+            "        return [(v + 1) % self.k, (v - 1) % self.k]\n",
+            "        return [(v + 1) % self.k]\n",
+        )
+        index = _index({TOPO_PATH: broken + "\n" + SPEC})
+        spec = index.specs["Ringlet"]
+        witnesses = list(index.check_neighbor_symmetry(spec, (5,)))
+        assert len(witnesses) == 1
+        assert "u" in witnesses[0] and "v" in witnesses[0]
+
+    def test_degree_witness_reports_bounds(self):
+        index = _index(
+            {TOPO_PATH: TOPOLOGY + "\n" + SPEC.replace("degree='2'", "degree='3'")}
+        )
+        spec = index.specs["Ringlet"]
+        witnesses = list(index.check_degree_formula(spec, (5,)))
+        assert witnesses[0]["degree"] == 2
+        assert witnesses[0]["expected_min"] == 3
+
+    def test_irregular_degree_range_accepted(self):
+        spec_src = SPEC.replace(
+            "degree='2'", "regular=False, degree_min='2', degree_max='2'"
+        )
+        index = _index({TOPO_PATH: TOPOLOGY + "\n" + spec_src})
+        spec = index.specs["Ringlet"]
+        assert list(index.check_degree_formula(spec, (5,))) == []
+
+    def test_self_loop_witness(self):
+        broken = TOPOLOGY.replace(
+            "        return [(v + 1) % self.k, (v - 1) % self.k]\n",
+            "        return [(v + 1) % self.k, v]\n",
+        )
+        index = _index({TOPO_PATH: broken + "\n" + SPEC})
+        spec = index.specs["Ringlet"]
+        witnesses = list(index.check_label_safety(spec, (5,)))
+        assert witnesses[0]["kind"] == "self-loop"
+
+    def test_invalid_label_witness(self):
+        broken = TOPOLOGY.replace(
+            "        return [(v + 1) % self.k, (v - 1) % self.k]\n",
+            "        return [(v + 1) % self.k, self.k + 7]\n",
+        )
+        index = _index({TOPO_PATH: broken + "\n" + SPEC})
+        spec = index.specs["Ringlet"]
+        kinds = [w["kind"] for w in index.check_label_safety(spec, (5,))]
+        assert kinds == ["invalid-label"]
+
+    def test_block_divergence_witness(self):
+        broken = CODEC.replace(
+            "        return [(idx + 1) % self.k, (idx - 1) % self.k]\n",
+            "        return [(idx - 1) % self.k, (idx + 1) % self.k]\n",
+        )
+        index = _index({TOPO_PATH: TOPOLOGY + "\n" + SPEC, CODEC_PATH: broken})
+        spec = index.specs["Ringlet"]
+        witnesses = list(index.check_scalar_block_agreement(spec, (5,)))
+        assert len(witnesses) == 1
+        assert "block_row" in witnesses[0] and "scalar_ranks" in witnesses[0]
+
+    def test_unsupported_construct_skips_silently(self):
+        # a dataclass-built family is outside the executor's model: the
+        # checks must skip, not crash and not report
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Weird:\n"
+            "    k: int\n"
+            "register_invariants(\n"
+            "    InvariantSpec(family='Weird', params=('k',), build=Weird,\n"
+            "                  small=((3,),), degree='2')\n"
+            ")\n"
+        )
+        index = _index({TOPO_PATH: src})
+        spec = index.specs["Weird"]
+        assert list(index.check_neighbor_symmetry(spec, (3,))) == []
+        assert list(index.check_degree_formula(spec, (3,))) == []
+
+
+class TestRulesEndToEnd:
+    def test_hb801_finding_carries_witness(self):
+        broken = CODEC.replace(
+            "    def rank(self, label):\n        return label\n",
+            "    def rank(self, label):\n        return label % (self.k - 1)\n",
+        )
+        report = lint_sources(
+            {TOPO_PATH: TOPOLOGY + "\n" + SPEC, CODEC_PATH: broken},
+            rules=[get_rule("HB801")],
+        )
+        # one finding per swept small point — (5,) and (6,)
+        assert len(report.active) == 2
+        finding = report.active[0]
+        assert finding.rule_id == "HB801"
+        assert "idx=4" in finding.message
+        assert finding.path == TOPO_PATH  # anchored at the spec registration
+
+    def test_hb806_anchored_at_codec_registration(self):
+        report = lint_sources({CODEC_PATH: CODEC}, rules=[get_rule("HB806")])
+        assert len(report.active) == 1
+        assert report.active[0].path == CODEC_PATH
+        assert "Ringlet" in report.active[0].message
+
+    def test_real_repo_is_hb8xx_clean(self):
+        rules = [get_rule(f"HB80{i}") for i in range(1, 7)]
+        report = lint_paths([str(REPO_ROOT / "src")], rules=rules)
+        assert [f.render() for f in report.active] == []
+
+
+class TestRealRepoIndex:
+    @pytest.fixture(scope="class")
+    def repo_index(self) -> VerificationIndex:
+        report_sources = {}
+        for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            report_sources[rel] = path.read_text()
+        return _index(report_sources)
+
+    def test_every_registered_family_has_a_spec(self, repo_index):
+        assert repo_index.families_missing_specs() == []
+        assert set(repo_index.codec_registrations) <= set(repo_index.specs)
+
+    def test_paper_families_present(self, repo_index):
+        for family in (
+            "HyperButterfly",
+            "Hypercube",
+            "WrappedButterfly",
+            "CayleyButterfly",
+            "DeBruijn",
+            "HyperDeBruijn",
+            "Cycle",
+            "Torus",
+        ):
+            assert family in repo_index.specs, family
+
+    def test_statically_checkable_families_verify(self, repo_index):
+        # the families the executor can build statically must all pass
+        # their first small point through every check
+        verified = []
+        for family, spec in sorted(repo_index.specs.items()):
+            point = spec.small[0]
+            state = repo_index._state(spec, point)
+            if state.skipped or state.nodes is None:
+                continue
+            assert list(repo_index.check_neighbor_symmetry(spec, point)) == []
+            assert list(repo_index.check_degree_formula(spec, point)) == []
+            assert list(repo_index.check_label_safety(spec, point)) == []
+            verified.append(family)
+        # the pure-arithmetic families must be statically reachable —
+        # a regression that silently skips them would gut the rules
+        for family in ("Hypercube", "WrappedButterfly", "DeBruijn", "Cycle", "Torus"):
+            assert family in verified, family
