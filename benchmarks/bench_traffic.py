@@ -1,0 +1,274 @@
+"""E16 — vectorized flow engine: saturation campaign + event-sim pinning.
+
+Emits ``BENCH_traffic.json``.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_traffic.py [output.json] [--quick]
+
+Three sections:
+
+* **campaign** (deterministic) — latency-vs-load curves and saturation
+  throughput per workload family on the flagship ``HB(6,11)`` (1,441,792
+  nodes) against node-count-matched ``HD(6,14)`` and ``H_20`` baselines,
+  every measurement at or above 10^6 flows, all through
+  :func:`repro.simulation.campaign.run_traffic_campaign`.
+* **equivalence** (deterministic) — the flow engine replayed against the
+  discrete-event :class:`NetworkSimulator` on a small-instance grid
+  (HB/HD/hypercube/butterfly × fault regimes), asserting per-flow
+  bit-identical delivery ticks, hop counts and drop reasons.
+* **speedup** (wall-clock; the only nondeterministic section) — the same
+  uniform workload at the largest size the event simulator still finishes
+  in reasonable time, event-by-event versus vectorized; the full run
+  asserts the >= 100x bar.
+
+``--quick`` keeps everything under a minute for CI smoke: a small
+campaign, a reduced grid, a tiny speedup probe with no 100x assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+
+#: full-mode campaign: >= 10^6 flows per row on the 1.44M-node flagship
+FLAGSHIP = dict(m=6, n=11, flows_target=1_100_000)
+FLAGSHIP_FAMILIES = (
+    "uniform",
+    "permutation",
+    "bit_reversal",
+    "transpose",
+    "tornado",
+    "hotspot",
+)
+FLAGSHIP_LOADS = (0.05, 0.15, 0.4, 1.0)
+
+#: speedup probe — largest size the event simulator finishes in ~a minute
+SPEEDUP_INSTANCE = (4, 8)
+SPEEDUP_FLOWS = 30_000
+SPEEDUP_BAR = 100.0
+
+#: equivalence grid: (builder key, args) — small enough for the event sim
+EQUIV_GRID = [
+    ("hb", (2, 3)),
+    ("hd", (2, 3)),
+    ("hypercube", (4,)),
+    ("butterfly", (3,)),
+]
+EQUIV_FLOWS = 120
+
+
+def _build(key: str, args: tuple):
+    if key == "hb":
+        from repro.core.hyperbutterfly import HyperButterfly
+
+        return HyperButterfly(*args)
+    if key == "hd":
+        from repro.topologies.hyperdebruijn import HyperDeBruijn
+
+        return HyperDeBruijn(*args)
+    if key == "hypercube":
+        from repro.topologies.hypercube import Hypercube
+
+        return Hypercube(*args)
+    from repro.topologies.butterfly_cayley import CayleyButterfly
+
+    return CayleyButterfly(*args)
+
+
+def _sample_regime(topology, seed: int):
+    """Static faults + an integer-time transient schedule, seeded."""
+    from repro.faults.dynamic import FaultEvent, FaultSchedule
+    from repro.faults.model import canonical_link
+
+    rng = random.Random(seed)
+    nodes = list(topology.nodes())
+    edges = list(topology.edges())
+    static_nodes = rng.sample(nodes, 2)
+    static_links = rng.sample(edges, 2)
+    events = []
+    for t in (1, 2, 4):
+        v = rng.choice(nodes)
+        events.append(FaultEvent(float(t), "fail", "node", v))
+        events.append(FaultEvent(float(t + 2), "repair", "node", v))
+        u, w = rng.choice(edges)
+        events.append(FaultEvent(float(t), "fail", "link", canonical_link(u, w)))
+        events.append(FaultEvent(float(t + 3), "repair", "link", canonical_link(u, w)))
+    return static_nodes, static_links, FaultSchedule(topology, events)
+
+
+def _pin_once(topology, *, faulty: bool, ttl: int | None, seed: int) -> dict:
+    """One engine-vs-event replay; asserts bit-identical per-flow outcomes."""
+    from repro.simulation.flow import DROP_REASONS, FlowEngine, routes_block
+    from repro.simulation.network import NetworkSimulator
+    from repro.simulation.protocols import PrecomputedPathProtocol
+    from repro.simulation.workloads import build_workload
+
+    static_nodes: list = []
+    static_links: list = []
+    schedule = None
+    if faulty:
+        static_nodes, static_links, schedule = _sample_regime(topology, seed)
+    tm = build_workload(topology, "uniform", count=EQUIV_FLOWS, seed=seed, per_tick=20)
+    routes = routes_block(topology, tm.sources, tm.targets)
+    sim = NetworkSimulator(
+        topology,
+        PrecomputedPathProtocol(routes.path_fn(tm)),
+        faults=static_nodes,
+        link_faults=static_links,
+        schedule=schedule,
+        ttl=ttl,
+    )
+    for i, (s, t) in enumerate(tm.pairs(routes.codec)):
+        sim.inject(s, t, at=float(tm.inject_at[i]))
+    sim.run()
+    engine = FlowEngine(
+        topology,
+        tm,
+        routes,
+        faults=static_nodes,
+        link_faults=static_links,
+        schedule=schedule,
+        ttl=ttl,
+    ).run()
+    res = engine.result()
+    for i, packet in enumerate(sim.packets):
+        delivered = packet.delivered_at
+        flow_tick = int(res.delivered_at[i])
+        assert (delivered is None) == (flow_tick < 0), (topology.name, i)
+        if delivered is not None:
+            assert float(flow_tick) == delivered, (topology.name, i)
+        assert packet.hops == int(res.hops[i]), (topology.name, i)
+        assert (packet.drop_reason or "") == DROP_REASONS[res.drop_code[i]], (
+            topology.name,
+            i,
+        )
+    assert sim.stats() == engine.stats()
+    return {
+        "instance": topology.name,
+        "flows": tm.num_flows,
+        "faulty": faulty,
+        "ttl": ttl,
+        "delivered": engine.stats().delivered,
+        "identical": True,
+    }
+
+
+def bench_equivalence(grid) -> dict:
+    rows = []
+    for key, args in grid:
+        topology = _build(key, args)
+        for faulty, ttl in ((False, None), (True, None), (True, 3)):
+            row = _pin_once(topology, faulty=faulty, ttl=ttl, seed=11)
+            rows.append(row)
+            print(
+                f"equivalence {row['instance']:>12s} faulty={faulty!s:5s} "
+                f"ttl={ttl}  delivered {row['delivered']}/{row['flows']}  OK"
+            )
+    return {"grid": rows, "all_identical": all(r["identical"] for r in rows)}
+
+
+def bench_speedup(m: int, n: int, flows: int, *, assert_bar: bool) -> dict:
+    """Event-by-event vs vectorized wall clock on identical traffic."""
+    from repro.core.hyperbutterfly import HyperButterfly
+    from repro.simulation.flow import FlowEngine, routes_block
+    from repro.simulation.network import NetworkSimulator
+    from repro.simulation.protocols import HBObliviousProtocol
+    from repro.simulation.workloads import build_workload
+
+    hb = HyperButterfly(m, n)
+    per_tick = max(1, flows // 10)
+    tm = build_workload(hb, "uniform", count=flows, seed=0, per_tick=per_tick)
+
+    started = time.perf_counter()
+    routes = routes_block(hb, tm.sources, tm.targets)
+    engine = FlowEngine(hb, tm, routes).run()
+    flow_seconds = time.perf_counter() - started
+    flow_stats = engine.stats()
+
+    started = time.perf_counter()
+    sim = NetworkSimulator(hb, HBObliviousProtocol(hb))
+    for i, (s, t) in enumerate(tm.pairs(routes.codec)):
+        sim.inject(s, t, at=float(tm.inject_at[i]))
+    sim.run()
+    event_seconds = time.perf_counter() - started
+    event_stats = sim.stats()
+
+    assert flow_stats.delivered == tm.num_flows
+    assert event_stats.delivered == tm.num_flows
+    speedup = event_seconds / flow_seconds
+    print(
+        f"speedup {hb.name}: event {event_seconds:.2f}s vs "
+        f"flow {flow_seconds:.3f}s (routes included) -> {speedup:.0f}x"
+    )
+    if assert_bar:
+        assert speedup >= SPEEDUP_BAR, (speedup, SPEEDUP_BAR)
+    return {
+        "instance": hb.name,
+        "nodes": hb.num_nodes,
+        "flows": tm.num_flows,
+        "protocol_event": "HBObliviousProtocol",
+        "protocol_flow": "routes_block(oracle)",
+        "event_seconds": round(event_seconds, 4),
+        "flow_seconds": round(flow_seconds, 4),
+        "speedup": round(speedup, 1),
+        "event_mean_latency": round(event_stats.mean_latency, 6),
+        "flow_mean_latency": round(flow_stats.mean_latency, 6),
+    }
+
+
+def bench_campaign(quick: bool) -> dict:
+    from repro.simulation.campaign import TrafficCampaignConfig, run_traffic_campaign
+
+    if quick:
+        config = TrafficCampaignConfig.quick(2, 3)
+    else:
+        config = TrafficCampaignConfig(
+            families=FLAGSHIP_FAMILIES, loads=FLAGSHIP_LOADS, **FLAGSHIP
+        )
+    started = time.perf_counter()
+    results = run_traffic_campaign(config)
+    print(f"campaign ({'quick' if quick else 'flagship'}): "
+          f"{time.perf_counter() - started:.1f}s")
+    for network in results["networks"]:
+        for fam in network["families"]:
+            print(
+                f"  {network['name']:>10s} {fam['family']:<12s} "
+                f"saturation {fam['saturation_throughput']:.4f} "
+                f"at load {fam['saturation_offered_load']:.3f}"
+            )
+    return results
+
+
+def main(out_path: str = "BENCH_traffic.json", *flags: str) -> dict:
+    quick = "--quick" in flags
+    campaign = bench_campaign(quick)
+    grid = EQUIV_GRID[:2] if quick else EQUIV_GRID
+    equivalence = bench_equivalence(grid)
+    if quick:
+        speedup = bench_speedup(2, 4, 2_000, assert_bar=False)
+    else:
+        m, n = SPEEDUP_INSTANCE
+        speedup = bench_speedup(m, n, SPEEDUP_FLOWS, assert_bar=True)
+    payload = {
+        "campaign": campaign,
+        "equivalence": equivalence,
+        "speedup": speedup,
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "mode": "quick" if quick else "full",
+        },
+    }
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+if __name__ == "__main__":
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flag_args = [a for a in sys.argv[1:] if a.startswith("--")]
+    main(args[0] if args else "BENCH_traffic.json", *flag_args)

@@ -16,9 +16,12 @@ pairs.  The paper leans on exactly this (Remark 7) to reduce routing in
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterator
 
 import networkx as nx
+
+if TYPE_CHECKING:  # numpy stays a lazy import at runtime
+    import numpy as np
 
 from repro.cayley.group import DirectProductGroup, Group, GeneratorSet
 from repro.errors import InvalidLabelError
@@ -302,6 +305,82 @@ class DistanceOracle:
             v = self.group.multiply(v, self.group.inverse(self.gens.generators[i]))
         word_rev.reverse()
         return word_rev
+
+    def factor_split(
+        self,
+    ) -> tuple["DistanceOracle", tuple[int, ...], "DistanceOracle", tuple[int, ...]] | None:
+        """The product backend's factor oracles, or ``None``.
+
+        Returns ``(left, left_index, right, right_index)`` where the index
+        tuples lift each factor's local generator indices to positions in
+        the parent generator set — the layout :meth:`generator_word` uses.
+        Bulk consumers (the flow-level route builder) combine the factors'
+        :meth:`word_table` results through these lifts.
+        """
+        if self._left is None or self._right is None:
+            return None
+        return (self._left, self._left_index, self._right, self._right_index)
+
+    def word_table(self) -> tuple["np.ndarray", "np.ndarray"]:
+        """All generator words at once: ``(words, dist)`` arrays by rank.
+
+        ``words`` is ``(order, eccentricity)`` int16 — row ``r`` holds the
+        generator-index word of the element of codec rank ``r``, padded
+        with ``-1`` beyond ``dist[r]`` — and equals
+        :meth:`generator_word` row for row (same BFS tree, filled level by
+        level instead of per-element backtracking).  Product oracles raise:
+        callers go through :meth:`factor_split` and concatenate factor
+        words themselves.
+        """
+        import numpy as np
+
+        from repro.errors import InvalidParameterError
+
+        if self._left is not None and self._right is not None:
+            raise InvalidParameterError(
+                "product oracle has no single word table; use factor_split()"
+            )
+        if self._dist_arr is not None:
+            dist = np.asarray(self._dist_arr, dtype=np.int64)
+            via = np.asarray(self._via_arr, dtype=np.int64)
+            parent = np.asarray(self._parent_arr, dtype=np.int64)
+        else:
+            # dict backend: materialise rank-indexed arrays once
+            from repro.fastgraph.codecs import codec_for_group
+
+            codec = codec_for_group(self.group)
+            if codec is None:
+                raise InvalidParameterError(
+                    f"no codec for group {type(self.group).__name__}; "
+                    "word_table needs rank-addressable elements"
+                )
+            order = codec.num_nodes
+            dist = np.full(order, -1, dtype=np.int64)
+            via = np.full(order, -1, dtype=np.int64)
+            parent = np.full(order, -1, dtype=np.int64)
+            identity = self.group.identity()
+            for element, d in self._dist.items():
+                r = codec.rank(element)
+                dist[r] = d
+                if element == identity:
+                    continue
+                i = self._via[element]
+                via[r] = i
+                back = self.group.multiply(
+                    element, self.group.inverse(self.gens.generators[i])
+                )
+                parent[r] = codec.rank(back)
+        ecc = int(dist.max()) if dist.size else 0
+        words = np.full((dist.size, max(ecc, 0)), -1, dtype=np.int16)
+        # level-by-level prefix copy: parents at distance d-1 are complete
+        # before any element at distance d copies from them
+        for d in range(1, ecc + 1):
+            sel = np.flatnonzero(dist == d)
+            if d > 1:
+                words[sel, : d - 1] = words[parent[sel], : d - 1]
+            # generator indices are tiny; the int16 narrowing is lossless
+            words[sel, d - 1] = via[sel].astype(np.int16)
+        return words, dist
 
     def distance(self, u: Hashable, v: Hashable) -> int:
         """Exact distance between arbitrary vertices ``u`` and ``v``."""

@@ -14,6 +14,10 @@ Subcommands:
   (kind × size × count sweep on HB/HD/hypercube, seeded cascade with
   retry-vs-no-retry transport replay, structure-fault diameter probes),
   emitting ``BENCH_structure.json``.
+* ``traffic-campaign M N`` — latency-vs-load traffic campaign through the
+  vectorized flow engine (workload families × offered loads on
+  HB/HD/hypercube with native oblivious routes), emitting
+  ``BENCH_traffic.json``.
 * ``broadcast M N``       — broadcast round counts under all three models.
 * ``metrics FAMILY M [N]`` — exact distance metrics (diameter, average
   distance, full histogram) via the cheapest valid engine: product
@@ -117,6 +121,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_structure.json", help="JSON output path"
     )
     p_sc.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-scale sweep (smoke tests / CI)",
+    )
+
+    p_tc = sub.add_parser(
+        "traffic-campaign",
+        help="latency-vs-load traffic sweep through the vectorized flow "
+        "engine: workload families x offered loads on HB/HD/hypercube "
+        "(JSON output)",
+    )
+    p_tc.add_argument("m", type=int)
+    p_tc.add_argument("n", type=int)
+    p_tc.add_argument("--seed", type=int, default=0)
+    p_tc.add_argument(
+        "--families", default=None, help="comma-separated workload families"
+    )
+    p_tc.add_argument(
+        "--flows-target", type=int, default=None, help="min flows per row"
+    )
+    p_tc.add_argument(
+        "--output", default="BENCH_traffic.json", help="JSON output path"
+    )
+    p_tc.add_argument(
         "--quick",
         action="store_true",
         help="seconds-scale sweep (smoke tests / CI)",
@@ -464,6 +492,41 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffic_campaign(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.simulation.campaign import (
+        TrafficCampaignConfig,
+        run_traffic_campaign,
+        write_campaign_json,
+    )
+
+    if args.quick:
+        config = TrafficCampaignConfig.quick(args.m, args.n, seed=args.seed)
+    else:
+        config = TrafficCampaignConfig(m=args.m, n=args.n, seed=args.seed)
+    overrides: dict = {}
+    if args.families is not None:
+        overrides["families"] = tuple(args.families.split(","))
+    if args.flows_target is not None:
+        overrides["flows_target"] = args.flows_target
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    results = run_traffic_campaign(config)
+    write_campaign_json(results, args.output)
+    for network in results["networks"]:
+        print(f"{network['name']}: {network['num_nodes']} nodes")
+        print("  family        saturation  at-load   peak-latency")
+        for fam in network["families"]:
+            worst = max(row["mean_latency"] for row in fam["curve"])
+            print(
+                f"  {fam['family']:<12}  {fam['saturation_throughput']:10.4f}  "
+                f"{fam['saturation_offered_load']:7.3f}  {worst:12.2f}"
+            )
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_broadcast(args: argparse.Namespace) -> int:
     from repro import HyperButterfly, broadcast_rounds
     from repro.core.broadcast import broadcast_lower_bound
@@ -486,6 +549,7 @@ _HANDLERS = {
     "faults": _cmd_faults,
     "faults-campaign": _cmd_faults_campaign,
     "structure-campaign": _cmd_structure_campaign,
+    "traffic-campaign": _cmd_traffic_campaign,
     "broadcast": _cmd_broadcast,
     "metrics": _cmd_metrics,
     "prove": _cmd_prove,

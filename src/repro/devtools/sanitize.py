@@ -118,6 +118,14 @@ def default_targets() -> list[SanitizeTarget]:
             ),
         ),
         SanitizeTarget(
+            name="traffic-campaign-hb23",
+            argv=(
+                py, "-m", "repro", "traffic-campaign", "2", "3",
+                "--quick", "--flows-target", "200",
+                "--output", "{out}",
+            ),
+        ),
+        SanitizeTarget(
             name="fastgraph-metrics-hb23",
             argv=(py, "-c", _PROBE_SNIPPET.format(out="{out}")),
         ),

@@ -101,6 +101,27 @@ class NodeCodec:
         idx = np.arange(self.num_nodes, dtype=np.int64)
         return np.column_stack([self.apply_generator(idx, s) for s in self.generators])
 
+    # Vectorized group arithmetic ------------------------------------------
+
+    def supports_group_ops(self) -> bool:
+        """Whether :meth:`inverse_block` / :meth:`multiply_block` work.
+
+        True for Cayley-element codecs whose ranks *are* group elements
+        under a packed encoding, so whole arrays of elements can be
+        inverted and composed without unranking.  The flow-level traffic
+        engine uses this to turn ``(source, target)`` rank arrays into
+        quotient elements ``source⁻¹·target`` for bulk route synthesis.
+        """
+        return False
+
+    def inverse_block(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized group inverse of ranked elements."""
+        raise NotImplementedError
+
+    def multiply_block(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized group product ``a · b`` of ranked element arrays."""
+        raise NotImplementedError
+
     # Implicit adjacency ---------------------------------------------------
 
     def supports_implicit(self) -> bool:
@@ -164,6 +185,16 @@ class HypercubeCodec(IntRangeCodec):
     def apply_generator(self, idx: np.ndarray, gen: int) -> np.ndarray:
         return idx ^ gen
 
+    def supports_group_ops(self) -> bool:
+        return True
+
+    def inverse_block(self, idx: np.ndarray) -> np.ndarray:
+        # every element of (Z_2)^m is an involution
+        return idx
+
+    def multiply_block(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a ^ b
+
 
 class ButterflyElementCodec(NodeCodec):
     """Butterfly group ``Z_n ⋉ (Z_2)^n`` elements ``(x, c)`` → ``x << n | c``."""
@@ -196,6 +227,33 @@ class ButterflyElementCodec(NodeCodec):
         x2 = (x + dx) % n
         rotated = ((dc << x) | (dc >> (n - x))) & word_mask
         return (x2 << n) | (c ^ rotated)
+
+    def supports_group_ops(self) -> bool:
+        return True
+
+    def inverse_block(self, idx: np.ndarray) -> np.ndarray:
+        # (x, c)^-1 = (-x mod n, rot_right(c, x)) — mirrors
+        # ButterflyGroup.inverse with the rotation done on packed words
+        # (x = 0 degenerates to the identity rotation, as in
+        # apply_generator, because c >> 0 | c << n masks back to c).
+        n = self.n
+        word_mask = (1 << n) - 1
+        x = idx >> n
+        c = idx & word_mask
+        rot = ((c >> x) | (c << (n - x))) & word_mask
+        return (((n - x) % n) << n) | rot
+
+    def multiply_block(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # (x, c)·(dx, dc) = ((x + dx) mod n, c ^ rot_left(dc, x)) with the
+        # per-element rotation amount taken from the left operand.
+        n = self.n
+        word_mask = (1 << n) - 1
+        x = a >> n
+        c = a & word_mask
+        dx = b >> n
+        dc = b & word_mask
+        rot = ((dc << x) | (dc >> (n - x))) & word_mask
+        return (((x + dx) % n) << n) | (c ^ rot)
 
 
 class ProductCodec(NodeCodec):
@@ -235,6 +293,26 @@ class ProductCodec(NodeCodec):
         a = idx // nr
         b = idx % nr
         return self.left.apply_generator(a, ga) * nr + self.right.apply_generator(b, gb)
+
+    def supports_group_ops(self) -> bool:
+        # componentwise = the direct-product group law, valid whenever both
+        # factor codecs rank group elements (hyper-butterfly: cube × fly)
+        return self.left.supports_group_ops() and self.right.supports_group_ops()
+
+    def inverse_block(self, idx: np.ndarray) -> np.ndarray:
+        import numpy as np
+
+        nr = self.right.num_nodes
+        a, b = np.divmod(idx, nr)
+        return self.left.inverse_block(a) * nr + self.right.inverse_block(b)
+
+    def multiply_block(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        import numpy as np
+
+        nr = self.right.num_nodes
+        al, ar = np.divmod(a, nr)
+        bl, br = np.divmod(b, nr)
+        return self.left.multiply_block(al, bl) * nr + self.right.multiply_block(ar, br)
 
     def neighbor_table(self) -> np.ndarray | None:
         if self.generators is not None:

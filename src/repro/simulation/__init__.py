@@ -5,6 +5,12 @@ dynamically (DESIGN.md substitution table): store-and-forward packet
 delivery over any :class:`repro.topologies.base.Topology`, pluggable
 routing protocols, synthetic traffic workloads, broadcast, and the leader
 election of the companion paper, with latency/throughput statistics.
+
+Two execution engines share the same topologies, workloads and fault
+models: the exact event-by-event :class:`NetworkSimulator`, and the
+numpy-vectorized :class:`repro.simulation.flow.FlowEngine` that advances
+whole traffic matrices per tick (pinned bit-identical to the event
+simulator under the unit-link model).
 """
 
 from repro.simulation.events import Event, EventQueue
@@ -28,6 +34,22 @@ from repro.simulation.gossip import (
     single_port_gossip,
     all_port_gossip_rounds,
     gossip_lower_bound,
+)
+from repro.simulation.workloads import (
+    TrafficMatrix,
+    WORKLOAD_FAMILIES,
+    build_workload,
+)
+from repro.simulation.linkconfig import LinkClass, LinkConfig
+from repro.simulation.flow import (
+    FlowEngine,
+    FlowResult,
+    RouteBlock,
+    routes_block,
+)
+from repro.simulation.campaign import (
+    TrafficCampaignConfig,
+    run_traffic_campaign,
 )
 from repro.simulation.stats import LatencyStats
 from repro.simulation.leader_election import (
@@ -53,6 +75,17 @@ __all__ = [
     "hotspot_traffic",
     "bit_reversal_traffic",
     "translation_traffic",
+    "TrafficMatrix",
+    "WORKLOAD_FAMILIES",
+    "build_workload",
+    "LinkClass",
+    "LinkConfig",
+    "FlowEngine",
+    "FlowResult",
+    "RouteBlock",
+    "routes_block",
+    "TrafficCampaignConfig",
+    "run_traffic_campaign",
     "single_port_gossip",
     "all_port_gossip_rounds",
     "gossip_lower_bound",

@@ -1,0 +1,164 @@
+"""Traffic campaigns: latency-vs-load curves through the flow engine.
+
+The classic interconnection-network methodology: for each workload family
+and each offered load (flows per node per tick), inject a paced traffic
+matrix, run it to completion through the vectorized
+:class:`repro.simulation.flow.FlowEngine`, and record delivery, latency
+and per-node accepted throughput.  The *saturation throughput* of a
+family is the largest accepted throughput seen across the load sweep —
+the flat top of the accepted-vs-offered curve once queueing dominates.
+
+``HB(m, n)`` is compared against node-count-matched baselines (hyper-de
+Bruijn with the same cube dimension, and the plain hypercube), each
+routed by its own native oblivious scheme (the same routes the event
+simulator's protocols take, built in bulk by
+:func:`repro.simulation.flow.routes_block`).
+
+Every measurement keeps the flow count at or above ``flows_target`` by
+widening the injection window at low loads, so latency means are
+comparably tight across the sweep.  Everything is seeded and integer-
+-timed; the same :class:`TrafficCampaignConfig` reproduces the emitted
+JSON bit for bit (the campaign determinism test enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.core.hyperbutterfly import HyperButterfly
+from repro.errors import InvalidParameterError
+from repro.faults.campaigns import write_campaign_json
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.hyperdebruijn import HyperDeBruijn
+
+__all__ = [
+    "TrafficCampaignConfig",
+    "run_traffic_campaign",
+    "write_campaign_json",
+]
+
+_DEFAULT_FAMILIES = (
+    "uniform",
+    "permutation",
+    "bit_reversal",
+    "transpose",
+    "tornado",
+    "hotspot",
+    "incast",
+    "bursty",
+)
+
+
+@dataclass(frozen=True)
+class TrafficCampaignConfig:
+    """Parameters of one traffic campaign on ``HB(m, n)`` + baselines."""
+
+    m: int = 3
+    n: int = 4
+    seed: int = 0
+    families: tuple[str, ...] = _DEFAULT_FAMILIES
+    #: offered loads, in flows per node per tick
+    loads: tuple[float, ...] = (0.05, 0.1, 0.25, 0.5, 1.0)
+    #: minimum flows per measurement (injection window widens at low load)
+    flows_target: int = 20_000
+    ttl: int | None = None
+
+    @classmethod
+    def quick(cls, m: int, n: int, *, seed: int = 0) -> "TrafficCampaignConfig":
+        """A seconds-scale configuration for smoke tests and CI."""
+        return cls(
+            m=m,
+            n=n,
+            seed=seed,
+            loads=(0.1, 0.5),
+            flows_target=400,
+        )
+
+
+def _round(x: float) -> float:
+    return round(x, 6)
+
+
+def _baselines(hb: HyperButterfly) -> list[Any]:
+    """Node-count-matched comparison networks (same log2 scale as HB)."""
+    import math
+
+    bits = max(3, round(math.log2(hb.num_nodes)))
+    return [
+        hb,
+        HyperDeBruijn(hb.m, max(1, bits - hb.m)),
+        Hypercube(bits),
+    ]
+
+
+def _family_curve(
+    topology: Any, family: str, config: TrafficCampaignConfig
+) -> list[dict]:
+    from repro.simulation.flow import FlowEngine, routes_block
+    from repro.simulation.workloads import build_workload
+
+    num_nodes = topology.num_nodes
+    rows: list[dict] = []
+    for load in config.loads:
+        per_tick = max(1, round(load * num_nodes))
+        ticks = max(1, -(-config.flows_target // per_tick))
+        count = per_tick * ticks
+        tm = build_workload(
+            topology, family, count=count, seed=config.seed, per_tick=per_tick
+        )
+        routes = routes_block(topology, tm.sources, tm.targets)
+        engine = FlowEngine(topology, tm, routes, ttl=config.ttl).run()
+        stats = engine.stats()
+        # accepted throughput: delivered flows per node per tick over the
+        # whole run (injection window + drain)
+        span = stats.makespan + 1.0
+        rows.append(
+            {
+                "offered_load": _round(per_tick / num_nodes),
+                "flows": tm.num_flows,
+                "injection_ticks": ticks,
+                "delivered": stats.delivered,
+                "delivery_ratio": _round(stats.delivery_rate),
+                "mean_latency": _round(stats.mean_latency),
+                "max_latency": _round(stats.max_latency),
+                "mean_hops": _round(stats.mean_hops),
+                "makespan": _round(stats.makespan),
+                "throughput_per_node": _round(
+                    stats.delivered / (span * num_nodes)
+                ),
+            }
+        )
+    return rows
+
+
+def run_traffic_campaign(config: TrafficCampaignConfig) -> dict:
+    """Latency-vs-load sweeps: families × loads on HB + matched baselines."""
+    from repro.simulation.workloads import WORKLOAD_FAMILIES
+
+    unknown = [f for f in config.families if f not in WORKLOAD_FAMILIES]
+    if unknown:
+        raise InvalidParameterError(f"unknown workload families: {unknown!r}")
+    hb = HyperButterfly(config.m, config.n)
+    networks = []
+    for topology in _baselines(hb):
+        families = []
+        for family in config.families:
+            curve = _family_curve(topology, family, config)
+            peak = max(curve, key=lambda r: r["throughput_per_node"])
+            families.append(
+                {
+                    "family": family,
+                    "curve": curve,
+                    "saturation_throughput": peak["throughput_per_node"],
+                    "saturation_offered_load": peak["offered_load"],
+                }
+            )
+        networks.append(
+            {
+                "name": topology.name,
+                "num_nodes": topology.num_nodes,
+                "families": families,
+            }
+        )
+    return {"config": asdict(config), "networks": networks}

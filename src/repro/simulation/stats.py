@@ -41,6 +41,41 @@ class LatencyStats:
         )
 
     @classmethod
+    def from_arrays(
+        cls,
+        inject_at: Sequence,
+        delivered_at: Sequence,
+        hops: Sequence,
+        *,
+        dropped: int | None = None,
+    ) -> "LatencyStats":
+        """Bulk ingestion from per-flow arrays (the flow-engine path).
+
+        ``delivered_at[i] < 0`` means flow ``i`` was not delivered.  Sums
+        run in int64 — exact, hence bit-equal to :meth:`from_packets` on
+        the same integer-tick outcomes.  ``dropped`` defaults to every
+        undelivered flow; pass the true count when some are still in
+        flight (e.g. a truncated run).
+        """
+        import numpy as np
+
+        inject = np.asarray(inject_at, dtype=np.int64)
+        done_at = np.asarray(delivered_at, dtype=np.int64)
+        hop_arr = np.asarray(hops, dtype=np.int64)
+        done = done_at >= 0
+        count = int(done.sum())
+        latencies = done_at[done] - inject[done]
+        return cls(
+            injected=len(inject),
+            delivered=count,
+            dropped=len(inject) - count if dropped is None else dropped,
+            mean_latency=int(latencies.sum()) / count if count else 0.0,
+            max_latency=float(latencies.max()) if count else 0.0,
+            mean_hops=int(hop_arr[done].sum()) / count if count else 0.0,
+            makespan=float(done_at[done].max()) if count else 0.0,
+        )
+
+    @classmethod
     def merge(cls, parts: Sequence["LatencyStats"]) -> "LatencyStats":
         """Combine per-shard stats as if their packets were one set.
 

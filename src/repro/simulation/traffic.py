@@ -10,16 +10,21 @@ butterfly-family networks, adapted to the two-part HB label space:
 * **translation** — every node sends to ``v·δ`` for a fixed group element
   ``δ`` (the Cayley-graph analogue of tornado traffic: perfectly uniform
   link demand by vertex transitivity).
+
+These are the label-level (Hashable) wrappers; the draws themselves live
+in :mod:`repro.simulation.workloads` as rank-based generators shared with
+the vectorized flow engine.  Enumeration position in ``topology.nodes()``
+equals the :class:`repro.fastgraph.codecs.NodeCodec` rank for every
+registered family, so the two APIs agree on which node each draw means.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Hashable
 
-from repro._bits import mask
 from repro.core.hyperbutterfly import HBNode, HyperButterfly
 from repro.errors import InvalidParameterError
+from repro.simulation import workloads
 from repro.topologies.base import Topology
 
 __all__ = [
@@ -36,28 +41,26 @@ def uniform_random_traffic(
 ) -> list[tuple[Hashable, Hashable]]:
     """``count`` independent (source, target) pairs, uniform over distinct
     node pairs — the canonical interconnection-network benchmark load."""
-    if count < 0:
-        raise InvalidParameterError("count must be >= 0")
-    rng = random.Random(seed)
     nodes = list(topology.nodes())
     if len(nodes) < 2:
         raise InvalidParameterError("need at least two nodes")
-    return [tuple(rng.sample(nodes, 2)) for _ in range(count)]
+    src, dst = workloads.uniform_pairs(len(nodes), count, seed=seed)
+    return [(nodes[s], nodes[t]) for s, t in zip(src, dst, strict=True)]
 
 
 def permutation_traffic(
     topology: Topology, *, seed: int = 0
 ) -> list[tuple[Hashable, Hashable]]:
     """A random permutation workload: every node sends to a distinct node
-    (fixed-point-free), stressing global bandwidth uniformly."""
-    rng = random.Random(seed)
+    (fixed-point-free), stressing global bandwidth uniformly.
+
+    Sampled in O(n) by one shuffle plus a deterministic fixed-point
+    cleanup (see :func:`repro.simulation.workloads.derangement_pairs`) —
+    not by rejection, whose retry count is unbounded.
+    """
     nodes = list(topology.nodes())
-    targets = nodes[:]
-    while True:
-        rng.shuffle(targets)
-        if all(s != t for s, t in zip(nodes, targets, strict=True)):
-            break
-    return list(zip(nodes, targets, strict=True))
+    src, dst = workloads.derangement_pairs(len(nodes), seed=seed)
+    return [(nodes[s], nodes[t]) for s, t in zip(src, dst, strict=True)]
 
 
 def hotspot_traffic(
@@ -69,32 +72,16 @@ def hotspot_traffic(
     seed: int = 0,
 ) -> list[tuple[Hashable, Hashable]]:
     """Uniform traffic where a fraction targets one hot node (contention)."""
-    if not 0.0 <= hot_fraction <= 1.0:
-        raise InvalidParameterError("hot_fraction must be in [0, 1]")
-    rng = random.Random(seed)
     nodes = list(topology.nodes())
     if hotspot is None:
-        hotspot = nodes[0]
+        hot_rank = 0
     else:
         topology.validate_node(hotspot)
-    pairs = []
-    for _ in range(count):
-        source = rng.choice(nodes)
-        if rng.random() < hot_fraction and source != hotspot:
-            pairs.append((source, hotspot))
-        else:
-            target = rng.choice(nodes)
-            while target == source:
-                target = rng.choice(nodes)
-            pairs.append((source, target))
-    return pairs
-
-
-def _reverse_bits(word: int, width: int) -> int:
-    out = 0
-    for i in range(width):
-        out |= ((word >> i) & 1) << (width - 1 - i)
-    return out
+        hot_rank = nodes.index(hotspot)
+    src, dst = workloads.hotspot_pairs(
+        len(nodes), count, hotspot=hot_rank, hot_fraction=hot_fraction, seed=seed
+    )
+    return [(nodes[s], nodes[t]) for s, t in zip(src, dst, strict=True)]
 
 
 def bit_reversal_traffic(hb: HyperButterfly) -> list[tuple[HBNode, HBNode]]:
@@ -105,15 +92,9 @@ def bit_reversal_traffic(hb: HyperButterfly) -> list[tuple[HBNode, HBNode]]:
     workload is a valid permutation; fixed points (palindromic addresses)
     are dropped.
     """
-    width = hb.m + hb.n
-    pairs = []
-    for h, (x, c) in hb.nodes():
-        address = (h << hb.n) | c
-        flipped = _reverse_bits(address, width)
-        target = (flipped >> hb.n, (x, flipped & mask(hb.n)))
-        if target != (h, (x, c)):
-            pairs.append(((h, (x, c)), target))
-    return pairs
+    nodes = list(hb.nodes())
+    src, dst = workloads.bit_reversal_pairs(hb)
+    return [(nodes[s], nodes[t]) for s, t in zip(src, dst, strict=True)]
 
 
 def translation_traffic(
@@ -126,9 +107,14 @@ def translation_traffic(
     every sender, by vertex transitivity).  ``δ`` must not be the group
     identity.
     """
-    if delta is None:
-        delta = ((1 << hb.m) - 1, (hb.n // 2, 0))
-    hb.validate_node(delta)
-    if delta == hb.group.identity():
-        raise InvalidParameterError("translation by the identity is a no-op")
-    return [(v, hb.group.multiply(v, delta)) for v in hb.nodes()]
+    delta_rank: int | None = None
+    if delta is not None:
+        hb.validate_node(delta)
+        if delta == hb.group.identity():
+            raise InvalidParameterError("translation by the identity is a no-op")
+        nodes = list(hb.nodes())
+        delta_rank = nodes.index(delta)
+    else:
+        nodes = list(hb.nodes())
+    src, dst = workloads.translation_pairs(hb, delta_rank=delta_rank)
+    return [(nodes[s], nodes[t]) for s, t in zip(src, dst, strict=True)]

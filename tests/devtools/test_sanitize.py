@@ -195,10 +195,14 @@ class TestDefaultTargets:
         assert set(targets) == {
             "faults-campaign-hb23",
             "structure-campaign-hb23",
+            "traffic-campaign-hb23",
             "fastgraph-metrics-hb23",
             "metrics-cli-hb23",
             "metrics-cli-implicit-hb23",
         }
+        traffic = targets["traffic-campaign-hb23"]
+        assert "traffic-campaign" in traffic.argv
+        assert not traffic.uses_stdout
         campaign = targets["faults-campaign-hb23"]
         assert "faults-campaign" in campaign.argv
         assert not campaign.uses_stdout  # writes via {out}

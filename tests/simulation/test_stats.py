@@ -62,6 +62,69 @@ def _close(a: LatencyStats, b: LatencyStats) -> None:
     assert a.makespan == b.makespan
 
 
+def _outcome_strategy():
+    """Integer-tick per-flow outcomes: (inject_at, delivered_at, hops)."""
+    delivered = st.tuples(
+        st.integers(0, 50), st.integers(0, 500), st.integers(0, 40)
+    ).map(lambda t: (t[0], t[0] + t[1], t[2]))
+    undelivered = st.tuples(st.integers(0, 50), st.just(-1), st.integers(0, 40))
+    return st.one_of(delivered, undelivered)
+
+
+class TestFromArrays:
+    """Bulk array ingestion must be bit-equal to the packet path."""
+
+    @given(st.lists(_outcome_strategy(), max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_from_packets_bit_for_bit(self, outcomes):
+        packets = [
+            FakePacket(
+                delivered_at=float(done) if done >= 0 else None,
+                dropped=done < 0,
+                latency=float(done - at) if done >= 0 else 0.0,
+                hops=hops if done >= 0 else 0,
+            )
+            for at, done, hops in outcomes
+        ]
+        via_arrays = LatencyStats.from_arrays(
+            [at for at, _, _ in outcomes],
+            [done for _, done, _ in outcomes],
+            [hops if done >= 0 else 0 for _, done, hops in outcomes],
+        )
+        via_packets = LatencyStats.from_packets(packets)
+        # exact equality, not isclose: int64 sums are exact in float64
+        assert via_arrays == via_packets
+
+    @given(
+        st.lists(_outcome_strategy(), max_size=30),
+        st.integers(0, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_array_shards_equals_the_whole(self, outcomes, cut):
+        cut = min(cut, len(outcomes))
+
+        def build(rows):
+            return LatencyStats.from_arrays(
+                [at for at, _, _ in rows],
+                [done for _, done, _ in rows],
+                [hops for _, _, hops in rows],
+            )
+
+        whole = build(outcomes)
+        merged = LatencyStats.merge([build(outcomes[:cut]), build(outcomes[cut:])])
+        _close(merged, whole)
+
+    def test_empty_arrays(self):
+        stats = LatencyStats.from_arrays([], [], [])
+        assert stats == LatencyStats.from_packets([])
+
+    def test_explicit_dropped_count(self):
+        # one delivered, one dropped, one still in flight
+        stats = LatencyStats.from_arrays([0, 0, 0], [4, -1, -1], [4, 2, 1], dropped=1)
+        assert (stats.injected, stats.delivered, stats.dropped) == (3, 1, 1)
+        assert stats.mean_latency == 4.0  # reprolint: disable=HB301 -- 4/1 is exactly 4.0 in float64
+
+
 class TestMergeIdentities:
     def test_empty_merge_is_the_identity(self):
         empty = LatencyStats.merge([])

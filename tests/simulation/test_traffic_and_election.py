@@ -53,6 +53,47 @@ class TestTraffic:
             hotspot_traffic(hb13, 10, hot_fraction=1.5)
 
 
+class TestLegacyEquality:
+    """The Hashable wrappers now route through the rank-based zoo; the
+    uniform/hotspot draw sequences must stay exactly what the original
+    per-label implementations produced (same seed, same pairs)."""
+
+    def test_uniform_matches_direct_label_draws(self, hb13):
+        import random
+
+        nodes = list(hb13.nodes())
+        rng = random.Random(9)
+        reference = [tuple(rng.sample(nodes, 2)) for _ in range(50)]
+        assert uniform_random_traffic(hb13, 50, seed=9) == reference
+
+    def test_hotspot_matches_direct_label_draws(self, hb13):
+        import random
+
+        nodes = list(hb13.nodes())
+        hot = nodes[3]
+        rng = random.Random(2)
+        reference = []
+        for _ in range(50):
+            source = rng.choice(nodes)
+            if rng.random() < 0.4 and source != hot:
+                reference.append((source, hot))
+            else:
+                target = rng.choice(nodes)
+                while target == source:
+                    target = rng.choice(nodes)
+                reference.append((source, target))
+        got = hotspot_traffic(hb13, 50, hotspot=hot, hot_fraction=0.4, seed=2)
+        assert got == reference
+
+    def test_permutation_covers_all_nodes_in_order(self, hb13):
+        # sources enumerate the node set in codec-rank order; targets are a
+        # seeded derangement built in O(n), no rejection loop
+        pairs = permutation_traffic(hb13, seed=4)
+        assert [s for s, _ in pairs] == list(hb13.nodes())
+        assert pairs == permutation_traffic(hb13, seed=4)
+        assert pairs != permutation_traffic(hb13, seed=5)
+
+
 class TestFloodElection:
     @pytest.mark.parametrize("topology", [Hypercube(4)], ids=["H_4"])
     def test_elects_max_id(self, topology):

@@ -1,0 +1,127 @@
+"""Traffic campaign: structure, determinism, CLI, and link configuration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation.campaign import (
+    TrafficCampaignConfig,
+    run_traffic_campaign,
+    write_campaign_json,
+)
+from repro.simulation.linkconfig import LinkClass, LinkConfig
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    config = TrafficCampaignConfig.quick(2, 3)
+    return config, run_traffic_campaign(config)
+
+
+class TestTrafficCampaign:
+    def test_three_networks_with_all_families(self, quick_results):
+        config, results = quick_results
+        assert [n["name"] for n in results["networks"]] == [
+            "HB(2,3)",
+            "HD(2,5)",
+            "H_7",
+        ]
+        for network in results["networks"]:
+            assert [f["family"] for f in network["families"]] == list(
+                config.families
+            )
+            for fam in network["families"]:
+                assert len(fam["curve"]) == len(config.loads)
+                for row in fam["curve"]:
+                    assert row["flows"] >= config.flows_target
+                    assert 0.0 <= row["delivery_ratio"] <= 1.0
+                    assert row["throughput_per_node"] > 0.0
+
+    def test_saturation_is_the_curve_peak(self, quick_results):
+        _, results = quick_results
+        for network in results["networks"]:
+            for fam in network["families"]:
+                peak = max(r["throughput_per_node"] for r in fam["curve"])
+                assert fam["saturation_throughput"] == peak
+
+    def test_fault_free_loads_deliver_everything(self, quick_results):
+        _, results = quick_results
+        for network in results["networks"]:
+            for fam in network["families"]:
+                for row in fam["curve"]:
+                    assert row["delivered"] == row["flows"]
+
+    def test_deterministic_json(self, quick_results, tmp_path):
+        config, results = quick_results
+        again = run_traffic_campaign(config)
+        a = write_campaign_json(results, tmp_path / "a.json")
+        b = write_campaign_json(again, tmp_path / "b.json")
+        assert a == b
+        assert json.loads(a)["config"]["m"] == 2
+
+    def test_unknown_family_rejected(self):
+        config = TrafficCampaignConfig.quick(2, 3)
+        bad = TrafficCampaignConfig(
+            m=2, n=3, families=("uniform", "nope"), loads=config.loads
+        )
+        with pytest.raises(InvalidParameterError):
+            run_traffic_campaign(bad)
+
+    def test_cli_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_traffic.json"
+        code = main(
+            [
+                "traffic-campaign", "2", "3", "--quick",
+                "--families", "uniform,tornado",
+                "--flows-target", "150",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "saturation" in captured and "wrote" in captured
+        payload = json.loads(out.read_text())
+        families = {
+            f["family"] for n in payload["networks"] for f in n["families"]
+        }
+        assert families == {"uniform", "tornado"}
+
+
+class TestLinkConfig:
+    def test_defaults_are_the_unit_model(self):
+        lat, cap = LinkConfig().resolve(("g", "f"))
+        assert lat.tolist() == [1, 1, 1]
+        assert cap.tolist() == [1, 1, 1]
+
+    def test_assignment_and_default_fallback(self):
+        config = LinkConfig(
+            classes=[LinkClass("cube", latency=2, capacity=3)],
+            assign={"h_0": "cube"},
+        )
+        lat, cap = config.resolve(("h_0", "g"))
+        assert lat.tolist() == [2, 1, 1]  # trailing slot is the default
+        assert cap.tolist() == [3, 1, 1]
+        assert config.class_for("h_0").name == "cube"
+        assert config.class_for("unassigned").name == "default"
+
+    def test_uniform_constructor(self):
+        lat, cap = LinkConfig.uniform(latency=5, capacity=2).resolve(("a",))
+        assert lat.tolist() == [5, 5]
+        assert cap.tolist() == [2, 2]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LinkClass("bad", latency=0)
+        with pytest.raises(InvalidParameterError):
+            LinkClass("bad", capacity=0)
+        with pytest.raises(InvalidParameterError):
+            LinkConfig(assign={"g": "missing"})
+        with pytest.raises(InvalidParameterError):
+            LinkConfig(
+                classes=[LinkClass("x", latency=1), LinkClass("x", latency=2)]
+            )
